@@ -1,0 +1,43 @@
+"""Sec. 6.2 "Previously Documented Bugs": the prover must not prove the
+count bug, and the complementary model checker must refute it with a concrete
+counterexample (the empty-group witness)."""
+
+from __future__ import annotations
+
+from repro import Solver
+from repro.checker import ModelChecker
+from repro.corpus.rules import get_rule
+from repro.udp.trace import Verdict
+
+from conftest import write_report
+
+
+def refute_count_bug():
+    rule = get_rule("bug-01")
+    solver = Solver.from_program_text(rule.program)
+    outcome = solver.check(rule.left, rule.right)
+    checker = ModelChecker(solver.catalog)
+    witness = checker.find_counterexample(rule.left, rule.right)
+    return outcome, witness
+
+
+def test_count_bug_refutation(benchmark):
+    outcome, witness = refute_count_bug()
+    assert outcome.verdict is not Verdict.PROVED
+    assert witness is not None
+    report = [
+        "Sec. 6.2 — documented bugs",
+        f"prover verdict on the count bug: {outcome.verdict.value} (must not be proved)",
+        "model-checker counterexample:",
+        witness.describe(),
+    ]
+    write_report("bugs_refutation.txt", "\n".join(report))
+    benchmark(refute_count_bug)
+
+
+def test_null_bugs_unsupported():
+    for rule_id in ("bug-02", "bug-03"):
+        rule = get_rule(rule_id)
+        solver = Solver.from_program_text(rule.program)
+        outcome = solver.check(rule.left, rule.right)
+        assert outcome.verdict is Verdict.UNSUPPORTED

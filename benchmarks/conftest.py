@@ -1,0 +1,64 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper's
+evaluation (Sec. 6).  Results are printed and also appended to
+``benchmarks/out/`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro import DecisionOptions, Solver
+from repro.corpus import Category, Expectation, RewriteRule, all_rules
+from repro.udp.trace import Verdict
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def write_report(name: str, text: str) -> None:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print()
+    print(text)
+
+
+def run_rule(rule: RewriteRule, options: DecisionOptions = None):
+    """Check one corpus rule; returns (verdict, elapsed_seconds)."""
+    solver = Solver.from_program_text(rule.program, options)
+    started = time.monotonic()
+    outcome = solver.check(rule.left, rule.right)
+    return outcome.verdict, time.monotonic() - started
+
+
+def run_corpus(options: DecisionOptions = None):
+    """Run every corpus rule once; returns {rule_id: (rule, verdict, secs)}."""
+    results = {}
+    for rule in all_rules():
+        verdict, elapsed = run_rule(rule, options)
+        results[rule.rule_id] = (rule, verdict, elapsed)
+    return results
+
+
+def format_table(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    def fmt(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="session")
+def corpus_results():
+    """Corpus run shared across benchmark files within a session."""
+    return run_corpus()

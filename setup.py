@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that ``pip install -e .`` works on environments whose setuptools lacks the
+PEP 660 editable-wheel path (e.g. offline boxes without the ``wheel``
+package, where pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

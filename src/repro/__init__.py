@@ -1,0 +1,79 @@
+"""repro — deciding semantic equivalences of SQL queries via U-semirings.
+
+A from-scratch Python reproduction of
+
+    Chu, Murphy, Roesch, Cheung, Suciu.
+    "Axiomatic Foundations and Algorithms for Deciding Semantic
+    Equivalences of SQL Queries", VLDB 2018 (the UDP system).
+
+Quick start::
+
+    from repro import Solver
+
+    solver = Solver.from_program_text('''
+        schema s(k:int, a:int);
+        table r(s);
+        key r(k);
+    ''')
+    outcome = solver.check(
+        "SELECT * FROM r t WHERE t.a >= 12",
+        "SELECT DISTINCT * FROM r t WHERE t.a >= 12",
+    )
+    assert outcome.proved
+
+Public surface:
+
+* :class:`~repro.frontend.solver.Solver` / :func:`~repro.frontend.solver.prove`
+  — SQL text in, verdict out;
+* :func:`~repro.udp.decide.decide_equivalence` — the decision procedure on
+  compiled denotations;
+* :mod:`repro.usr` — U-expressions, SPNF, the SQL→U-expression compiler;
+* :mod:`repro.semirings` — concrete U-semiring instances and the
+  finite-model interpreter;
+* :mod:`repro.engine` / :mod:`repro.checker` — the executable bag-semantics
+  engine and the bounded counterexample finder;
+* :mod:`repro.corpus` — the evaluation corpus (literature + Calcite + bugs).
+"""
+
+from repro.errors import (
+    CompileError,
+    DecisionTimeout,
+    EvaluationError,
+    LexError,
+    ParseError,
+    ReproError,
+    ResolutionError,
+    SchemaError,
+    UnsupportedFeatureError,
+)
+from repro.frontend.solver import Solver, VerificationOutcome, prove
+from repro.sql.program import Catalog
+from repro.sql.schema import Attribute, Schema
+from repro.udp.decide import DecisionOptions, decide_equivalence
+from repro.udp.trace import ProofStep, ProofTrace, Verdict
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "Catalog",
+    "CompileError",
+    "DecisionOptions",
+    "DecisionTimeout",
+    "EvaluationError",
+    "LexError",
+    "ParseError",
+    "ProofStep",
+    "ProofTrace",
+    "ReproError",
+    "ResolutionError",
+    "Schema",
+    "SchemaError",
+    "Solver",
+    "UnsupportedFeatureError",
+    "Verdict",
+    "VerificationOutcome",
+    "decide_equivalence",
+    "prove",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""Bounded counterexample search for query pairs.
+
+The complement of the prover (the paper's prior work [21]): where UDP proves
+equivalence, the model checker *refutes* it by finding a concrete database on
+which the two queries disagree.  Neither subsumes the other — the checker
+cannot prove equivalence, the prover cannot exhibit counterexamples.
+"""
+
+from repro.checker.model_check import Counterexample, ModelChecker
+
+__all__ = ["Counterexample", "ModelChecker"]

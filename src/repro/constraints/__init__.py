@@ -1,0 +1,16 @@
+"""Integrity constraints as U-semiring identities (Sec. 4).
+
+The constraint *declarations* live on the catalog
+(:class:`repro.sql.program.Catalog`); this package packages them as the
+identity set handed to the decision procedure:
+
+* keys (Def. 4.1): ``[t.k = t'.k] × R(t) × R(t') = [t = t'] × R(t)``;
+* foreign keys (Def. 4.4): ``S(t') = S(t') × Σ_t R(t) × [t.k = t'.k']``;
+* Theorem 4.3: key-pinned summations are squash-invariant;
+* views/indexes: inlined before compilation (Sec. 4.1), so they never reach
+  the constraint set.
+"""
+
+from repro.constraints.model import ConstraintSet, constraints_from_catalog
+
+__all__ = ["ConstraintSet", "constraints_from_catalog"]

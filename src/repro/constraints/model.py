@@ -1,0 +1,49 @@
+"""The constraint set consumed by the decision procedure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sql.program import Catalog, ForeignKeyConstraint, KeyConstraint
+
+
+@dataclass
+class ConstraintSet:
+    """Keys and foreign keys, indexed for the canonizer.
+
+    Attributes:
+        keys: declared key constraints (Def. 4.1 identities).
+        foreign_keys: declared foreign keys (Def. 4.4 identities).
+    """
+
+    keys: List[KeyConstraint] = field(default_factory=list)
+    foreign_keys: List[ForeignKeyConstraint] = field(default_factory=list)
+
+    def keys_of(self, table: str) -> List[Tuple[str, ...]]:
+        """All declared keys of ``table`` (attribute tuples)."""
+        return [c.attributes for c in self.keys if c.table == table]
+
+    def has_key(self, table: str) -> bool:
+        return any(c.table == table for c in self.keys)
+
+    def fks_into(self, ref_table: str) -> List[ForeignKeyConstraint]:
+        """Foreign keys whose *referenced* table is ``ref_table``."""
+        return [c for c in self.foreign_keys if c.ref_table == ref_table]
+
+    def is_empty(self) -> bool:
+        return not self.keys and not self.foreign_keys
+
+    def __str__(self) -> str:
+        lines = [f"key {c.table}({', '.join(c.attributes)})" for c in self.keys]
+        lines += [
+            f"fk {c.table}({', '.join(c.attributes)}) -> "
+            f"{c.ref_table}({', '.join(c.ref_attributes)})"
+            for c in self.foreign_keys
+        ]
+        return "; ".join(lines) if lines else "(no constraints)"
+
+
+def constraints_from_catalog(catalog: Catalog) -> ConstraintSet:
+    """Collect the catalog's declared constraints into a ConstraintSet."""
+    return ConstraintSet(list(catalog.keys), list(catalog.foreign_keys))

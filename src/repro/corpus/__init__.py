@@ -1,0 +1,33 @@
+"""The evaluation corpus (Sec. 6.2).
+
+Three datasets of rewrite rules, mirroring the paper's evaluation:
+
+* :mod:`repro.corpus.literature` — 29 rules from classical data-management
+  literature (Starburst, GMAP, magic sets, textbook algebra, ...);
+* :mod:`repro.corpus.calcite` — 39 rule instances shaped after Apache
+  Calcite's rewrite tests (the supported subset of its 232 cases), including
+  the 6 arithmetic/semantic rules UDP is expected *not* to prove;
+* :mod:`repro.corpus.bugs` — 3 documented optimizer bugs; the count bug is
+  expressible and must not be proved, the two NULL-semantics bugs are outside
+  the supported fragment.
+"""
+
+from repro.corpus.rules import (
+    Category,
+    Expectation,
+    RewriteRule,
+    all_rules,
+    rules_by_dataset,
+)
+import repro.corpus.literature  # noqa: F401  (registers rules)
+import repro.corpus.calcite  # noqa: F401
+import repro.corpus.bugs  # noqa: F401
+import repro.corpus.extensions  # noqa: F401
+
+__all__ = [
+    "Category",
+    "Expectation",
+    "RewriteRule",
+    "all_rules",
+    "rules_by_dataset",
+]

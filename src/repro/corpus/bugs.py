@@ -1,0 +1,65 @@
+"""The bugs dataset: 3 documented optimizer bugs (Fig. 5 row 3).
+
+* the COUNT bug [32] (Ganski & Wong): the classic nested-aggregate unnesting
+  that silently drops empty groups — expressible in the supported fragment,
+  and UDP must *fail* to prove it (the model checker finds the witness);
+* MySQL bug #5673 and the Oracle 12c outer-join bug rely on NULL semantics /
+  outer joins, which the Fig. 2 fragment does not model — they are counted
+  as unsupported, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.rules import (
+    Category,
+    Expectation,
+    PARTS_SUPPLY,
+    RewriteRule,
+    register,
+)
+
+C = Category
+
+register(RewriteRule(
+    rule_id="bug-01",
+    name="COUNT bug: nested aggregate unnested to join",
+    dataset="bugs",
+    program=PARTS_SUPPLY,
+    left="""SELECT p.pnum AS pnum FROM parts p
+            WHERE p.qoh = count(SELECT s.shipdate AS shipdate FROM supply s
+                                WHERE s.pnum = p.pnum AND s.shipdate < 10)""",
+    right="""SELECT p.pnum AS pnum
+             FROM parts p,
+                  (SELECT s.pnum AS pnum, count(s.shipdate) AS ct
+                   FROM supply s WHERE s.shipdate < 10
+                   GROUP BY s.pnum) temp
+             WHERE p.qoh = temp.ct AND p.pnum = temp.pnum""",
+    categories=(C.AGG,),
+    expectation=Expectation.NOT_PROVED,
+    source="Ganski & Wong [32]; the rewrite is wrong on empty groups",
+))
+
+register(RewriteRule(
+    rule_id="bug-02",
+    name="Oracle 12c outer-join plan bug (needs OUTER JOIN + NULL)",
+    dataset="bugs",
+    program=PARTS_SUPPLY,
+    left="""SELECT p.pnum AS pnum FROM parts p
+            LEFT OUTER JOIN supply s ON p.pnum = s.pnum""",
+    right="SELECT p.pnum AS pnum FROM parts p",
+    categories=(C.UCQ,),
+    expectation=Expectation.UNSUPPORTED,
+    source="stackoverflow.com/questions/19686262 [10]; outside the fragment",
+))
+
+register(RewriteRule(
+    rule_id="bug-03",
+    name="MySQL bug #5673 (needs NULL semantics)",
+    dataset="bugs",
+    program=PARTS_SUPPLY,
+    left="SELECT * FROM parts p WHERE p.qoh IS NULL",
+    right="SELECT * FROM parts p WHERE p.qoh = NULL",
+    categories=(C.UCQ,),
+    expectation=Expectation.UNSUPPORTED,
+    source="MySQL bug 5673 [7]; NULL is outside the fragment",
+))

@@ -1,0 +1,319 @@
+"""The Calcite dataset: 39 rule instances (Fig. 5 row 2).
+
+These mirror the *supported* subset of Apache Calcite's rewrite tests:
+query pairs over the classic EMP/DEPT catalog, one per optimizer rule
+(ProjectMerge, FilterMerge, JoinCommute, AggregateRemove, SemiJoin, ...).
+As in the paper, 6 of the 39 are expected to fail: they require interpreted
+integer arithmetic or string conversions, which the axioms deliberately do
+not model (Sec. 6.4).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.rules import (
+    Category,
+    EMP_DEPT,
+    Expectation,
+    RewriteRule,
+    register,
+)
+
+C = Category
+
+
+def _cal(rule_id, name, left, right, categories,
+         expectation=Expectation.PROVED, source="Apache Calcite rewrite tests",
+         program=EMP_DEPT):
+    register(RewriteRule(
+        rule_id=rule_id,
+        name=name,
+        dataset="calcite",
+        program=program,
+        left=left,
+        right=right,
+        categories=categories,
+        expectation=expectation,
+        source=source,
+    ))
+
+
+# -- projection / filter structure rules (UCQ) --------------------------------
+
+_cal("cal-01", "ProjectMerge: collapse nested projections",
+     """SELECT t.empno AS empno FROM
+        (SELECT e.empno AS empno, e.ename AS ename FROM emp e) t""",
+     "SELECT e.empno AS empno FROM emp e",
+     (C.UCQ,))
+
+_cal("cal-02", "ProjectRemove: identity projection",
+     "SELECT * FROM (SELECT * FROM emp e) t",
+     "SELECT * FROM emp e",
+     (C.UCQ,))
+
+_cal("cal-03", "FilterMerge: nested filters to conjunction",
+     """SELECT * FROM (SELECT * FROM emp e WHERE e.sal > 100) t
+        WHERE t.deptno = 10""",
+     "SELECT * FROM emp e WHERE e.sal > 100 AND e.deptno = 10",
+     (C.UCQ,))
+
+_cal("cal-04", "FilterProjectTranspose",
+     """SELECT * FROM (SELECT e.empno AS empno, e.deptno AS deptno FROM emp e) t
+        WHERE t.deptno = 10""",
+     """SELECT t.empno AS empno, t.deptno AS deptno
+        FROM (SELECT * FROM emp e WHERE e.deptno = 10) t""",
+     (C.UCQ,))
+
+_cal("cal-05", "ProjectFilterTranspose",
+     """SELECT t.ename AS ename
+        FROM (SELECT * FROM emp e WHERE e.sal > 50) t""",
+     """SELECT t.ename AS ename
+        FROM (SELECT e.ename AS ename, e.sal AS sal FROM emp e) t
+        WHERE t.sal > 50""",
+     (C.UCQ,))
+
+_cal("cal-06", "FilterIntoJoin: filter over product into join input",
+     """SELECT e.ename AS ename, d.dname AS dname FROM emp e, dept d
+        WHERE e.deptno = d.deptno AND e.sal > 100""",
+     """SELECT e.ename AS ename, d.dname AS dname
+        FROM (SELECT * FROM emp e0 WHERE e0.sal > 100) e, dept d
+        WHERE e.deptno = d.deptno""",
+     (C.UCQ,))
+
+_cal("cal-07", "JoinCommute",
+     """SELECT e.ename AS ename, d.dname AS dname FROM emp e, dept d
+        WHERE e.deptno = d.deptno""",
+     """SELECT e.ename AS ename, d.dname AS dname FROM dept d, emp e
+        WHERE e.deptno = d.deptno""",
+     (C.UCQ,))
+
+_cal("cal-08", "JoinAssociate",
+     """SELECT e.ename AS ename, d.dname AS dname, e2.ename AS mgr
+        FROM emp e, dept d, emp e2
+        WHERE e.deptno = d.deptno AND e2.deptno = d.deptno""",
+     """SELECT w.ename AS ename, w.dname AS dname, e2.ename AS mgr
+        FROM (SELECT e.ename AS ename, d.dname AS dname, d.deptno AS deptno
+              FROM emp e, dept d WHERE e.deptno = d.deptno) w, emp e2
+        WHERE e2.deptno = w.deptno""",
+     (C.UCQ,))
+
+_cal("cal-09", "FilterUnionTranspose",
+     """SELECT * FROM (SELECT * FROM emp a UNION ALL SELECT * FROM emp b) t
+        WHERE t.deptno = 10""",
+     """SELECT * FROM emp a WHERE a.deptno = 10
+        UNION ALL SELECT * FROM emp b WHERE b.deptno = 10""",
+     (C.UCQ,))
+
+_cal("cal-10", "UnionMerge (associativity)",
+     """(SELECT * FROM emp a UNION ALL SELECT * FROM emp b)
+        UNION ALL SELECT * FROM emp c""",
+     """SELECT * FROM emp a
+        UNION ALL (SELECT * FROM emp b UNION ALL SELECT * FROM emp c)""",
+     (C.UCQ,))
+
+_cal("cal-11", "ProjectUnionTranspose",
+     """SELECT t.empno AS empno
+        FROM (SELECT * FROM emp a UNION ALL SELECT * FROM emp b) t""",
+     """SELECT a.empno AS empno FROM emp a
+        UNION ALL SELECT b.empno AS empno FROM emp b""",
+     (C.UCQ,))
+
+_cal("cal-12", "FilterReduce: drop constant TRUE",
+     "SELECT * FROM emp e WHERE TRUE AND e.sal > 100",
+     "SELECT * FROM emp e WHERE e.sal > 100",
+     (C.UCQ,))
+
+_cal("cal-13", "FilterReduce: constant FALSE prunes input",
+     "SELECT * FROM emp e WHERE FALSE",
+     "SELECT * FROM emp e WHERE FALSE AND e.sal > 100",
+     (C.UCQ,))
+
+_cal("cal-14", "FilterReduce: reflexive equality is TRUE",
+     "SELECT * FROM emp e WHERE e.deptno = e.deptno",
+     "SELECT * FROM emp e",
+     (C.UCQ,))
+
+_cal("cal-15", "duplicate conjunct elimination",
+     "SELECT * FROM emp e WHERE e.deptno = 10 AND e.deptno = 10",
+     "SELECT * FROM emp e WHERE e.deptno = 10",
+     (C.UCQ,))
+
+_cal("cal-16", "equality orientation invariance",
+     "SELECT * FROM emp e WHERE e.deptno = 10",
+     "SELECT * FROM emp e WHERE 10 = e.deptno",
+     (C.UCQ,))
+
+_cal("cal-17", "alias renaming invariance",
+     """SELECT e.ename AS ename, d.dname AS dname FROM emp e, dept d
+        WHERE e.deptno = d.deptno""",
+     """SELECT x.ename AS ename, y.dname AS dname FROM emp x, dept y
+        WHERE x.deptno = y.deptno""",
+     (C.UCQ,))
+
+_cal("cal-18", "SubQueryRemove: EXISTS to DISTINCT semi-join",
+     """SELECT DISTINCT e.empno AS empno FROM emp e
+        WHERE EXISTS (SELECT * FROM dept d WHERE d.deptno = e.deptno)""",
+     """SELECT DISTINCT e.empno AS empno FROM emp e, dept d
+        WHERE d.deptno = e.deptno""",
+     (C.DISTINCT_SUB,))
+
+_cal("cal-19", "SemiJoin: keyed EXISTS equals keyed join",
+     """SELECT e.empno AS empno, e.sal AS sal FROM emp e
+        WHERE EXISTS (SELECT * FROM dept d WHERE d.deptno = e.deptno)""",
+     """SELECT e.empno AS empno, e.sal AS sal FROM emp e, dept d
+        WHERE d.deptno = e.deptno""",
+     (C.COND,))
+
+_cal("cal-20", "JoinElimination via foreign key",
+     """SELECT e.ename AS ename, e.sal AS sal FROM emp e, dept d
+        WHERE e.deptno = d.deptno""",
+     "SELECT e.ename AS ename, e.sal AS sal FROM emp e",
+     (C.COND,))
+
+# -- grouping / aggregate rules (Fig. 6 "Grouping, Aggregate, and Having") ----
+
+_cal("cal-21", "AggregateProjectMerge",
+     """SELECT t.deptno AS deptno, sum(t.sal) AS s
+        FROM (SELECT e.deptno AS deptno, e.sal AS sal FROM emp e) t
+        GROUP BY t.deptno""",
+     """SELECT e.deptno AS deptno, sum(e.sal) AS s FROM emp e
+        GROUP BY e.deptno""",
+     (C.AGG,))
+
+_cal("cal-22", "AggregateFilterTranspose",
+     """SELECT e.deptno AS deptno, sum(e.sal) AS s FROM emp e
+        WHERE e.sal > 100 GROUP BY e.deptno""",
+     """SELECT t.deptno AS deptno, sum(t.sal) AS s
+        FROM (SELECT * FROM emp e WHERE e.sal > 100) t
+        GROUP BY t.deptno""",
+     (C.AGG,))
+
+_cal("cal-23", "AggregateRemove: GROUP BY without aggregates is DISTINCT",
+     "SELECT DISTINCT e.deptno AS deptno FROM emp e",
+     "SELECT e.deptno AS deptno FROM emp e GROUP BY e.deptno",
+     (C.AGG, C.DISTINCT_SUB))
+
+_cal("cal-24", "HAVING as filter over grouped subquery",
+     """SELECT e.deptno AS deptno, sum(e.sal) AS s FROM emp e
+        GROUP BY e.deptno HAVING sum(e.sal) > 100""",
+     """SELECT * FROM (SELECT e.deptno AS deptno, sum(e.sal) AS s
+                       FROM emp e GROUP BY e.deptno) g
+        WHERE g.s > 100""",
+     (C.AGG,))
+
+_cal("cal-25", "aggregate alias invariance",
+     """SELECT e.deptno AS deptno, min(e.sal) AS lo FROM emp e
+        GROUP BY e.deptno""",
+     """SELECT x.deptno AS deptno, min(x.sal) AS lo FROM emp x
+        GROUP BY x.deptno""",
+     (C.AGG,))
+
+_cal("cal-26", "aggregate over inlined view",
+     """SELECT t.deptno AS deptno, max(t.sal) AS hi
+        FROM (SELECT * FROM emp e WHERE e.comm = 0) t
+        GROUP BY t.deptno""",
+     """SELECT e.deptno AS deptno, max(e.sal) AS hi FROM emp e
+        WHERE e.comm = 0 GROUP BY e.deptno""",
+     (C.AGG,))
+
+_cal("cal-27", "multiple aggregates, consistent grouping",
+     """SELECT e.deptno AS deptno, sum(e.sal) AS s, count(e.empno) AS c
+        FROM emp e GROUP BY e.deptno""",
+     """SELECT x.deptno AS deptno, sum(x.sal) AS s, count(x.empno) AS c
+        FROM emp x GROUP BY x.deptno""",
+     (C.AGG,))
+
+_cal("cal-28", "GROUP BY key-order invariance",
+     """SELECT e.deptno AS deptno, e.comm AS comm, sum(e.sal) AS s
+        FROM emp e GROUP BY e.deptno, e.comm""",
+     """SELECT e.deptno AS deptno, e.comm AS comm, sum(e.sal) AS s
+        FROM emp e GROUP BY e.comm, e.deptno""",
+     (C.AGG,))
+
+_cal("cal-29", "grouped filter conjunct order invariance",
+     """SELECT e.deptno AS deptno, sum(e.sal) AS s FROM emp e
+        WHERE e.comm = 0 AND e.sal > 10 GROUP BY e.deptno""",
+     """SELECT e.deptno AS deptno, sum(e.sal) AS s FROM emp e
+        WHERE e.sal > 10 AND e.comm = 0 GROUP BY e.deptno""",
+     (C.AGG,))
+
+_cal("cal-30", "GROUP BY equals its desugared correlated form",
+     """SELECT DISTINCT y.deptno AS deptno,
+               sum(SELECT x.sal AS agg_arg FROM emp x
+                   WHERE x.deptno = y.deptno) AS s
+        FROM emp y""",
+     """SELECT e.deptno AS deptno, sum(e.sal) AS s FROM emp e
+        GROUP BY e.deptno""",
+     (C.AGG, C.DISTINCT_SUB))
+
+_cal("cal-31", "HAVING conjunct splits between WHERE and HAVING",
+     """SELECT e.deptno AS deptno, sum(e.sal) AS s FROM emp e
+        WHERE e.comm = 0 GROUP BY e.deptno HAVING sum(e.sal) > 100""",
+     """SELECT * FROM (SELECT e.deptno AS deptno, sum(e.sal) AS s
+                       FROM emp e WHERE e.comm = 0 GROUP BY e.deptno) g
+        WHERE g.s > 100""",
+     (C.AGG,))
+
+_cal("cal-32", "DISTINCT over self-UNION ALL collapses",
+     "DISTINCT (SELECT * FROM emp a UNION ALL SELECT * FROM emp b)",
+     "SELECT DISTINCT * FROM emp a",
+     (C.DISTINCT_SUB,))
+
+_cal("cal-39", "IntersectToSemiJoin shape: double EXISTS reorder",
+     """SELECT DISTINCT e.deptno AS deptno FROM emp e
+        WHERE EXISTS (SELECT * FROM dept d WHERE d.deptno = e.deptno)
+          AND e.sal > 0""",
+     """SELECT DISTINCT e.deptno AS deptno FROM emp e
+        WHERE e.sal > 0
+          AND EXISTS (SELECT * FROM dept d WHERE d.deptno = e.deptno)""",
+     (C.DISTINCT_SUB,))
+
+# -- the six expected failures (Sec. 6.4) -------------------------------------
+
+_UNPROVED_NOTE = (
+    "requires interpreted value semantics (integer arithmetic / string "
+    "conversion), outside the axiom set — expected unproved, Sec. 6.4"
+)
+
+_cal("cal-33", "ReduceExpressions: arithmetic under known filter",
+     """SELECT * FROM (SELECT * FROM emp e WHERE e.deptno = 10) t
+        WHERE t.deptno + 5 > t.empno""",
+     """SELECT * FROM (SELECT * FROM emp e WHERE e.deptno = 10) t
+        WHERE 15 > t.empno""",
+     (C.UCQ,), Expectation.NOT_PROVED, _UNPROVED_NOTE)
+
+_cal("cal-34", "arithmetic commutativity",
+     "SELECT * FROM emp e WHERE e.sal + 1 > 10",
+     "SELECT * FROM emp e WHERE 1 + e.sal > 10",
+     (C.UCQ,), Expectation.NOT_PROVED, _UNPROVED_NOTE)
+
+_cal("cal-35", "constant folding",
+     "SELECT * FROM emp e WHERE e.sal > 2 + 3",
+     "SELECT * FROM emp e WHERE e.sal > 5",
+     (C.UCQ,), Expectation.NOT_PROVED, _UNPROVED_NOTE)
+
+_cal("cal-36", "string concatenation reasoning",
+     "SELECT * FROM emp e WHERE concat(e.ename, 'x') = 'ax'",
+     "SELECT * FROM emp e WHERE e.ename = 'a'",
+     (C.UCQ,), Expectation.NOT_PROVED, _UNPROVED_NOTE)
+
+_cal("cal-37", "string-to-date cast reasoning",
+     "SELECT * FROM emp e WHERE to_date(e.ename) = to_date('2020-01-01')",
+     "SELECT * FROM emp e WHERE e.ename = '2020-01-01'",
+     (C.UCQ,), Expectation.NOT_PROVED, _UNPROVED_NOTE)
+
+_cal("cal-38", "long query with embedded arithmetic rewrite",
+     """SELECT a.empno AS empno, b.dname AS dname, c.ename AS c1,
+               d.ename AS c2
+        FROM emp a, dept b, emp c, emp d
+        WHERE a.deptno = b.deptno AND c.deptno = b.deptno
+          AND d.deptno = b.deptno AND a.sal + 1 > c.sal
+          AND a.empno = c.empno AND c.empno = d.empno""",
+     """SELECT a.empno AS empno, b.dname AS dname, c.ename AS c1,
+               d.ename AS c2
+        FROM emp a, dept b, emp c, emp d
+        WHERE a.deptno = b.deptno AND c.deptno = b.deptno
+          AND d.deptno = b.deptno AND 1 + a.sal > c.sal
+          AND a.empno = c.empno AND c.empno = d.empno""",
+     (C.UCQ,), Expectation.NOT_PROVED,
+     "the paper's long-query timeout case; modelled with an embedded "
+     "arithmetic rewrite so the failure is deterministic")

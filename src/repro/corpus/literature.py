@@ -1,0 +1,379 @@
+"""The literature dataset: 29 rewrite rules (Fig. 5 row 1).
+
+Sources mirror the paper's collection: the Fig. 1 / Ex. 4.7 index rewrite,
+the Sec. 5.4 Starburst rules [44], Ex. 5.2, the GMAP framework [52], magic
+sets [49], foreign-key join elimination, and the classical relational-algebra
+identities that the earlier Cosette work proved interactively.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.rules import (
+    Category,
+    EMP_DEPT,
+    Expectation,
+    KEYED_R,
+    PRICE_ITM,
+    RS_TABLES,
+    RewriteRule,
+    register,
+)
+
+C = Category
+
+register(RewriteRule(
+    rule_id="lit-01",
+    name="index lookup rewrite (Fig. 1 / Ex. 4.7)",
+    dataset="literature",
+    program=KEYED_R,
+    left="SELECT * FROM r0 t WHERE t.a >= 12",
+    right="SELECT t2.* FROM i0 t1, r0 t2 WHERE t1.k = t2.k AND t1.a >= 12",
+    categories=(C.COND,),
+    source="paper Fig. 1, GMAP [52]",
+))
+
+register(RewriteRule(
+    rule_id="lit-02",
+    name="Starburst: DISTINCT subquery to DISTINCT join (Sec. 5.4)",
+    dataset="literature",
+    program=PRICE_ITM,
+    left="""SELECT ip.np AS np, itm.type AS type, itm.itemno AS itemno
+            FROM (SELECT DISTINCT price.itemno AS itn, price.np AS np
+                  FROM price price WHERE price.np > 1000) ip, itm itm
+            WHERE ip.itn = itm.itemno""",
+    right="""SELECT DISTINCT price.np AS np, itm.type AS type,
+                    itm.itemno AS itemno
+             FROM price price, itm itm
+             WHERE price.np > 1000 AND price.itemno = itm.itemno""",
+    categories=(C.COND, C.DISTINCT_SUB),
+    source="Starburst [44], paper Sec. 5.4",
+))
+
+register(RewriteRule(
+    rule_id="lit-03",
+    name="DISTINCT self-join collapse (Ex. 5.2)",
+    dataset="literature",
+    program=RS_TABLES,
+    left="SELECT DISTINCT x.a AS a FROM r x, r y",
+    right="SELECT DISTINCT x.a AS a FROM r x",
+    categories=(C.DISTINCT_SUB,),
+    source="paper Ex. 5.2",
+))
+
+register(RewriteRule(
+    rule_id="lit-04",
+    name="selection pushdown through product",
+    dataset="literature",
+    program=RS_TABLES,
+    left="SELECT * FROM r x, s y WHERE x.a = 5",
+    right="SELECT * FROM (SELECT * FROM r x1 WHERE x1.a = 5) x, s y",
+    categories=(C.UCQ,),
+    source="textbook algebra; Cosette benchmark",
+))
+
+register(RewriteRule(
+    rule_id="lit-05",
+    name="conjunct commutativity",
+    dataset="literature",
+    program=RS_TABLES,
+    left="SELECT * FROM r x WHERE x.a = 1 AND x.b = 2",
+    right="SELECT * FROM r x WHERE x.b = 2 AND x.a = 1",
+    categories=(C.UCQ,),
+    source="textbook algebra",
+))
+
+register(RewriteRule(
+    rule_id="lit-06",
+    name="conjunct split into nested selections",
+    dataset="literature",
+    program=RS_TABLES,
+    left="SELECT * FROM r x WHERE x.a = 1 AND x.b = 2",
+    right="SELECT * FROM (SELECT * FROM r x1 WHERE x1.a = 1) x WHERE x.b = 2",
+    categories=(C.UCQ,),
+    source="textbook algebra",
+))
+
+register(RewriteRule(
+    rule_id="lit-07",
+    name="join commutativity (explicit projection)",
+    dataset="literature",
+    program=RS_TABLES,
+    left="SELECT x.a AS a, y.d AS d FROM r x, s y WHERE x.a = y.c",
+    right="SELECT x.a AS a, y.d AS d FROM s y, r x WHERE x.a = y.c",
+    categories=(C.UCQ,),
+    source="textbook algebra",
+))
+
+register(RewriteRule(
+    rule_id="lit-08",
+    name="join associativity",
+    dataset="literature",
+    program=RS_TABLES,
+    left="""SELECT x.a AS a, y.c AS c, z.e AS e FROM r x, s y, t z
+            WHERE x.a = y.c AND y.d = z.e""",
+    right="""SELECT x.a AS a, w.c AS c, w.e AS e
+             FROM r x, (SELECT y.c AS c, y.d AS d, z.e AS e, z.f AS f
+                        FROM s y, t z WHERE y.d = z.e) w
+             WHERE x.a = w.c""",
+    categories=(C.UCQ,),
+    source="textbook algebra",
+))
+
+register(RewriteRule(
+    rule_id="lit-09",
+    name="cross product plus filter equals join subquery",
+    dataset="literature",
+    program=RS_TABLES,
+    left="SELECT x.a AS a, y.d AS d FROM r x, s y WHERE x.a = y.c",
+    right="""SELECT w.a AS a, w.d AS d
+             FROM (SELECT x.a AS a, x.b AS b, y.c AS c, y.d AS d
+                   FROM r x, s y) w
+             WHERE w.a = w.c""",
+    categories=(C.UCQ,),
+    source="textbook algebra",
+))
+
+register(RewriteRule(
+    rule_id="lit-10",
+    name="projection cascade",
+    dataset="literature",
+    program=RS_TABLES,
+    left="SELECT x.a AS a FROM r x",
+    right="SELECT y.a AS a FROM (SELECT x.a AS a, x.b AS b FROM r x) y",
+    categories=(C.UCQ,),
+    source="textbook algebra",
+))
+
+register(RewriteRule(
+    rule_id="lit-11",
+    name="selection distributes over UNION ALL",
+    dataset="literature",
+    program=RS_TABLES,
+    left="""SELECT * FROM (SELECT * FROM r x1 UNION ALL SELECT * FROM r x2) z
+            WHERE z.a = 1""",
+    right="""SELECT * FROM r z1 WHERE z1.a = 1
+             UNION ALL SELECT * FROM r z2 WHERE z2.a = 1""",
+    categories=(C.UCQ,),
+    source="Q*cert's 45-line Coq example (Sec. 2)",
+))
+
+register(RewriteRule(
+    rule_id="lit-12",
+    name="UNION ALL commutativity",
+    dataset="literature",
+    program=RS_TABLES,
+    left="""SELECT * FROM r x WHERE x.a = 1
+            UNION ALL SELECT * FROM r y WHERE y.b = 2""",
+    right="""SELECT * FROM r y WHERE y.b = 2
+             UNION ALL SELECT * FROM r x WHERE x.a = 1""",
+    categories=(C.UCQ,),
+    source="textbook algebra",
+))
+
+register(RewriteRule(
+    rule_id="lit-13",
+    name="UNION ALL associativity",
+    dataset="literature",
+    program=RS_TABLES,
+    left="""(SELECT * FROM r x WHERE x.a = 1
+             UNION ALL SELECT * FROM r y WHERE y.a = 2)
+            UNION ALL SELECT * FROM r z WHERE z.a = 3""",
+    right="""SELECT * FROM r x WHERE x.a = 1
+             UNION ALL (SELECT * FROM r y WHERE y.a = 2
+                        UNION ALL SELECT * FROM r z WHERE z.a = 3)""",
+    categories=(C.UCQ,),
+    source="textbook algebra",
+))
+
+register(RewriteRule(
+    rule_id="lit-14",
+    name="equality transitivity in join predicates",
+    dataset="literature",
+    program=RS_TABLES,
+    left="""SELECT x.a AS a, z.f AS f FROM r x, s y, t z
+            WHERE x.a = y.c AND y.c = z.e""",
+    right="""SELECT x.a AS a, z.f AS f FROM r x, s y, t z
+             WHERE x.a = y.c AND x.a = z.e""",
+    categories=(C.UCQ,),
+    source="chase literature [45]",
+))
+
+register(RewriteRule(
+    rule_id="lit-15",
+    name="alias renaming invariance",
+    dataset="literature",
+    program=RS_TABLES,
+    left="SELECT x.a AS a, y.c AS c FROM r x, s y WHERE x.b = y.d",
+    right="SELECT u.a AS a, v.c AS c FROM r u, s v WHERE u.b = v.d",
+    categories=(C.UCQ,),
+    source="textbook algebra",
+))
+
+register(RewriteRule(
+    rule_id="lit-16",
+    name="WHERE TRUE elimination",
+    dataset="literature",
+    program=RS_TABLES,
+    left="SELECT * FROM r x WHERE TRUE",
+    right="SELECT * FROM r x",
+    categories=(C.UCQ,),
+    source="textbook algebra",
+))
+
+register(RewriteRule(
+    rule_id="lit-17",
+    name="redundant keyed self-join elimination",
+    dataset="literature",
+    program=RS_TABLES + "key r(a);",
+    left="SELECT x.a AS a, x.b AS b FROM r x, r y WHERE x.a = y.a",
+    right="SELECT x.a AS a, x.b AS b FROM r x",
+    categories=(C.COND,),
+    source="chase & backchase [45]",
+))
+
+register(RewriteRule(
+    rule_id="lit-18",
+    name="DISTINCT of DISTINCT is DISTINCT",
+    dataset="literature",
+    program=RS_TABLES,
+    left="DISTINCT (SELECT DISTINCT x.a AS a FROM r x)",
+    right="SELECT DISTINCT x.a AS a FROM r x",
+    categories=(C.DISTINCT_SUB,),
+    source="paper Sec. 3.1 (Eq. (2) consequence)",
+))
+
+register(RewriteRule(
+    rule_id="lit-19",
+    name="DISTINCT keyed-equality self-join collapse",
+    dataset="literature",
+    program=RS_TABLES,
+    left="SELECT DISTINCT x.a AS a FROM r x, r y WHERE x.a = y.a",
+    right="SELECT DISTINCT x.a AS a FROM r x",
+    categories=(C.DISTINCT_SUB,),
+    source="paper Sec. 3.1 (Eq. (4) example)",
+))
+
+register(RewriteRule(
+    rule_id="lit-20",
+    name="EXISTS to DISTINCT semi-join",
+    dataset="literature",
+    program=RS_TABLES,
+    left="""SELECT DISTINCT x.a AS a FROM r x
+            WHERE EXISTS (SELECT * FROM s y WHERE y.c = x.a)""",
+    right="SELECT DISTINCT x.a AS a FROM r x, s y WHERE y.c = x.a",
+    categories=(C.DISTINCT_SUB,),
+    source="unnesting literature [32]",
+))
+
+register(RewriteRule(
+    rule_id="lit-21",
+    name="magic-sets rewriting (set semantics)",
+    dataset="literature",
+    program=RS_TABLES,
+    left="""SELECT DISTINCT x.a AS a, y.d AS d FROM r x, s y
+            WHERE x.a = y.c AND x.b = 5""",
+    right="""SELECT DISTINCT x.a AS a, y.d AS d
+             FROM r x,
+                  (SELECT y2.c AS c, y2.d AS d
+                   FROM s y2,
+                        (SELECT DISTINCT x3.a AS a FROM r x3 WHERE x3.b = 5) m
+                   WHERE y2.c = m.a) y
+             WHERE x.a = y.c AND x.b = 5""",
+    categories=(C.DISTINCT_SUB,),
+    source="magic sets [49]; Cosette benchmark",
+))
+
+register(RewriteRule(
+    rule_id="lit-22",
+    name="foreign-key join elimination",
+    dataset="literature",
+    program=EMP_DEPT,
+    left="""SELECT e.empno AS empno, e.sal AS sal FROM emp e, dept d
+            WHERE e.deptno = d.deptno""",
+    right="SELECT e.empno AS empno, e.sal AS sal FROM emp e",
+    categories=(C.COND,),
+    source="semantic query optimization (C&B [27])",
+))
+
+register(RewriteRule(
+    rule_id="lit-23",
+    name="GMAP index-only plan",
+    dataset="literature",
+    program=KEYED_R,
+    left="SELECT t.k AS k FROM r0 t WHERE t.a = 5",
+    right="SELECT t1.k AS k FROM i0 t1 WHERE t1.a = 5",
+    categories=(C.COND,),
+    source="GMAP [52]",
+))
+
+register(RewriteRule(
+    rule_id="lit-24",
+    name="view inlining",
+    dataset="literature",
+    program=RS_TABLES + "view v SELECT * FROM r x WHERE x.a = 1;",
+    left="SELECT * FROM v z WHERE z.b = 2",
+    right="SELECT * FROM r z WHERE z.a = 1 AND z.b = 2",
+    categories=(C.UCQ, C.COND),
+    source="view expansion (Sec. 4.1)",
+))
+
+register(RewriteRule(
+    rule_id="lit-25",
+    name="DISTINCT is a no-op on keyed output",
+    dataset="literature",
+    program=KEYED_R,
+    left="SELECT DISTINCT x.k AS k, x.a AS a FROM r0 x",
+    right="SELECT x.k AS k, x.a AS a FROM r0 x",
+    categories=(C.COND, C.DISTINCT_SUB),
+    source="key reasoning (Theorem 4.3)",
+))
+
+register(RewriteRule(
+    rule_id="lit-26",
+    name="filter pushdown below GROUP BY",
+    dataset="literature",
+    program=EMP_DEPT,
+    left="""SELECT e.deptno AS deptno, sum(e.sal) AS s FROM emp e
+            WHERE e.sal > 100 GROUP BY e.deptno""",
+    right="""SELECT e.deptno AS deptno, sum(e.sal) AS s
+             FROM (SELECT * FROM emp e0 WHERE e0.sal > 100) e
+             GROUP BY e.deptno""",
+    categories=(C.AGG,),
+    source="Starburst [44]",
+))
+
+register(RewriteRule(
+    rule_id="lit-27",
+    name="GROUP BY alias invariance",
+    dataset="literature",
+    program=EMP_DEPT,
+    left="""SELECT e.deptno AS deptno, sum(e.sal) AS s FROM emp e
+            GROUP BY e.deptno""",
+    right="""SELECT e2.deptno AS deptno, sum(e2.sal) AS s FROM emp e2
+             GROUP BY e2.deptno""",
+    categories=(C.AGG,),
+    source="grouping desugar (Sec. 3.2)",
+))
+
+register(RewriteRule(
+    rule_id="lit-28",
+    name="EXISTS against keyed relation equals keyed join",
+    dataset="literature",
+    program=KEYED_R,
+    left="""SELECT x.k AS k, x.a AS a FROM r0 x
+            WHERE EXISTS (SELECT * FROM r0 y WHERE y.k = x.a)""",
+    right="SELECT x.k AS k, x.a AS a FROM r0 x, r0 y WHERE y.k = x.a",
+    categories=(C.COND, C.DISTINCT_SUB),
+    source="unnesting with key constraints [32]",
+))
+
+register(RewriteRule(
+    rule_id="lit-29",
+    name="selection idempotence",
+    dataset="literature",
+    program=RS_TABLES,
+    left="SELECT * FROM (SELECT * FROM r x1 WHERE x1.a = 1) x WHERE x.a = 1",
+    right="SELECT * FROM r x WHERE x.a = 1",
+    categories=(C.UCQ,),
+    source="textbook algebra",
+))

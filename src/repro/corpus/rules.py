@@ -1,0 +1,127 @@
+"""Rewrite-rule records and the corpus registry."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class Category(enum.Enum):
+    """Fig. 6 characterization categories (not mutually exclusive)."""
+
+    UCQ = "UCQ"
+    COND = "Cond"
+    AGG = "Grouping/Aggregate/Having"
+    DISTINCT_SUB = "DISTINCT in subquery"
+
+
+class Expectation(enum.Enum):
+    """What the paper's evaluation expects UDP to do with the rule."""
+
+    PROVED = "proved"
+    NOT_PROVED = "not_proved"
+    UNSUPPORTED = "unsupported"
+
+
+@dataclass(frozen=True)
+class RewriteRule:
+    """One corpus entry: declarations, the query pair, and expectations.
+
+    Attributes:
+        rule_id: stable identifier, e.g. ``lit-03``.
+        name: short human-readable description.
+        dataset: ``"literature"``, ``"calcite"``, or ``"bugs"``.
+        program: declaration statements (schemas, tables, keys, fks, views,
+            indexes) in the input language.
+        left / right: the two SQL queries.
+        categories: Fig. 6 tags.
+        expectation: expected verdict (Fig. 5).
+        source: provenance note (paper, rule name, section).
+    """
+
+    rule_id: str
+    name: str
+    dataset: str
+    program: str
+    left: str
+    right: str
+    categories: Tuple[Category, ...]
+    expectation: Expectation = Expectation.PROVED
+    source: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.rule_id}: {self.name}"
+
+
+_REGISTRY: Dict[str, RewriteRule] = {}
+
+
+def register(rule: RewriteRule) -> RewriteRule:
+    """Add a rule to the global registry (id must be unique)."""
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule
+
+
+def all_rules() -> List[RewriteRule]:
+    """Every registered rule, ordered by id."""
+    return [rule for _, rule in sorted(_REGISTRY.items())]
+
+
+def rules_by_dataset(dataset: str) -> List[RewriteRule]:
+    return [rule for rule in all_rules() if rule.dataset == dataset]
+
+
+def get_rule(rule_id: str) -> RewriteRule:
+    return _REGISTRY[rule_id]
+
+
+# Shared declaration snippets -------------------------------------------------
+
+#: Two generic-purpose concrete tables (used by algebraic rules).
+RS_TABLES = """
+schema rs(a:int, b:int);
+schema ss(c:int, d:int);
+schema ts(e:int, f:int);
+table r(rs);
+table s(ss);
+table t(ts);
+"""
+
+#: Calcite-flavoured EMP/DEPT with the usual key/fk structure.
+EMP_DEPT = """
+schema emp_s(empno:int, ename:string, deptno:int, sal:int, comm:int);
+schema dept_s(deptno:int, dname:string, loc:string);
+table emp(emp_s);
+table dept(dept_s);
+key emp(empno);
+key dept(deptno);
+foreign key emp(deptno) references dept(deptno);
+"""
+
+#: The Sec. 5.4 Starburst price/item pair.
+PRICE_ITM = """
+schema price_s(itemno:int, np:int);
+schema itm_s(itemno:int, type:int);
+table price(price_s);
+table itm(itm_s);
+key itm(itemno);
+"""
+
+#: Fig. 1 keyed-and-indexed relation.
+KEYED_R = """
+schema s(k:int, a:int);
+table r0(s);
+key r0(k);
+index i0 on r0(a);
+"""
+
+#: The count-bug parts/supply pair (Ganski & Wong).
+PARTS_SUPPLY = """
+schema parts_s(pnum:int, qoh:int);
+schema supply_s(pnum:int, shipdate:int);
+table parts(parts_s);
+table supply(supply_s);
+"""

@@ -1,0 +1,140 @@
+"""Homomorphism search between SPNF terms (the containment core of SDP).
+
+A homomorphism ``σ`` from term ``Q`` to term ``P`` maps ``Q``'s summation
+variables to variables of ``P`` (bound or free), is the identity on free
+variables, and satisfies, under ``P``'s congruence closure:
+
+* every relation atom ``R(u)`` of ``Q`` lands on some atom ``R(v)`` of ``P``
+  with ``σ(u) ~ v``;
+* every equality of ``Q`` is entailed;
+* every inequality / uninterpreted atom of ``Q`` appears in ``P`` modulo
+  congruence (a conservative but sound treatment beyond pure CQs);
+* negation parts, if any, are equivalent under the injected comparator.
+
+``hom(Q → P)`` witnesses ``P ⊆ Q`` (Chandra–Merlin); SDP uses mutual
+containment of the squashed unions, which is the classical Sagiv–Yannakakis
+test (Theorem 5.5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.cq.isomorphism import MatchContext, build_closure_from_preds
+from repro.logic.congruence import CongruenceClosure
+from repro.usr.predicates import AtomPred, EqPred, NePred
+from repro.usr.spnf import NormalTerm, substitute_term
+from repro.usr.values import TupleVar, ValueExpr
+
+
+def find_homomorphism(
+    source: NormalTerm,
+    target: NormalTerm,
+    context: MatchContext,
+) -> Optional[Dict[str, str]]:
+    """A mapping source-binder → target-variable, or ``None``.
+
+    ``source`` plays the role of ``Q`` and ``target`` of ``P`` above.
+    """
+    closure = build_closure_from_preds(target)
+    # Candidate images: the target's bound variables plus every free variable
+    # occurring in either term (free variables must map to themselves, which
+    # the identity default below already guarantees).
+    target_vars: List[str] = [name for name, _ in target.vars]
+    source_vars = list(source.vars)
+    schema_of_target = dict(target.vars)
+
+    candidates: List[List[str]] = []
+    for name, schema in source_vars:
+        options = [
+            target_name
+            for target_name in target_vars
+            if schema_of_target[target_name] == schema
+        ]
+        candidates.append(options)
+
+    assignment: Dict[str, str] = {}
+
+    def check(mapping: Dict[str, str]) -> bool:
+        context.tick()
+        payload: Dict[str, ValueExpr] = {
+            name: TupleVar(image) for name, image in mapping.items()
+        }
+        mapped = substitute_term(
+            NormalTerm((), source.preds, source.rels, source.squash_part,
+                       source.neg_part),
+            payload,
+        )
+        for rel_name, arg in mapped.rels:
+            found = any(
+                other_name == rel_name and closure.equal(arg, other_arg)
+                for other_name, other_arg in target.rels
+            )
+            if not found:
+                return False
+        for pred in mapped.preds:
+            if isinstance(pred, EqPred):
+                if not closure.equal(pred.left, pred.right):
+                    return False
+            elif isinstance(pred, NePred):
+                found = any(
+                    isinstance(other, NePred)
+                    and (
+                        (
+                            closure.equal(pred.left, other.left)
+                            and closure.equal(pred.right, other.right)
+                        )
+                        or (
+                            closure.equal(pred.left, other.right)
+                            and closure.equal(pred.right, other.left)
+                        )
+                    )
+                    for other in target.preds
+                )
+                if not found:
+                    return False
+            elif isinstance(pred, AtomPred):
+                found = any(
+                    isinstance(other, AtomPred)
+                    and other.name == pred.name
+                    and len(other.args) == len(pred.args)
+                    and all(
+                        closure.equal(a, b)
+                        for a, b in zip(pred.args, other.args)
+                    )
+                    for other in target.preds
+                )
+                if not found:
+                    return False
+        # Squash parts do not occur under a squash (flattened); negation
+        # parts must match under the recursive comparator.
+        if (mapped.squash_part is None) != (target.squash_part is None):
+            return False
+        if mapped.squash_part is not None and not context.squash_equiv(
+            mapped.squash_part, target.squash_part
+        ):
+            return False
+        if (mapped.neg_part is None) != (target.neg_part is None):
+            return False
+        if mapped.neg_part is not None and not context.form_equiv(
+            mapped.neg_part, target.neg_part
+        ):
+            return False
+        return True
+
+    def assign(index: int) -> bool:
+        if index == len(source_vars):
+            return check(dict(assignment))
+        name, _ = source_vars[index]
+        for option in candidates[index]:
+            assignment[name] = option
+            if assign(index + 1):
+                return True
+        assignment.pop(name, None)
+        return False
+
+    if not source_vars:
+        return {} if check({}) else None
+    if assign(0):
+        return dict(assignment)
+    return None

@@ -1,0 +1,272 @@
+"""Term isomorphism: the decision core of TDP (Algorithm 3).
+
+Two SPNF terms are isomorphic when some bijection between their summation
+variables makes them equal, where equality of the factor lists is checked
+
+* for predicates — with the congruence procedure (mutual entailment of the
+  equality parts, matching of inequality and uninterpreted atoms modulo
+  congruence);
+* for relation atoms — as multisets modulo congruence of arguments;
+* for squash parts — by the injected SDP comparator;
+* for negation parts — by the injected (recursive) UDP comparator.
+
+The bijection search is pruned by per-variable signatures (schema + the
+multiset of relation names the variable feeds).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.logic.congruence import CongruenceClosure
+from repro.usr.predicates import AtomPred, EqPred, NePred
+from repro.usr.spnf import NormalForm, NormalTerm, substitute_term
+from repro.usr.values import TupleVar, ValueExpr
+
+
+@dataclass
+class MatchContext:
+    """Comparators injected by the decision procedure.
+
+    ``squash_equiv`` compares two squash parts (SDP); ``form_equiv`` compares
+    two negation parts (recursive UDP).  ``tick`` is called on every candidate
+    bijection so the caller can enforce a time budget.
+    """
+
+    squash_equiv: Callable[[NormalForm, NormalForm], bool]
+    form_equiv: Callable[[NormalForm, NormalForm], bool]
+    tick: Callable[[], None] = lambda: None
+
+
+def build_closure_from_preds(term: NormalTerm) -> CongruenceClosure:
+    closure = CongruenceClosure()
+    for pred in term.preds:
+        if isinstance(pred, EqPred):
+            closure.merge(pred.left, pred.right)
+        else:
+            for value in _pred_values(pred):
+                closure.add_term(value)
+    for _, arg in term.rels:
+        closure.add_term(arg)
+    return closure
+
+
+def _pred_values(pred) -> Tuple[ValueExpr, ...]:
+    if isinstance(pred, (EqPred, NePred)):
+        return (pred.left, pred.right)
+    if isinstance(pred, AtomPred):
+        return pred.args
+    return ()
+
+
+def _var_signature(term: NormalTerm, name: str) -> Tuple:
+    """A bijection-invariant fingerprint of a summation variable."""
+    rel_names = sorted(
+        rel_name
+        for rel_name, arg in term.rels
+        if name in arg.free_tuple_vars()
+    )
+    in_preds = sum(
+        1 for pred in term.preds if name in pred.free_tuple_vars()
+    )
+    in_squash = (
+        term.squash_part is not None
+        and any(name in t.free_tuple_vars() for t in term.squash_part)
+    )
+    in_neg = (
+        term.neg_part is not None
+        and any(name in t.free_tuple_vars() for t in term.neg_part)
+    )
+    return (tuple(rel_names), in_preds > 0, in_squash, in_neg)
+
+
+def terms_isomorphic(
+    left: NormalTerm, right: NormalTerm, context: MatchContext
+) -> bool:
+    """TDP: search for a variable bijection making the terms equal."""
+    if len(left.vars) != len(right.vars):
+        return False
+    if len(left.rels) != len(right.rels):
+        return False
+    if sorted(name for name, _ in left.rels) != sorted(
+        name for name, _ in right.rels
+    ):
+        return False
+    if (left.squash_part is None) != (right.squash_part is None):
+        return False
+    if (left.neg_part is None) != (right.neg_part is None):
+        return False
+
+    # Candidate target variables for each right-hand binder.
+    left_vars = list(left.vars)
+    right_vars = list(right.vars)
+    candidates: List[List[str]] = []
+    for right_name, right_schema in right_vars:
+        right_sig = _var_signature(right, right_name)
+        options = [
+            left_name
+            for left_name, left_schema in left_vars
+            if left_schema == right_schema
+            and _var_signature(left, left_name) == right_sig
+        ]
+        if not options:
+            return False
+        candidates.append(options)
+
+    used: Dict[str, str] = {}
+
+    def assign(index: int) -> bool:
+        if index == len(right_vars):
+            context.tick()
+            mapping = {
+                right_name: TupleVar(used[right_name])
+                for right_name, _ in right_vars
+            }
+            renamed = _rename_bound(right, mapping)
+            return _terms_equal_after_renaming(left, renamed, context)
+        right_name, _ = right_vars[index]
+        for target in candidates[index]:
+            if target in used.values():
+                continue
+            used[right_name] = target
+            if assign(index + 1):
+                return True
+            del used[right_name]
+        return False
+
+    if not right_vars:
+        context.tick()
+        return _terms_equal_after_renaming(left, right, context)
+    return assign(0)
+
+
+def _rename_bound(term: NormalTerm, mapping: Dict[str, ValueExpr]) -> NormalTerm:
+    """Rename the term's own binders according to ``mapping``."""
+    new_vars = tuple(
+        (mapping[name].name if name in mapping else name, schema)
+        for name, schema in term.vars
+    )
+    shell = NormalTerm(
+        new_vars, term.preds, term.rels, term.squash_part, term.neg_part
+    )
+    return substitute_term(shell, mapping)
+
+
+def _terms_equal_after_renaming(
+    left: NormalTerm, right: NormalTerm, context: MatchContext
+) -> bool:
+    """Factor-list equality once both terms use the same variable names."""
+    closure_left = build_closure_from_preds(left)
+    closure_right = build_closure_from_preds(right)
+    if not _predicates_mutually_entailed(left, right, closure_left, closure_right):
+        return False
+    if not _relations_match(left, right, closure_left, closure_right):
+        return False
+    if left.squash_part is not None:
+        if not context.squash_equiv(left.squash_part, right.squash_part):
+            return False
+    if left.neg_part is not None:
+        if not context.form_equiv(left.neg_part, right.neg_part):
+            return False
+    return True
+
+
+def _predicates_mutually_entailed(
+    left: NormalTerm,
+    right: NormalTerm,
+    closure_left: CongruenceClosure,
+    closure_right: CongruenceClosure,
+) -> bool:
+    # Equalities: each side's equalities must hold in the other's closure.
+    for pred in left.preds:
+        if isinstance(pred, EqPred) and not closure_right.equal(
+            pred.left, pred.right
+        ):
+            return False
+    for pred in right.preds:
+        if isinstance(pred, EqPred) and not closure_left.equal(
+            pred.left, pred.right
+        ):
+            return False
+    # Inequalities and uninterpreted atoms: match up to congruence, in both
+    # directions (an atom is its own proof obligation).
+    if not _atoms_covered(left, right, closure_left):
+        return False
+    if not _atoms_covered(right, left, closure_left):
+        return False
+    return True
+
+
+def _atoms_covered(
+    source: NormalTerm, target: NormalTerm, closure: CongruenceClosure
+) -> bool:
+    """Every non-equality atom of ``source`` appears in ``target`` mod closure."""
+    for pred in source.preds:
+        if isinstance(pred, EqPred):
+            continue
+        if isinstance(pred, NePred):
+            found = any(
+                isinstance(other, NePred)
+                and (
+                    (
+                        closure.equal(pred.left, other.left)
+                        and closure.equal(pred.right, other.right)
+                    )
+                    or (
+                        closure.equal(pred.left, other.right)
+                        and closure.equal(pred.right, other.left)
+                    )
+                )
+                for other in target.preds
+            )
+            if not found:
+                return False
+            continue
+        if isinstance(pred, AtomPred):
+            found = any(
+                isinstance(other, AtomPred)
+                and other.name == pred.name
+                and len(other.args) == len(pred.args)
+                and all(
+                    closure.equal(a, b) for a, b in zip(pred.args, other.args)
+                )
+                for other in target.preds
+            )
+            if not found:
+                return False
+    return True
+
+
+def _relations_match(
+    left: NormalTerm,
+    right: NormalTerm,
+    closure_left: CongruenceClosure,
+    closure_right: CongruenceClosure,
+) -> bool:
+    """Multiset bijection between relation atoms modulo congruence."""
+    remaining = list(range(len(right.rels)))
+
+    def match(index: int) -> bool:
+        if index == len(left.rels):
+            return True
+        left_name, left_arg = left.rels[index]
+        for pos, right_index in enumerate(remaining):
+            right_name, right_arg = right.rels[right_index]
+            if right_name != left_name:
+                continue
+            if not (
+                closure_left.equal(left_arg, right_arg)
+                or closure_right.equal(left_arg, right_arg)
+            ):
+                continue
+            remaining.pop(pos)
+            if match(index + 1):
+                return True
+            remaining.insert(pos, right_index)
+        return False
+
+    if len(left.rels) != len(right.rels):
+        return False
+    return match(0)

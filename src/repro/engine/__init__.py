@@ -1,0 +1,25 @@
+"""An executable bag-semantics SQL engine, built from scratch.
+
+This substrate makes the Fig. 2 fragment *runnable*: tables are bags of rows,
+queries evaluate to bags, and aggregates get their concrete SQL meaning.  The
+engine serves three purposes:
+
+* cross-validate the SQL → U-expression compiler against an independent
+  implementation of the semantics (tests);
+* power the bounded model checker (:mod:`repro.checker`) that finds concrete
+  counterexamples for non-equivalent query pairs — the complementary tool the
+  paper cites as prior work [21];
+* generate the workloads for the benchmark harness.
+"""
+
+from repro.engine.database import Database, Row
+from repro.engine.eval import QueryEvaluator, evaluate_query
+from repro.engine.generator import DatabaseGenerator
+
+__all__ = [
+    "Database",
+    "DatabaseGenerator",
+    "QueryEvaluator",
+    "Row",
+    "evaluate_query",
+]

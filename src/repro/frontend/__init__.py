@@ -1,0 +1,5 @@
+"""End-to-end front end: input programs → verdicts."""
+
+from repro.frontend.solver import Solver, VerificationOutcome
+
+__all__ = ["Solver", "VerificationOutcome"]

@@ -1,0 +1,102 @@
+"""Command-line interface: ``udp-prove program.cos``.
+
+An input file contains declarations and ``verify q1 == q2;`` goals (the
+Fig. 2 statement language).  Exit status is 0 when every goal is proved,
+1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.frontend.solver import Solver
+from repro.udp.decide import DecisionOptions
+from repro.udp.trace import Verdict
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="udp-prove",
+        description=(
+            "Decide SQL query equivalences with the U-semiring decision "
+            "procedure (UDP)."
+        ),
+    )
+    parser.add_argument("program", help="input file with declarations and verify goals")
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-goal decision budget in seconds (default 30)",
+    )
+    parser.add_argument(
+        "--no-constraints",
+        action="store_true",
+        help="ignore key/foreign-key constraints (ablation)",
+    )
+    parser.add_argument(
+        "--sdp",
+        choices=("homomorphism", "minimize"),
+        default="homomorphism",
+        help="strategy for squashed-expression equivalence",
+    )
+    parser.add_argument(
+        "--show-trace",
+        action="store_true",
+        help="print the axiom trace of each proved goal",
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="print a full Markdown proof report for each goal",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    with open(args.program, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    options = DecisionOptions(
+        timeout_seconds=args.timeout,
+        use_constraints=not args.no_constraints,
+        sdp_strategy=args.sdp,
+    )
+    solver = Solver(options=options)
+    if args.report:
+        from repro.sql.parser import parse_program
+        from repro.udp.report import render_proof_report
+
+        program = parse_program(text)
+        solver.catalog = program.build_catalog()
+        failures = 0
+        for index, goal in enumerate(program.verify_goals(), start=1):
+            report = render_proof_report(
+                solver, str(goal.left), str(goal.right)
+            )
+            print(report)
+            print()
+            if "Verdict: **proved**" not in report:
+                failures += 1
+        return 0 if failures == 0 else 1
+    outcomes = solver.run_program(text)
+    failures = 0
+    for index, outcome in enumerate(outcomes, start=1):
+        status = outcome.verdict.value.upper()
+        print(f"goal {index}: {status}  [{outcome.elapsed_seconds * 1000:.1f} ms]")
+        if outcome.reason:
+            print(f"  reason: {outcome.reason}")
+        if args.show_trace and outcome.trace is not None and outcome.proved:
+            for step in outcome.trace.steps:
+                print(f"    {step}")
+        if outcome.verdict is not Verdict.PROVED:
+            failures += 1
+    if not outcomes:
+        print("no verify goals in program")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

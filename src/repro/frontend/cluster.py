@@ -1,0 +1,54 @@
+"""Partition a set of queries into semantic equivalence classes.
+
+A practical layer over the decision procedure, in the spirit of the paper's
+motivation: given many candidate plans or rewrites of the "same" query, group
+the ones UDP can prove pairwise equivalent.  Since ``PROVED`` is sound but
+``NOT_PROVED`` is not a disproof, the result is a partition into
+*provably-equivalent* groups: queries in one group are certainly equivalent;
+queries in different groups are merely not proven equal.
+
+Proved equivalence is transitive (it is semantic equality), so each new query
+is only compared against one representative per existing group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+from repro.frontend.solver import Solver
+from repro.sql.ast import Query
+from repro.udp.trace import Verdict
+
+
+@dataclass
+class QueryGroup:
+    """One provably-equivalent group of queries."""
+
+    representative: Union[str, Query]
+    members: List[Union[str, Query]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def cluster_queries(
+    solver: Solver, queries: Sequence[Union[str, Query]]
+) -> List[QueryGroup]:
+    """Group ``queries`` by proved equivalence under the solver's catalog.
+
+    Unsupported queries land in singleton groups (nothing can be proved
+    about them).
+    """
+    groups: List[QueryGroup] = []
+    for query in queries:
+        placed = False
+        for group in groups:
+            outcome = solver.check(group.representative, query)
+            if outcome.verdict is Verdict.PROVED:
+                group.members.append(query)
+                placed = True
+                break
+        if not placed:
+            groups.append(QueryGroup(query, [query]))
+    return groups

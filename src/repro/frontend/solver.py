@@ -1,0 +1,132 @@
+"""The Solver: parse → resolve → desugar → compile → decide.
+
+This is the top of the Fig. 4 architecture: it accepts either a full input
+program (declarations plus ``verify`` goals) or a pair of SQL query strings
+with a prebuilt catalog, and runs the UDP decision procedure on each goal.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.constraints.model import ConstraintSet, constraints_from_catalog
+from repro.errors import (
+    CompileError,
+    ReproError,
+    UnsupportedFeatureError,
+)
+from repro.sql.ast import Query
+from repro.sql.desugar import desugar_query
+from repro.sql.parser import parse_program, parse_query
+from repro.sql.program import Catalog, Program
+from repro.sql.scope import resolve_query
+from repro.udp.decide import DecisionOptions, decide_equivalence
+from repro.udp.trace import DecisionResult, ProofTrace, Verdict
+from repro.usr.compile import Compiler
+from repro.usr.terms import QueryDenotation
+
+
+@dataclass
+class VerificationOutcome:
+    """The result of one ``verify`` goal."""
+
+    verdict: Verdict
+    reason: str = ""
+    elapsed_seconds: float = 0.0
+    trace: Optional[ProofTrace] = None
+
+    @property
+    def proved(self) -> bool:
+        return self.verdict is Verdict.PROVED
+
+    def __str__(self) -> str:
+        return f"{self.verdict.value}" + (f" ({self.reason})" if self.reason else "")
+
+
+class Solver:
+    """Checks SQL query equivalences under a catalog of declarations."""
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        options: Optional[DecisionOptions] = None,
+    ) -> None:
+        self.catalog = catalog or Catalog()
+        self.options = options or DecisionOptions()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_program_text(
+        cls, text: str, options: Optional[DecisionOptions] = None
+    ) -> "Solver":
+        program = parse_program(text)
+        solver = cls(program.build_catalog(), options)
+        solver._program = program
+        return solver
+
+    # -- compilation -------------------------------------------------------
+
+    def compile(self, query: Union[str, Query]) -> QueryDenotation:
+        """Parse/resolve/desugar/compile one query to its denotation."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        resolved, _ = resolve_query(parsed, self.catalog)
+        desugared = desugar_query(resolved)
+        return Compiler(self.catalog).compile_query(desugared)
+
+    # -- decision -----------------------------------------------------------
+
+    def check(
+        self, left: Union[str, Query], right: Union[str, Query]
+    ) -> VerificationOutcome:
+        """Decide whether two queries are equivalent under the catalog."""
+        started = time.monotonic()
+        try:
+            left_denotation = self.compile(left)
+            right_denotation = self.compile(right)
+        except UnsupportedFeatureError as unsupported:
+            return VerificationOutcome(
+                Verdict.UNSUPPORTED, str(unsupported),
+                time.monotonic() - started,
+            )
+        except ReproError as error:
+            return VerificationOutcome(
+                Verdict.UNSUPPORTED,
+                f"{type(error).__name__}: {error}",
+                time.monotonic() - started,
+            )
+        constraints = constraints_from_catalog(self.catalog)
+        result: DecisionResult = decide_equivalence(
+            left_denotation, right_denotation, constraints, self.options
+        )
+        return VerificationOutcome(
+            result.verdict,
+            result.reason,
+            time.monotonic() - started,
+            result.trace,
+        )
+
+    def run_program(self, text: str) -> List[VerificationOutcome]:
+        """Parse a program and check every ``verify`` goal in it."""
+        program = parse_program(text)
+        self.catalog = program.build_catalog()
+        outcomes = []
+        for goal in program.verify_goals():
+            outcomes.append(self.check(goal.left, goal.right))
+        return outcomes
+
+
+def prove(
+    left: str,
+    right: str,
+    program: str = "",
+    options: Optional[DecisionOptions] = None,
+) -> VerificationOutcome:
+    """One-shot convenience: declarations in ``program``, queries as text."""
+    if program:
+        solver = Solver.from_program_text(program, options)
+    else:
+        solver = Solver(options=options)
+    return solver.check(left, right)

@@ -1,0 +1,84 @@
+"""SQL IR — the appendix's unnamed intermediate representation.
+
+The paper's implementation translates SQL in two stages (Appendix A-C):
+
+1. **SQL → SQL IR** (Fig. 11): the *named* surface syntax becomes an
+   *unnamed* calculus where attribute references are path expressions over
+   binary schema trees (Fig. 8-10);
+2. **SQL IR → U-expressions** (Fig. 12): a denotational semantics
+   ``⟦Γ ⊢ q : σ⟧ : Tuple Γ → Tuple σ → U``.
+
+This package implements both stages.  Stage 2 is realized as a
+semiring-generic *interpreter*: the Fig. 12 equations are evaluated directly
+in any :class:`~repro.semirings.base.USemiring` instance over finite
+domains, which lets the tests cross-validate the appendix semantics against
+the main (named) compilation pipeline and the bag-semantics engine.
+"""
+
+from repro.ir.schema_tree import EmptyTree, LeafTree, NodeTree, SchemaTree, tree_of_schema
+from repro.ir.paths import (
+    ComposePath,
+    E2PPath,
+    EmptyPath,
+    LeftPath,
+    PairPath,
+    Path,
+    RightPath,
+    StarPath,
+)
+from repro.ir.ast import (
+    CastPredIR,
+    DistinctIR,
+    EqIR,
+    ExceptIR,
+    ExistsIR,
+    FromIR,
+    IRQuery,
+    NotIR,
+    AndIR,
+    OrIR,
+    P2EIR,
+    SelectIR,
+    TableIR,
+    TrueIR,
+    FalseIR,
+    UnionAllIR,
+    WhereIR,
+)
+from repro.ir.translate import translate_query
+from repro.ir.denote import IRInterpreter
+
+__all__ = [
+    "AndIR",
+    "CastPredIR",
+    "ComposePath",
+    "DistinctIR",
+    "E2PPath",
+    "EmptyPath",
+    "EmptyTree",
+    "EqIR",
+    "ExceptIR",
+    "ExistsIR",
+    "FalseIR",
+    "FromIR",
+    "IRInterpreter",
+    "IRQuery",
+    "LeafTree",
+    "LeftPath",
+    "NodeTree",
+    "NotIR",
+    "OrIR",
+    "P2EIR",
+    "PairPath",
+    "Path",
+    "RightPath",
+    "SchemaTree",
+    "SelectIR",
+    "StarPath",
+    "TableIR",
+    "TrueIR",
+    "UnionAllIR",
+    "WhereIR",
+    "translate_query",
+    "tree_of_schema",
+]

@@ -1,0 +1,233 @@
+"""SQL IR abstract syntax (Fig. 10).
+
+The unnamed counterpart of :mod:`repro.sql.ast`: attribute references have
+become path expressions, table aliases are gone, and ``FROM`` builds nested
+pairs.  Every node carries the schema *trees* needed to type its tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.ir.paths import Path
+from repro.ir.schema_tree import SchemaTree
+
+
+class IRQuery:
+    """Base class of IR queries.  Every query knows its output schema tree."""
+
+    __slots__ = ()
+
+
+class IRPred:
+    """Base class of IR predicates."""
+
+    __slots__ = ()
+
+
+class IRExpr:
+    """Base class of IR expressions."""
+
+    __slots__ = ()
+
+
+# -- queries -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableIR(IRQuery):
+    """A base table with its schema tree."""
+
+    name: str
+    schema: SchemaTree
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SelectIR(IRQuery):
+    """``SELECT p q`` — project each output tuple through path ``p``."""
+
+    projection: Path
+    query: IRQuery
+    schema: SchemaTree  # output schema tree
+
+    def __str__(self) -> str:
+        return f"SELECT {self.projection} ({self.query})"
+
+
+@dataclass(frozen=True)
+class FromIR(IRQuery):
+    """``FROM q1, q2`` — the product; output tuples are pairs."""
+
+    left: IRQuery
+    right: IRQuery
+
+    def __str__(self) -> str:
+        return f"FROM ({self.left}), ({self.right})"
+
+
+@dataclass(frozen=True)
+class WhereIR(IRQuery):
+    """``q WHERE b`` — ``b`` sees ``node Γ σ`` (context, current tuple)."""
+
+    query: IRQuery
+    predicate: IRPred
+
+    def __str__(self) -> str:
+        return f"({self.query}) WHERE {self.predicate}"
+
+
+@dataclass(frozen=True)
+class UnionAllIR(IRQuery):
+    left: IRQuery
+    right: IRQuery
+
+    def __str__(self) -> str:
+        return f"({self.left}) UNION ALL ({self.right})"
+
+
+@dataclass(frozen=True)
+class ExceptIR(IRQuery):
+    left: IRQuery
+    right: IRQuery
+
+    def __str__(self) -> str:
+        return f"({self.left}) EXCEPT ({self.right})"
+
+
+@dataclass(frozen=True)
+class IntersectIR(IRQuery):
+    """Set intersection: ``⟦q1 INTERSECT q2⟧ g t = ‖⟦q1⟧ g t × ⟦q2⟧ g t‖``."""
+
+    left: IRQuery
+    right: IRQuery
+
+    def __str__(self) -> str:
+        return f"({self.left}) INTERSECT ({self.right})"
+
+
+@dataclass(frozen=True)
+class DistinctIR(IRQuery):
+    query: IRQuery
+
+    def __str__(self) -> str:
+        return f"DISTINCT ({self.query})"
+
+
+# -- predicates ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EqIR(IRPred):
+    left: IRExpr
+    right: IRExpr
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class NotIR(IRPred):
+    inner: IRPred
+
+    def __str__(self) -> str:
+        return f"NOT ({self.inner})"
+
+
+@dataclass(frozen=True)
+class AndIR(IRPred):
+    left: IRPred
+    right: IRPred
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True)
+class OrIR(IRPred):
+    left: IRPred
+    right: IRPred
+
+    def __str__(self) -> str:
+        return f"({self.left} OR {self.right})"
+
+
+@dataclass(frozen=True)
+class TrueIR(IRPred):
+    def __str__(self) -> str:
+        return "TRUE"
+
+
+@dataclass(frozen=True)
+class FalseIR(IRPred):
+    def __str__(self) -> str:
+        return "FALSE"
+
+
+@dataclass(frozen=True)
+class CastPredIR(IRPred):
+    """``CASTPRED p b`` — evaluate ``b`` in the context reached by ``p``.
+
+    This is Fig. 11's device for embedding an uninterpreted predicate β over
+    re-based arguments; ``name`` identifies β and ``args`` are the argument
+    paths.
+    """
+
+    name: str
+    args: Tuple[Path, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"CASTPRED {self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class ExistsIR(IRPred):
+    query: IRQuery
+
+    def __str__(self) -> str:
+        return f"EXISTS ({self.query})"
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class P2EIR(IRExpr):
+    """``P2E p`` — the (single-leaf) value reached by path ``p``."""
+
+    path: Path
+
+    def __str__(self) -> str:
+        return f"P2E({self.path})"
+
+
+@dataclass(frozen=True)
+class ConstIR(IRExpr):
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class FuncIR(IRExpr):
+    name: str
+    args: Tuple[IRExpr, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class AggIR(IRExpr):
+    """``agg(q)`` — an uninterpreted aggregate of a subquery."""
+
+    name: str
+    query: IRQuery
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.query})"

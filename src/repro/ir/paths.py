@@ -1,0 +1,135 @@
+"""Path expressions (the Projection grammar of Fig. 10).
+
+A path denotes a function between tuple types::
+
+    ⟦* : Γ ⇒ Γ⟧ g               = g
+    ⟦Left : node Γ0 Γ1 ⇒ Γ0⟧ g  = g.1
+    ⟦Right : node Γ0 Γ1 ⇒ Γ1⟧ g = g.2
+    ⟦Empty : Γ ⇒ empty⟧ g       = ()
+    ⟦p1.p2⟧ g                   = ⟦p2⟧ (⟦p1⟧ g)
+    ⟦p1, p2⟧ g                  = (⟦p1⟧ g, ⟦p2⟧ g)
+    ⟦E2P e⟧ g                   = ⟦e⟧ g
+
+(Fig. 12's last block.)  ``apply_path`` evaluates a path on the nested-pair
+representation of tuples; expression leaves (``E2P``) are evaluated by a
+callback supplied by the interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from repro.errors import EvaluationError
+
+
+class Path:
+    """Base class of path expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class StarPath(Path):
+    """``*`` — the identity path."""
+
+    def __str__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class LeftPath(Path):
+    """``Left`` — first component of a node tuple."""
+
+    def __str__(self) -> str:
+        return "Left"
+
+
+@dataclass(frozen=True)
+class RightPath(Path):
+    """``Right`` — second component of a node tuple."""
+
+    def __str__(self) -> str:
+        return "Right"
+
+
+@dataclass(frozen=True)
+class EmptyPath(Path):
+    """``Empty`` — the unique map into the unit type."""
+
+    def __str__(self) -> str:
+        return "Empty"
+
+
+@dataclass(frozen=True)
+class ComposePath(Path):
+    """``p1 . p2`` — apply ``p1`` first, then ``p2``."""
+
+    first: Path
+    second: Path
+
+    def __str__(self) -> str:
+        return f"{self.first}.{self.second}"
+
+
+@dataclass(frozen=True)
+class PairPath(Path):
+    """``p1, p2`` — build a node tuple from two paths."""
+
+    left: Path
+    right: Path
+
+    def __str__(self) -> str:
+        return f"({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class E2PPath(Path):
+    """``E2P e`` — a one-leaf projection computed by an expression."""
+
+    expr: object  # an repro.ir.ast expression node
+
+    def __str__(self) -> str:
+        return f"E2P({self.expr})"
+
+
+def apply_path(
+    path: Path, value: object, eval_expr: Callable[[object, object], object]
+) -> object:
+    """Evaluate ``path`` on a nested-pair tuple ``value``.
+
+    ``eval_expr(expr, g)`` evaluates an embedded ``E2P`` expression with the
+    current tuple as the environment.
+    """
+    if isinstance(path, StarPath):
+        return value
+    if isinstance(path, LeftPath):
+        if not isinstance(value, tuple) or len(value) != 2:
+            raise EvaluationError(f"Left applied to non-pair {value!r}")
+        return value[0]
+    if isinstance(path, RightPath):
+        if not isinstance(value, tuple) or len(value) != 2:
+            raise EvaluationError(f"Right applied to non-pair {value!r}")
+        return value[1]
+    if isinstance(path, EmptyPath):
+        return ()
+    if isinstance(path, ComposePath):
+        return apply_path(
+            path.second, apply_path(path.first, value, eval_expr), eval_expr
+        )
+    if isinstance(path, PairPath):
+        return (
+            apply_path(path.left, value, eval_expr),
+            apply_path(path.right, value, eval_expr),
+        )
+    if isinstance(path, E2PPath):
+        return eval_expr(path.expr, value)
+    raise EvaluationError(f"unknown path {type(path).__name__}")
+
+
+def left_spine(depth: int) -> Path:
+    """``Left.Left...`` composed ``depth`` times (0 = ``*``)."""
+    path: Path = StarPath()
+    for _ in range(depth):
+        path = ComposePath(path, LeftPath())
+    return path

@@ -1,0 +1,134 @@
+"""Binary schema trees (Fig. 8).
+
+``Schema ::= empty | leaf τ | node σ1 σ2`` — schemas are types organized in
+a binary tree, and tuples are the dependent interpretation::
+
+    Tuple empty          = Unit
+    Tuple (leaf τ)       = ⟦τ⟧
+    Tuple (node σ1 σ2)   = Tuple σ1 × Tuple σ2
+
+Concrete tuples of a tree schema are represented as nested Python pairs:
+``()`` for empty, a scalar for a leaf, and a 2-tuple for a node.  Leaves keep
+the source attribute name purely as debugging metadata — the IR itself is
+unnamed, all access is positional (Fig. 9's discussion of why trees rather
+than lists: products of generic schemas still reduce).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+from repro.sql.schema import Schema
+
+
+class SchemaTree:
+    """Base class of schema trees."""
+
+    __slots__ = ()
+
+    def leaf_count(self) -> int:
+        raise NotImplementedError
+
+    def tuples(self, universe: Sequence[object]) -> Iterator[object]:
+        """Enumerate all tuples of this schema over a finite universe."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class EmptyTree(SchemaTree):
+    """``empty`` — only the unit tuple ``()`` inhabits it."""
+
+    def leaf_count(self) -> int:
+        return 0
+
+    def tuples(self, universe: Sequence[object]) -> Iterator[object]:
+        yield ()
+
+    def __str__(self) -> str:
+        return "empty"
+
+
+@dataclass(frozen=True)
+class LeafTree(SchemaTree):
+    """``leaf τ`` — tuples are scalars of type τ."""
+
+    type: str = "int"
+    name: str = ""
+
+    def leaf_count(self) -> int:
+        return 1
+
+    def tuples(self, universe: Sequence[object]) -> Iterator[object]:
+        yield from universe
+
+    def __str__(self) -> str:
+        label = self.name or self.type
+        return f"leaf {label}"
+
+
+@dataclass(frozen=True)
+class NodeTree(SchemaTree):
+    """``node σ1 σ2`` — tuples are pairs."""
+
+    left: SchemaTree
+    right: SchemaTree
+
+    def leaf_count(self) -> int:
+        return self.left.leaf_count() + self.right.leaf_count()
+
+    def tuples(self, universe: Sequence[object]) -> Iterator[object]:
+        for left_tuple in self.left.tuples(universe):
+            for right_tuple in self.right.tuples(universe):
+                yield (left_tuple, right_tuple)
+
+    def __str__(self) -> str:
+        return f"node ({self.left}) ({self.right})"
+
+
+def tree_of_schema(schema: Schema) -> SchemaTree:
+    """Right-nested tree of a flat (concrete) schema.
+
+    ``(a, b, c)`` becomes ``node (leaf a) (node (leaf b) (leaf c))``; the
+    empty schema becomes ``empty``.
+    """
+    attrs = schema.attributes
+    if not attrs:
+        return EmptyTree()
+    tree: SchemaTree = LeafTree(attrs[-1].type, attrs[-1].name)
+    for attr in reversed(attrs[:-1]):
+        tree = NodeTree(LeafTree(attr.type, attr.name), tree)
+    return tree
+
+
+def flatten_tuple(tree: SchemaTree, value: object) -> List[object]:
+    """The leaf scalars of a tree tuple, left to right."""
+    if isinstance(tree, EmptyTree):
+        return []
+    if isinstance(tree, LeafTree):
+        return [value]
+    if isinstance(tree, NodeTree):
+        left_value, right_value = value
+        return flatten_tuple(tree.left, left_value) + flatten_tuple(
+            tree.right, right_value
+        )
+    raise TypeError(f"unknown schema tree {type(tree).__name__}")
+
+
+def row_to_tree_tuple(tree: SchemaTree, row: dict) -> object:
+    """Convert a named row into the tree-shaped tuple of ``tree``.
+
+    Leaves must carry attribute names (trees built by
+    :func:`tree_of_schema`).
+    """
+    if isinstance(tree, EmptyTree):
+        return ()
+    if isinstance(tree, LeafTree):
+        return row[tree.name]
+    if isinstance(tree, NodeTree):
+        return (
+            row_to_tree_tuple(tree.left, row),
+            row_to_tree_tuple(tree.right, row),
+        )
+    raise TypeError(f"unknown schema tree {type(tree).__name__}")

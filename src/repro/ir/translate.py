@@ -1,0 +1,342 @@
+"""SQL → SQL IR translation (Fig. 11).
+
+The named surface syntax is rebased onto contexts: a context ``Γ`` is a
+stack of FROM frames, each frame a right-nested tree of aliased schemas.  A
+column reference ``x.a`` becomes ``topath(Γ, x)`` composed with the position
+of ``a`` inside ``x``'s schema tree; correlated references reach outer
+frames through ``Left`` (Fig. 12 evaluates a ``WHERE`` predicate in context
+``node Γ σ``, so the enclosing context is the left component).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import CompileError, ResolutionError
+from repro.ir.ast import (
+    AggIR,
+    AndIR,
+    CastPredIR,
+    ConstIR,
+    DistinctIR,
+    EqIR,
+    ExceptIR,
+    ExistsIR,
+    FalseIR,
+    FromIR,
+    FuncIR,
+    IntersectIR,
+    IRExpr,
+    IRPred,
+    IRQuery,
+    NotIR,
+    OrIR,
+    P2EIR,
+    SelectIR,
+    TableIR,
+    TrueIR,
+    UnionAllIR,
+    WhereIR,
+)
+from repro.ir.paths import (
+    ComposePath,
+    E2PPath,
+    LeftPath,
+    PairPath,
+    Path,
+    RightPath,
+    StarPath,
+)
+from repro.ir.schema_tree import (
+    EmptyTree,
+    LeafTree,
+    NodeTree,
+    SchemaTree,
+    tree_of_schema,
+)
+from repro.sql.ast import (
+    AggCall,
+    AndPred,
+    BinPred,
+    ColumnRef,
+    Constant,
+    DistinctQuery,
+    Except,
+    Exists,
+    Expr,
+    ExprAs,
+    FalsePred,
+    FuncCall,
+    Intersect,
+    NotPred,
+    OrPred,
+    Pred,
+    Query,
+    Select,
+    Star,
+    TableRef,
+    TableStar,
+    TruePred,
+    UnionAll,
+    Where,
+)
+from repro.sql.program import Catalog
+from repro.sql.schema import Schema
+
+
+# -- frames and contexts -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FrameLeaf:
+    """One aliased FROM item."""
+
+    alias: str
+    schema: Schema
+    tree: SchemaTree
+
+
+@dataclass(frozen=True)
+class FrameNode:
+    """Right-nested product of FROM items."""
+
+    left: "Frame"
+    right: "Frame"
+
+
+Frame = object  # FrameLeaf | FrameNode
+
+
+def frame_tree(frame: Frame) -> SchemaTree:
+    if isinstance(frame, FrameLeaf):
+        return frame.tree
+    if isinstance(frame, FrameNode):
+        return NodeTree(frame_tree(frame.left), frame_tree(frame.right))
+    raise TypeError(f"unknown frame {type(frame).__name__}")
+
+
+def frame_path(frame: Frame, alias: str) -> Optional[Path]:
+    """Path from the frame tuple to ``alias``'s component."""
+    if isinstance(frame, FrameLeaf):
+        return StarPath() if frame.alias == alias else None
+    if isinstance(frame, FrameNode):
+        left = frame_path(frame.left, alias)
+        if left is not None:
+            return ComposePath(LeftPath(), left)
+        right = frame_path(frame.right, alias)
+        if right is not None:
+            return ComposePath(RightPath(), right)
+        return None
+    raise TypeError(f"unknown frame {type(frame).__name__}")
+
+
+def frame_schema(frame: Frame, alias: str) -> Optional[Schema]:
+    if isinstance(frame, FrameLeaf):
+        return frame.schema if frame.alias == alias else None
+    if isinstance(frame, FrameNode):
+        return frame_schema(frame.left, alias) or frame_schema(frame.right, alias)
+    raise TypeError(f"unknown frame {type(frame).__name__}")
+
+
+@dataclass(frozen=True)
+class Context:
+    """A stack of frames: ``Γ = node(parent, frame)``; None is the root."""
+
+    parent: Optional["Context"]
+    frame: Frame
+
+    def topath(self, alias: str) -> Tuple[Path, Schema]:
+        """Path from the context tuple to ``alias``, plus its flat schema.
+
+        The innermost frame sits in the ``Right`` component of the context
+        tuple; outer frames are reached through ``Left`` (Fig. 12's
+        ``node Γ σ`` convention).
+        """
+        local = frame_path(self.frame, alias)
+        if local is not None:
+            schema = frame_schema(self.frame, alias)
+            return ComposePath(RightPath(), local), schema
+        if self.parent is None:
+            raise ResolutionError(f"unknown alias {alias!r} in IR translation")
+        outer_path, schema = self.parent.topath(alias)
+        return ComposePath(LeftPath(), outer_path), schema
+
+
+def attribute_path(schema: Schema, tree: SchemaTree, name: str) -> Path:
+    """Path to attribute ``name`` inside a right-nested schema tree."""
+    names = schema.attribute_names()
+    if name not in names:
+        raise ResolutionError(f"attribute {name!r} not in schema {schema.name!r}")
+    index = names.index(name)
+    path: Path = StarPath()
+    for _ in range(index):
+        path = ComposePath(path, RightPath())
+    if index < len(names) - 1:
+        path = ComposePath(path, LeftPath())
+    return path
+
+
+# -- translation -----------------------------------------------------------
+
+
+class IRTranslator:
+    """Fig. 11's ``Trc``/``Ctc`` rules."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+
+    def translate(self, query: Query, ctx: Optional[Context] = None) -> IRQuery:
+        """Translate a resolved, desugared SQL query to IR."""
+        if isinstance(query, TableRef):
+            if self._catalog.has_view(query.name):
+                return self.translate(self._catalog.view_query(query.name), ctx)
+            schema = self._catalog.table_schema(query.name)
+            return TableIR(query.name, tree_of_schema(schema))
+        if isinstance(query, Select):
+            return self._translate_select(query, ctx)
+        if isinstance(query, Where):
+            raise CompileError(
+                "standalone WHERE combinator is not supported by the IR "
+                "translator; wrap it in a SELECT"
+            )
+        if isinstance(query, UnionAll):
+            return UnionAllIR(
+                self.translate(query.left, ctx), self.translate(query.right, ctx)
+            )
+        if isinstance(query, Except):
+            return ExceptIR(
+                self.translate(query.left, ctx), self.translate(query.right, ctx)
+            )
+        if isinstance(query, Intersect):
+            return IntersectIR(
+                self.translate(query.left, ctx), self.translate(query.right, ctx)
+            )
+        if isinstance(query, DistinctQuery):
+            return DistinctIR(self.translate(query.query, ctx))
+        raise CompileError(f"cannot translate query {type(query).__name__} to IR")
+
+    def schema_of(self, query: Query) -> Schema:
+        from repro.usr.compile import Compiler
+
+        return Compiler(self._catalog).schema_of(query)
+
+    def _translate_select(self, query: Select, ctx: Optional[Context]) -> IRQuery:
+        if query.group_by:
+            raise CompileError("GROUP BY must be desugared before IR translation")
+        if not query.from_items:
+            raise CompileError("IR translation requires a FROM clause")
+        # FROM q1 x1, ..., qn xn  =>  right-nested products + frame.
+        frames: List[FrameLeaf] = []
+        ir_items: List[IRQuery] = []
+        for item in query.from_items:
+            item_schema = self.schema_of(item.query)
+            frames.append(
+                FrameLeaf(item.alias, item_schema, tree_of_schema(item_schema))
+            )
+            ir_items.append(self.translate(item.query, ctx))
+        frame: Frame = frames[-1]
+        ir_query: IRQuery = ir_items[-1]
+        for leaf, ir_item in zip(reversed(frames[:-1]), reversed(ir_items[:-1])):
+            frame = FrameNode(leaf, frame)
+            ir_query = FromIR(ir_item, ir_query)
+        inner_ctx = Context(ctx, frame)
+        if query.where is not None:
+            ir_query = WhereIR(ir_query, self._translate_pred(query.where, inner_ctx))
+        projection, out_tree = self._translate_projections(query, inner_ctx)
+        result: IRQuery = SelectIR(projection, ir_query, out_tree)
+        if query.distinct:
+            result = DistinctIR(result)
+        return result
+
+    def _translate_projections(
+        self, query: Select, ctx: Context
+    ) -> Tuple[Path, SchemaTree]:
+        """Build the output path ``p`` and the output schema tree."""
+        items: List[Tuple[Path, SchemaTree]] = []
+        for proj in query.projections:
+            if isinstance(proj, Star):
+                # The whole FROM tuple: the Right component of the SELECT
+                # context (Fig. 12 evaluates p on (g, t')).
+                items.append(
+                    (RightPath(), frame_tree(ctx.frame))
+                )
+            elif isinstance(proj, TableStar):
+                path, schema = ctx.topath(proj.table)
+                items.append((path, tree_of_schema(schema)))
+            elif isinstance(proj, ExprAs):
+                expr = self._translate_expr(proj.expr, ctx)
+                items.append(
+                    (E2PPath(expr), LeafTree("int", proj.alias or "col"))
+                )
+            else:
+                raise CompileError(f"unknown projection {type(proj).__name__}")
+        path, tree = items[-1]
+        for item_path, item_tree in reversed(items[:-1]):
+            path = PairPath(item_path, path)
+            tree = NodeTree(item_tree, tree)
+        return path, tree
+
+    def _translate_pred(self, pred: Pred, ctx: Context) -> IRPred:
+        if isinstance(pred, TruePred):
+            return TrueIR()
+        if isinstance(pred, FalsePred):
+            return FalseIR()
+        if isinstance(pred, AndPred):
+            return AndIR(
+                self._translate_pred(pred.left, ctx),
+                self._translate_pred(pred.right, ctx),
+            )
+        if isinstance(pred, OrPred):
+            return OrIR(
+                self._translate_pred(pred.left, ctx),
+                self._translate_pred(pred.right, ctx),
+            )
+        if isinstance(pred, NotPred):
+            return NotIR(self._translate_pred(pred.inner, ctx))
+        if isinstance(pred, Exists):
+            inner = self.translate(pred.query, ctx)
+            exists = ExistsIR(inner)
+            return NotIR(exists) if pred.negated else exists
+        if isinstance(pred, BinPred):
+            left = self._translate_expr(pred.left, ctx)
+            right = self._translate_expr(pred.right, ctx)
+            if pred.op == "=":
+                return EqIR(left, right)
+            if pred.op == "<>":
+                return NotIR(EqIR(left, right))
+            # Uninterpreted comparison: CASTPRED β over argument paths.
+            op = pred.op
+            if op in (">", ">="):
+                op = "<" if op == ">" else "<="
+                left, right = right, left
+            return CastPredIR(op, (E2PPath(left), E2PPath(right)))
+        raise CompileError(f"cannot translate predicate {type(pred).__name__}")
+
+    def _translate_expr(self, expr: Expr, ctx: Context) -> IRExpr:
+        if isinstance(expr, ColumnRef):
+            alias_path, schema = ctx.topath(expr.table)
+            attr = attribute_path(schema, tree_of_schema(schema), expr.column)
+            return P2EIR(ComposePath(alias_path, attr))
+        if isinstance(expr, Constant):
+            return ConstIR(expr.value)
+        if isinstance(expr, FuncCall):
+            return FuncIR(
+                expr.name,
+                tuple(self._translate_expr(a, ctx) for a in expr.args),
+            )
+        if isinstance(expr, AggCall):
+            return AggIR(expr.name.lower(), self.translate(expr.query, ctx))
+        raise CompileError(f"cannot translate expression {type(expr).__name__}")
+
+
+def translate_query(query, catalog: Catalog) -> IRQuery:
+    """Parse (if text), resolve, desugar, and translate to SQL IR."""
+    from repro.sql.desugar import desugar_query
+    from repro.sql.parser import parse_query
+    from repro.sql.scope import resolve_query
+
+    parsed = parse_query(query) if isinstance(query, str) else query
+    resolved, _ = resolve_query(parsed, catalog)
+    desugared = desugar_query(resolved)
+    return IRTranslator(catalog).translate(desugared)

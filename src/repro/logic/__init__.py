@@ -1,0 +1,11 @@
+"""Logic utilities: union-find and congruence closure.
+
+The decision procedure checks predicate-part equivalence with the congruence
+procedure of Nelson & Oppen (Sec. 5.2): equalities generate equivalence
+classes of value expressions, closed under function application.
+"""
+
+from repro.logic.unionfind import UnionFind
+from repro.logic.congruence import CongruenceClosure
+
+__all__ = ["CongruenceClosure", "UnionFind"]

@@ -1,0 +1,157 @@
+"""Congruence closure over value expressions.
+
+Given a set of equalities between :class:`~repro.usr.values.ValueExpr` terms,
+this computes the closure under reflexivity, symmetry, transitivity, *and*
+congruence: if ``a ~ b`` then ``f(..a..) ~ f(..b..)`` for every registered
+application.  This is the "congruence procedure [43]" the paper uses to match
+predicate parts of terms (Sec. 5.2), with Nelson–Oppen-style signature
+rehashing.
+
+Value expressions decompose into (operator, children) pairs:
+
+* ``Attr(base, a)`` — operator ``("attr", a)`` with child ``base``;
+* ``Func(f, args)`` — operator ``("fn", f)`` with the arguments as children;
+* ``TupleCons`` / ``ConcatTuple`` — constructors with their components;
+* ``TupleVar``, ``ConstVal``, ``Agg`` — leaves (aggregates are compared
+  structurally; the canonizer pre-normalizes their bodies so structural
+  equality implements the paper's "uninterpreted function of the subquery").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.logic.unionfind import UnionFind
+from repro.usr.values import (
+    Agg,
+    Attr,
+    ConcatTuple,
+    ConstVal,
+    Func,
+    TupleCons,
+    TupleVar,
+    ValueExpr,
+)
+
+
+def decompose(value: ValueExpr) -> Optional[Tuple[Tuple, Tuple[ValueExpr, ...]]]:
+    """Split a composite value into (operator tag, children); None for leaves."""
+    if isinstance(value, Attr):
+        return (("attr", value.name), (value.base,))
+    if isinstance(value, Func):
+        return (("fn", value.name, len(value.args)), value.args)
+    if isinstance(value, TupleCons):
+        names = tuple(name for name, _ in value.fields)
+        return (("cons", names), tuple(v for _, v in value.fields))
+    if isinstance(value, ConcatTuple):
+        tags = tuple(
+            (schema.name, schema.attribute_names(), schema.generic)
+            if schema is not None
+            else None
+            for _, schema in value.parts
+        )
+        return (("concat", tags), tuple(v for v, _ in value.parts))
+    return None
+
+
+class CongruenceClosure:
+    """Equivalence classes of value expressions closed under congruence."""
+
+    def __init__(self) -> None:
+        self._uf = UnionFind()
+        self._nodes: Set[ValueExpr] = set()
+
+    # -- construction ------------------------------------------------------
+
+    def add_term(self, value: ValueExpr) -> None:
+        """Register ``value`` and all its subterms."""
+        if value in self._nodes:
+            return
+        self._nodes.add(value)
+        self._uf.add(value)
+        parts = decompose(value)
+        if parts is None:
+            return
+        _, children = parts
+        for child in children:
+            self.add_term(child)
+
+    def merge(self, left: ValueExpr, right: ValueExpr) -> None:
+        """Assert ``left = right`` and restore congruence."""
+        self.add_term(left)
+        self.add_term(right)
+        self._uf.union(left, right)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Merge congruent applications until fixpoint (signature rehash).
+
+        A global scan per round is quadratic but evidently correct; the term
+        universes the decision procedure builds are small (tens of nodes).
+        """
+        changed = True
+        while changed:
+            changed = False
+            signatures: Dict[Tuple, ValueExpr] = {}
+            for node in self._nodes:
+                if decompose(node) is None:
+                    continue
+                signature = self._signature(node)
+                other = signatures.get(signature)
+                if other is None:
+                    signatures[signature] = node
+                elif not self._uf.same(other, node):
+                    self._uf.union(other, node)
+                    changed = True
+
+    def _signature(self, value: ValueExpr) -> Tuple:
+        parts = decompose(value)
+        if parts is None:
+            return ("leaf", self._uf.find(value))
+        op, children = parts
+        return (op, tuple(self._uf.find(child) for child in children))
+
+    # -- queries ---------------------------------------------------------
+
+    def equal(self, left: ValueExpr, right: ValueExpr) -> bool:
+        """Are ``left`` and ``right`` provably equal?
+
+        Terms not previously registered are added first; their subterm
+        structure may immediately connect them through congruence, so the
+        closure is re-established before answering.
+        """
+        known = left in self._nodes and right in self._nodes
+        self.add_term(left)
+        self.add_term(right)
+        if not known:
+            self._rebuild()
+        return self._uf.same(left, right)
+
+    def find(self, value: ValueExpr) -> ValueExpr:
+        """Representative of ``value``'s class (adding it if new)."""
+        self.add_term(value)
+        return self._uf.find(value)
+
+    def class_members(self, value: ValueExpr) -> List[ValueExpr]:
+        self.add_term(value)
+        root = self._uf.find(value)
+        return [node for node in self._nodes if self._uf.same(node, root)]
+
+    def classes(self) -> List[List[ValueExpr]]:
+        grouped: Dict[ValueExpr, List[ValueExpr]] = {}
+        for node in self._nodes:
+            grouped.setdefault(self._uf.find(node), []).append(node)
+        return list(grouped.values())
+
+    def constants_in_class(self, value: ValueExpr) -> List[ConstVal]:
+        return [m for m in self.class_members(value) if isinstance(m, ConstVal)]
+
+    def copy(self) -> "CongruenceClosure":
+        clone = CongruenceClosure()
+        for node in self._nodes:
+            clone.add_term(node)
+        for group in self.classes():
+            first = group[0]
+            for member in group[1:]:
+                clone.merge(first, member)
+        return clone

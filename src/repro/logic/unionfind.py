@@ -1,0 +1,62 @@
+"""A union-find (disjoint-set) structure over hashable elements.
+
+Path compression plus union by rank; elements are added lazily on first use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List
+
+
+class UnionFind:
+    """Disjoint sets of hashable elements."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+
+    def add(self, element: Hashable) -> None:
+        """Register ``element`` as its own singleton class (idempotent)."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+
+    def find(self, element: Hashable) -> Hashable:
+        """The canonical representative of ``element``'s class."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, left: Hashable, right: Hashable) -> bool:
+        """Merge the classes of ``left`` and ``right``; True if they changed."""
+        root_left = self.find(left)
+        root_right = self.find(right)
+        if root_left == root_right:
+            return False
+        if self._rank[root_left] < self._rank[root_right]:
+            root_left, root_right = root_right, root_left
+        self._parent[root_right] = root_left
+        if self._rank[root_left] == self._rank[root_right]:
+            self._rank[root_left] += 1
+        return True
+
+    def same(self, left: Hashable, right: Hashable) -> bool:
+        return self.find(left) == self.find(right)
+
+    def elements(self) -> Iterable[Hashable]:
+        return self._parent.keys()
+
+    def classes(self) -> List[List[Hashable]]:
+        """All equivalence classes as lists of members."""
+        grouped: Dict[Hashable, List[Hashable]] = {}
+        for element in self._parent:
+            grouped.setdefault(self.find(element), []).append(element)
+        return list(grouped.values())
+
+    def __len__(self) -> int:
+        return len(self._parent)

@@ -1,0 +1,34 @@
+"""Concrete U-semiring instances and the finite-domain interpreter.
+
+The paper (Sec. 3.1) lists four example U-semirings; all are implemented
+here, together with an axiom self-check harness and an interpreter that
+evaluates U-expressions over finite value universes.  The interpreter is the
+library's *semantic oracle*: it lets tests confirm that every syntactic
+transformation (SPNF, canonization, constraint rewrites) preserves meaning in
+actual models.
+
+* :mod:`repro.semirings.naturals` — ``N`` (standard bag semantics);
+* :mod:`repro.semirings.booleans` — ``B`` (set semantics);
+* :mod:`repro.semirings.extended` — ``N̄ = N ∪ {∞}``;
+* :mod:`repro.semirings.matrices` — diagonal 2×2 matrices over ``N̄``, the
+  paper's witness that ``x ≠ 0 ⇒ ‖x‖ = 1`` must *not* be an axiom.
+"""
+
+from repro.semirings.base import USemiring, check_axioms
+from repro.semirings.booleans import BooleanSemiring
+from repro.semirings.extended import INFINITY, ExtendedNaturals
+from repro.semirings.matrices import DiagonalMatrixSemiring
+from repro.semirings.naturals import NaturalsSemiring
+from repro.semirings.interp import Interpretation, evaluate
+
+__all__ = [
+    "BooleanSemiring",
+    "DiagonalMatrixSemiring",
+    "ExtendedNaturals",
+    "INFINITY",
+    "Interpretation",
+    "NaturalsSemiring",
+    "USemiring",
+    "check_axioms",
+    "evaluate",
+]

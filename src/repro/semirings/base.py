@@ -1,0 +1,204 @@
+"""The U-semiring interface and the axiom self-check harness.
+
+A concrete instance supplies the carrier operations of Definition 3.1.  The
+:func:`check_axioms` harness exercises *every* axiom of the definition on
+caller-provided sample elements — this is the executable counterpart of the
+paper's trusted axiom base: before an instance is used as a semantic oracle,
+the test suite proves (by exhaustive sampling) that it really is a
+U-semiring.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence
+
+
+class USemiring:
+    """Abstract carrier of ``(U, 0, 1, +, ×, ‖·‖, not, Σ)``."""
+
+    name = "abstract"
+
+    @property
+    def zero(self):
+        raise NotImplementedError
+
+    @property
+    def one(self):
+        raise NotImplementedError
+
+    def add(self, left, right):
+        raise NotImplementedError
+
+    def mul(self, left, right):
+        raise NotImplementedError
+
+    def squash(self, value):
+        raise NotImplementedError
+
+    def not_(self, value):
+        raise NotImplementedError
+
+    def sum(self, values: Iterable):
+        """Unbounded summation over a (finite, in tests) domain."""
+        total = self.zero
+        for value in values:
+            total = self.add(total, value)
+        return total
+
+    # -- conveniences ------------------------------------------------------
+
+    def product(self, values: Iterable):
+        total = self.one
+        for value in values:
+            total = self.mul(total, value)
+        return total
+
+    def from_bool(self, flag: bool):
+        return self.one if flag else self.zero
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class AxiomViolation(AssertionError):
+    """Raised by :func:`check_axioms` when an identity fails on a sample."""
+
+
+def check_axioms(semiring: USemiring, samples: Sequence) -> List[str]:
+    """Verify every Definition 3.1 axiom on all sample combinations.
+
+    Returns the list of axiom names checked; raises :class:`AxiomViolation`
+    with a counterexample description on the first failure.
+    """
+
+    checked: List[str] = []
+
+    def expect(name: str, condition: bool, detail: str) -> None:
+        if not condition:
+            raise AxiomViolation(f"{semiring.name}: axiom {name} fails: {detail}")
+
+    def record(name: str) -> None:
+        if name not in checked:
+            checked.append(name)
+
+    zero, one = semiring.zero, semiring.one
+    add, mul = semiring.add, semiring.mul
+    squash, not_ = semiring.squash, semiring.not_
+
+    for x in samples:
+        expect("add-zero", add(x, zero) == x, f"x={x!r}")
+        record("add-zero")
+        expect("mul-one", mul(x, one) == x, f"x={x!r}")
+        record("mul-one")
+        expect("mul-zero", mul(x, zero) == zero, f"x={x!r}")
+        record("mul-zero")
+        # Eq. (4): ‖x‖ × ‖x‖ = ‖x‖
+        expect("squash-idem", mul(squash(x), squash(x)) == squash(x), f"x={x!r}")
+        record("squash-idem")
+        # Eq. (5): x × ‖x‖ = x
+        expect("squash-self", mul(x, squash(x)) == x, f"x={x!r}")
+        record("squash-self")
+        # Eq. (6): x² = x ⇒ ‖x‖ = x
+        if mul(x, x) == x:
+            expect("squash-fix", squash(x) == x, f"x={x!r}")
+            record("squash-fix")
+        # not(‖x‖) = ‖not(x)‖ = not(x)
+        expect(
+            "not-squash",
+            not_(squash(x)) == not_(x) and squash(not_(x)) == not_(x),
+            f"x={x!r}",
+        )
+        record("not-squash")
+        # Eq. (1): ‖1 + x‖ = 1
+        expect("squash-one-plus", squash(add(one, x)) == one, f"x={x!r}")
+        record("squash-one-plus")
+
+    expect("squash-zero", squash(zero) == zero, "‖0‖ ≠ 0")
+    record("squash-zero")
+    expect("not-zero", not_(zero) == one, "not(0) ≠ 1")
+    record("not-zero")
+
+    for x in samples:
+        for y in samples:
+            expect("add-comm", add(x, y) == add(y, x), f"x={x!r} y={y!r}")
+            record("add-comm")
+            expect("mul-comm", mul(x, y) == mul(y, x), f"x={x!r} y={y!r}")
+            record("mul-comm")
+            # Eq. (2): ‖‖x‖ + y‖ = ‖x + y‖
+            expect(
+                "squash-absorb-add",
+                squash(add(squash(x), y)) == squash(add(x, y)),
+                f"x={x!r} y={y!r}",
+            )
+            record("squash-absorb-add")
+            # Eq. (3): ‖x‖ × ‖y‖ = ‖x × y‖
+            expect(
+                "squash-mul",
+                mul(squash(x), squash(y)) == squash(mul(x, y)),
+                f"x={x!r} y={y!r}",
+            )
+            record("squash-mul")
+            expect(
+                "not-mul",
+                not_(mul(x, y)) == squash(add(not_(x), not_(y))),
+                f"x={x!r} y={y!r}",
+            )
+            record("not-mul")
+            expect(
+                "not-add",
+                not_(add(x, y)) == mul(not_(x), not_(y)),
+                f"x={x!r} y={y!r}",
+            )
+            record("not-add")
+
+    for x in samples:
+        for y in samples:
+            for z in samples:
+                expect(
+                    "add-assoc",
+                    add(add(x, y), z) == add(x, add(y, z)),
+                    f"x={x!r} y={y!r} z={z!r}",
+                )
+                record("add-assoc")
+                expect(
+                    "mul-assoc",
+                    mul(mul(x, y), z) == mul(x, mul(y, z)),
+                    f"x={x!r} y={y!r} z={z!r}",
+                )
+                record("mul-assoc")
+                expect(
+                    "distrib",
+                    mul(x, add(y, z)) == add(mul(x, y), mul(x, z)),
+                    f"x={x!r} y={y!r} z={z!r}",
+                )
+                record("distrib")
+
+    # Summation axioms (Eq. (7)-(10)) on finite sample domains.
+    domain = list(samples)
+
+    def f_pair(a, b):
+        return mul(a, b)
+
+    for x in samples:
+        # Eq. (7): Σ (f1 + f2) = Σ f1 + Σ f2, with f1 = id, f2 = const x.
+        lhs = semiring.sum(add(v, x) for v in domain)
+        rhs = add(semiring.sum(domain), semiring.sum(x for _ in domain))
+        expect("sum-add", lhs == rhs, f"x={x!r}")
+        record("sum-add")
+        # Eq. (9): x × Σ f = Σ (x × f)
+        lhs = mul(x, semiring.sum(domain))
+        rhs = semiring.sum(mul(x, v) for v in domain)
+        expect("sum-scale", lhs == rhs, f"x={x!r}")
+        record("sum-scale")
+    # Eq. (8): Σt1 Σt2 f = Σt2 Σt1 f
+    lhs = semiring.sum(semiring.sum(f_pair(a, b) for b in domain) for a in domain)
+    rhs = semiring.sum(semiring.sum(f_pair(a, b) for a in domain) for b in domain)
+    expect("sum-swap", lhs == rhs, "double sum")
+    record("sum-swap")
+    # Eq. (10): ‖Σ f‖ = ‖Σ ‖f‖‖
+    lhs = squash(semiring.sum(domain))
+    rhs = squash(semiring.sum(squash(v) for v in domain))
+    expect("sum-squash", lhs == rhs, "squashed sum")
+    record("sum-squash")
+
+    return checked

@@ -1,0 +1,35 @@
+"""The booleans ``B`` — set semantics.
+
+``+`` is disjunction, ``×`` conjunction, ``‖·‖`` the identity, and ``not``
+boolean complement.
+"""
+
+from __future__ import annotations
+
+from repro.semirings.base import USemiring
+
+
+class BooleanSemiring(USemiring):
+    """``(B, False, True, ∨, ∧)``."""
+
+    name = "B"
+
+    @property
+    def zero(self) -> bool:
+        return False
+
+    @property
+    def one(self) -> bool:
+        return True
+
+    def add(self, left: bool, right: bool) -> bool:
+        return left or right
+
+    def mul(self, left: bool, right: bool) -> bool:
+        return left and right
+
+    def squash(self, value: bool) -> bool:
+        return value
+
+    def not_(self, value: bool) -> bool:
+        return not value

@@ -1,0 +1,74 @@
+"""The extended naturals ``N̄ = N ∪ {∞}`` (Sec. 3.1, example (2)).
+
+``N̄`` closes ``N`` under *arbitrary* summation domains: a sum with infinite
+support is ∞.  The arithmetic extensions are ``x + ∞ = ∞``, ``0 × ∞ = 0``,
+and ``x × ∞ = ∞`` for ``x ≠ 0``.
+
+This instance also witnesses the paper's incompleteness example (end of
+Sec. 4.2): queries that agree over every finite database can still differ
+over ``N̄``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.semirings.base import USemiring
+
+
+class _Infinity:
+    """The ∞ element; a singleton."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Infinity":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "∞"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Infinity)
+
+    def __hash__(self) -> int:
+        return hash("∞")
+
+
+#: The unique infinity element of N̄.
+INFINITY = _Infinity()
+
+Element = Union[int, _Infinity]
+
+
+class ExtendedNaturals(USemiring):
+    """``(N̄, 0, 1, +, ×)`` with the saturating extensions."""
+
+    name = "N̄"
+
+    @property
+    def zero(self) -> Element:
+        return 0
+
+    @property
+    def one(self) -> Element:
+        return 1
+
+    def add(self, left: Element, right: Element) -> Element:
+        if left == INFINITY or right == INFINITY:
+            return INFINITY
+        return left + right
+
+    def mul(self, left: Element, right: Element) -> Element:
+        if left == 0 or right == 0:
+            return 0
+        if left == INFINITY or right == INFINITY:
+            return INFINITY
+        return left * right
+
+    def squash(self, value: Element) -> Element:
+        return 1 if value != 0 else 0
+
+    def not_(self, value: Element) -> Element:
+        return 0 if value != 0 else 1

@@ -1,0 +1,258 @@
+"""Finite-domain interpretation of U-expressions — the semantic oracle.
+
+An :class:`Interpretation` fixes a U-semiring instance, a finite value
+universe, and a multiplicity assignment for every relation name.  Unbounded
+summations range over *all* tuples of a schema built from the universe, so
+the equality axioms (Eq. (12)–(15)) hold exactly provided every value a query
+can mention lies in the universe (the tests arrange this).
+
+Uses:
+
+* check that SPNF conversion and canonization preserve meaning,
+* cross-validate the SQL→U-expression compiler against the independent
+  bag-semantics engine (:mod:`repro.engine`),
+* exhibit concrete counterexamples for non-equivalent query pairs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import EvaluationError
+from repro.sql.schema import Schema
+from repro.semirings.base import USemiring
+from repro.usr.predicates import AtomPred, EqPred, NePred, Predicate
+from repro.usr.terms import (
+    Add,
+    Mul,
+    Not,
+    Pred,
+    QueryDenotation,
+    Rel,
+    Squash,
+    Sum,
+    UExpr,
+    _One,
+    _Zero,
+)
+from repro.usr.values import (
+    Agg,
+    Attr,
+    ConcatTuple,
+    ConstVal,
+    Func,
+    TupleCons,
+    TupleVar,
+    ValueExpr,
+)
+
+#: A concrete tuple: attribute name → scalar value.
+ConcreteTuple = Dict[str, object]
+
+
+def tuple_key(t: ConcreteTuple) -> Tuple:
+    """Hashable canonical form of a concrete tuple."""
+    return tuple(sorted(t.items(), key=lambda item: item[0]))
+
+
+def default_atom_oracle(name: str, args: Sequence[object]) -> bool:
+    """Interpret uninterpreted atoms deterministically.
+
+    ``<``/``<=`` get their numeric meaning when both operands are numbers;
+    a ``¬``-prefixed name is the complement of its base atom; anything else
+    gets a deterministic pseudo-random boolean derived from a stable hash, so
+    repeated evaluations agree.
+    """
+    if name.startswith("¬"):
+        return not default_atom_oracle(name[1:], args)
+    if name == "<" and len(args) == 2:
+        try:
+            return args[0] < args[1]
+        except TypeError:
+            pass
+    if name == "<=" and len(args) == 2:
+        try:
+            return args[0] <= args[1]
+        except TypeError:
+            pass
+    digest = hash((name, tuple(repr(a) for a in args)))
+    return digest % 2 == 0
+
+
+class Interpretation:
+    """A finite model: semiring + universe + relation multiplicities."""
+
+    def __init__(
+        self,
+        semiring: USemiring,
+        universe: Sequence[object],
+        relations: Dict[str, Dict[Tuple, object]],
+        atom_oracle: Optional[Callable[[str, Sequence[object]], bool]] = None,
+    ) -> None:
+        if not universe:
+            raise EvaluationError("the value universe must be non-empty")
+        self.semiring = semiring
+        self.universe = list(universe)
+        self.relations = relations
+        self.atom_oracle = atom_oracle or default_atom_oracle
+
+    # -- domains -----------------------------------------------------------
+
+    def tuples_of(self, schema: Schema) -> Iterable[ConcreteTuple]:
+        """All tuples of ``schema`` over the universe."""
+        if schema.generic:
+            raise EvaluationError(
+                f"cannot enumerate tuples of generic schema {schema.name!r}"
+            )
+        names = schema.attribute_names()
+        for values in itertools.product(self.universe, repeat=len(names)):
+            yield dict(zip(names, values))
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(self, expr: UExpr, env: Optional[Dict[str, ConcreteTuple]] = None):
+        """Evaluate ``expr`` under ``env`` to a semiring value."""
+        env = env or {}
+        return self._eval(expr, env)
+
+    def _eval(self, expr: UExpr, env: Dict[str, ConcreteTuple]):
+        semiring = self.semiring
+        if isinstance(expr, _Zero):
+            return semiring.zero
+        if isinstance(expr, _One):
+            return semiring.one
+        if isinstance(expr, Add):
+            return semiring.sum(self._eval(arg, env) for arg in expr.args)
+        if isinstance(expr, Mul):
+            return semiring.product(self._eval(arg, env) for arg in expr.args)
+        if isinstance(expr, Squash):
+            return semiring.squash(self._eval(expr.body, env))
+        if isinstance(expr, Not):
+            return semiring.not_(self._eval(expr.body, env))
+        if isinstance(expr, Sum):
+            def body_values():
+                for candidate in self.tuples_of(expr.schema):
+                    inner = dict(env)
+                    inner[expr.var] = candidate
+                    yield self._eval(expr.body, inner)
+
+            return semiring.sum(body_values())
+        if isinstance(expr, Pred):
+            return semiring.from_bool(self._eval_pred(expr.pred, env))
+        if isinstance(expr, Rel):
+            value = self.eval_value(expr.arg, env)
+            if not isinstance(value, dict):
+                raise EvaluationError(f"relation argument is not a tuple: {value!r}")
+            table = self.relations.get(expr.name, {})
+            return table.get(tuple_key(value), semiring.zero)
+        raise EvaluationError(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_pred(self, pred: Predicate, env: Dict[str, ConcreteTuple]) -> bool:
+        if isinstance(pred, EqPred):
+            return self.eval_value(pred.left, env) == self.eval_value(pred.right, env)
+        if isinstance(pred, NePred):
+            return self.eval_value(pred.left, env) != self.eval_value(pred.right, env)
+        if isinstance(pred, AtomPred):
+            args = [self.eval_value(a, env) for a in pred.args]
+            return self.atom_oracle(pred.name, args)
+        raise EvaluationError(f"cannot evaluate predicate {type(pred).__name__}")
+
+    def eval_value(self, value: ValueExpr, env: Dict[str, ConcreteTuple]):
+        if isinstance(value, TupleVar):
+            if value.name not in env:
+                raise EvaluationError(f"unbound tuple variable {value.name!r}")
+            return env[value.name]
+        if isinstance(value, Attr):
+            base = self.eval_value(value.base, env)
+            if not isinstance(base, dict):
+                raise EvaluationError(f"attribute access on non-tuple: {base!r}")
+            if value.name not in base:
+                raise EvaluationError(f"tuple has no attribute {value.name!r}")
+            return base[value.name]
+        if isinstance(value, ConstVal):
+            return value.value
+        if isinstance(value, Func):
+            args = tuple(
+                self._freeze(self.eval_value(a, env)) for a in value.args
+            )
+            return ("fn:" + value.name, args)
+        if isinstance(value, Agg):
+            return self._eval_agg(value, env)
+        if isinstance(value, TupleCons):
+            return {name: self.eval_value(v, env) for name, v in value.fields}
+        if isinstance(value, ConcatTuple):
+            return self._eval_concat(value, env)
+        raise EvaluationError(f"cannot evaluate value {type(value).__name__}")
+
+    def _freeze(self, value):
+        if isinstance(value, dict):
+            return tuple_key(value)
+        return value
+
+    def _eval_agg(self, value: Agg, env: Dict[str, ConcreteTuple]):
+        """An aggregate's value: an opaque token of the body's K-relation."""
+        support: List[Tuple] = []
+        for candidate in self.tuples_of(value.schema):
+            inner = dict(env)
+            inner[value.var] = candidate
+            multiplicity = self._eval(value.body, inner)
+            if multiplicity != self.semiring.zero:
+                support.append((tuple_key(candidate), repr(multiplicity)))
+        support.sort()
+        return ("agg:" + value.name, tuple(support))
+
+    def _eval_concat(self, value: ConcatTuple, env: Dict[str, ConcreteTuple]):
+        """Concatenate component tuples with positional name deduplication.
+
+        Matches :func:`repro.sql.scope.projection_output_schema`'s renaming so
+        the concatenation compares equal to output-domain tuples.
+        """
+        out: Dict[str, object] = {}
+        counts: Dict[str, int] = {}
+        for part, schema in value.parts:
+            component = self.eval_value(part, env)
+            if not isinstance(component, dict):
+                raise EvaluationError("concat component is not a tuple")
+            if schema is None or schema.generic:
+                raise EvaluationError(
+                    "cannot concatenate tuples without concrete schemas"
+                )
+            for attr in schema.attributes:
+                if attr.name not in component:
+                    raise EvaluationError(
+                        f"component tuple missing attribute {attr.name!r}"
+                    )
+                count = counts.get(attr.name, 0)
+                counts[attr.name] = count + 1
+                out_name = attr.name if count == 0 else f"{attr.name}_{count}"
+                out[out_name] = component[attr.name]
+        return out
+
+
+def evaluate(
+    expr: UExpr,
+    interpretation: Interpretation,
+    env: Optional[Dict[str, ConcreteTuple]] = None,
+):
+    """Module-level convenience wrapper."""
+    return interpretation.evaluate(expr, env)
+
+
+def evaluate_denotation(
+    denotation: QueryDenotation, interpretation: Interpretation
+) -> Dict[Tuple, object]:
+    """The full output K-relation of a query denotation.
+
+    Maps each candidate output tuple (over the universe) to its multiplicity;
+    zero-multiplicity entries are omitted.
+    """
+    out: Dict[Tuple, object] = {}
+    zero = interpretation.semiring.zero
+    for candidate in interpretation.tuples_of(denotation.schema):
+        value = interpretation.evaluate(
+            denotation.body, {denotation.var: candidate}
+        )
+        if value != zero:
+            out[tuple_key(candidate)] = value
+    return out

@@ -1,0 +1,55 @@
+"""Diagonal 2×2 matrices over ``N̄`` (Sec. 3.1's frugality witness).
+
+Elements are pairs ``diag(a, b)`` with componentwise operations in ``N̄``.
+In this U-semiring, ``‖diag(2, 0)‖ = diag(1, 0)``, which is neither 0 nor 1 —
+so the *conditional* identity "``x ≠ 0 ⇒ ‖x‖ = 1``" fails, demonstrating why
+the paper excludes it from the axiom set.  All the Definition 3.1 axioms do
+hold (see the self-check tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.semirings.base import USemiring
+from repro.semirings.extended import ExtendedNaturals
+
+
+@dataclass(frozen=True)
+class Diag:
+    """``diag(a, b)`` with ``a, b ∈ N̄``."""
+
+    a: object
+    b: object
+
+    def __repr__(self) -> str:
+        return f"diag({self.a}, {self.b})"
+
+
+class DiagonalMatrixSemiring(USemiring):
+    """Componentwise ``N̄ × N̄``."""
+
+    name = "diag2(N̄)"
+
+    def __init__(self) -> None:
+        self._base = ExtendedNaturals()
+
+    @property
+    def zero(self) -> Diag:
+        return Diag(0, 0)
+
+    @property
+    def one(self) -> Diag:
+        return Diag(1, 1)
+
+    def add(self, left: Diag, right: Diag) -> Diag:
+        return Diag(self._base.add(left.a, right.a), self._base.add(left.b, right.b))
+
+    def mul(self, left: Diag, right: Diag) -> Diag:
+        return Diag(self._base.mul(left.a, right.a), self._base.mul(left.b, right.b))
+
+    def squash(self, value: Diag) -> Diag:
+        return Diag(self._base.squash(value.a), self._base.squash(value.b))
+
+    def not_(self, value: Diag) -> Diag:
+        return Diag(self._base.not_(value.a), self._base.not_(value.b))

@@ -1,0 +1,36 @@
+"""The natural numbers ``N`` — SQL's standard bag semantics.
+
+``‖x‖`` is the truncation to {0, 1}; ``not(x)`` its complement.  This is the
+instance the soundness theorem (Theorem 5.3) connects to the SQL standard:
+two U-equivalent queries agree in particular over ``N``.
+"""
+
+from __future__ import annotations
+
+from repro.semirings.base import USemiring
+
+
+class NaturalsSemiring(USemiring):
+    """``(N, 0, 1, +, ×)`` with ‖x‖ = min(x, 1) and not(x) = 1 - min(x, 1)."""
+
+    name = "N"
+
+    @property
+    def zero(self) -> int:
+        return 0
+
+    @property
+    def one(self) -> int:
+        return 1
+
+    def add(self, left: int, right: int) -> int:
+        return left + right
+
+    def mul(self, left: int, right: int) -> int:
+        return left * right
+
+    def squash(self, value: int) -> int:
+        return 1 if value != 0 else 0
+
+    def not_(self, value: int) -> int:
+        return 0 if value != 0 else 1

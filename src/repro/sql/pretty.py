@@ -1,0 +1,62 @@
+"""Pretty-printer for SQL ASTs.
+
+The AST nodes' ``__str__`` methods produce compact single-line SQL; this
+module adds an indented multi-line formatter used by the CLI and examples.
+The output re-parses to an equal AST (round-trip tested).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sql.ast import (
+    DistinctQuery,
+    Except,
+    FromItem,
+    Query,
+    Select,
+    TableRef,
+    UnionAll,
+    Where,
+)
+
+_INDENT = "  "
+
+
+def format_query(query: Query, level: int = 0) -> str:
+    """Format ``query`` as indented multi-line SQL."""
+    pad = _INDENT * level
+    if isinstance(query, TableRef):
+        return f"{pad}{query.name}"
+    if isinstance(query, Select):
+        lines: List[str] = []
+        head = "SELECT DISTINCT" if query.distinct else "SELECT"
+        lines.append(f"{pad}{head} " + ", ".join(str(p) for p in query.projections))
+        if query.from_items:
+            lines.append(f"{pad}FROM " + ", ".join(_format_from(f) for f in query.from_items))
+        if query.where is not None:
+            lines.append(f"{pad}WHERE {query.where}")
+        if query.group_by:
+            lines.append(f"{pad}GROUP BY " + ", ".join(str(c) for c in query.group_by))
+        return "\n".join(lines)
+    if isinstance(query, Where):
+        return f"{format_query(query.query, level)}\n{pad}WHERE {query.predicate}"
+    if isinstance(query, UnionAll):
+        return (
+            f"{format_query(query.left, level)}\n{pad}UNION ALL\n"
+            f"{format_query(query.right, level)}"
+        )
+    if isinstance(query, Except):
+        return (
+            f"{format_query(query.left, level)}\n{pad}EXCEPT\n"
+            f"{format_query(query.right, level)}"
+        )
+    if isinstance(query, DistinctQuery):
+        return f"{pad}DISTINCT (\n{format_query(query.query, level + 1)}\n{pad})"
+    return f"{pad}{query}"
+
+
+def _format_from(item: FromItem) -> str:
+    if isinstance(item.query, TableRef):
+        return f"{item.query.name} {item.alias}"
+    return f"({item.query}) {item.alias}"

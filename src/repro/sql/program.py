@@ -1,0 +1,290 @@
+"""Input programs: declarations plus ``verify`` goals, and the catalog.
+
+An input program (Fig. 2, top) is a sequence of statements::
+
+    schema s(a:int, b:int, ??);
+    table r(s);
+    key r(a);
+    foreign key r2(fk) references r(a);
+    view v SELECT ...;
+    index i on r(b);
+    verify SELECT ... == SELECT ...;
+
+The :class:`Catalog` aggregates the declarations and is the single source of
+truth for schema lookup, view inlining, and integrity constraints during
+compilation and canonization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ResolutionError, SchemaError
+from repro.sql.ast import Query
+from repro.sql.schema import Attribute, Schema
+
+
+@dataclass(frozen=True)
+class SchemaDecl:
+    """``schema name(a:int, ..., ??);``"""
+
+    schema: Schema
+
+
+@dataclass(frozen=True)
+class TableDecl:
+    """``table name(schema_name);``"""
+
+    name: str
+    schema_name: str
+
+
+@dataclass(frozen=True)
+class KeyDecl:
+    """``key table(a1, ..., an);`` — Def. 4.1 identity for these attributes."""
+
+    table: str
+    attributes: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ForeignKeyDecl:
+    """``foreign key t1(b...) references t2(a...);`` — Def. 4.4 identity."""
+
+    table: str
+    attributes: Tuple[str, ...]
+    ref_table: str
+    ref_attributes: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ViewDecl:
+    """``view v <query>;`` — inlined wherever ``v`` is referenced."""
+
+    name: str
+    query: Query
+
+
+@dataclass(frozen=True)
+class IndexDecl:
+    """``index i on r(a1, ..., an);``
+
+    Following the GMAP treatment (Sec. 4.1), an index is the view
+    ``SELECT key..., a1..., ... FROM r`` and is inlined like any view.
+    """
+
+    name: str
+    table: str
+    attributes: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class VerifyStmt:
+    """``verify q1 == q2;`` — the proof goal."""
+
+    left: Query
+    right: Query
+
+
+Statement = object  # union of the declaration dataclasses above
+
+
+@dataclass
+class Program:
+    """A parsed input program: declarations in order plus verify goals."""
+
+    statements: List[Statement] = field(default_factory=list)
+
+    def verify_goals(self) -> List[VerifyStmt]:
+        return [s for s in self.statements if isinstance(s, VerifyStmt)]
+
+    def build_catalog(self) -> "Catalog":
+        """Fold the declaration statements into a catalog."""
+        catalog = Catalog()
+        for stmt in self.statements:
+            if isinstance(stmt, SchemaDecl):
+                catalog.add_schema(stmt.schema)
+            elif isinstance(stmt, TableDecl):
+                catalog.add_table(stmt.name, stmt.schema_name)
+            elif isinstance(stmt, KeyDecl):
+                catalog.add_key(stmt.table, stmt.attributes)
+            elif isinstance(stmt, ForeignKeyDecl):
+                catalog.add_foreign_key(
+                    stmt.table, stmt.attributes, stmt.ref_table, stmt.ref_attributes
+                )
+            elif isinstance(stmt, ViewDecl):
+                catalog.add_view(stmt.name, stmt.query)
+            elif isinstance(stmt, IndexDecl):
+                catalog.add_index(stmt.name, stmt.table, stmt.attributes)
+        return catalog
+
+
+@dataclass(frozen=True)
+class KeyConstraint:
+    """A key on ``table`` over ``attributes`` (Def. 4.1)."""
+
+    table: str
+    attributes: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ForeignKeyConstraint:
+    """A foreign key ``table.attributes -> ref_table.ref_attributes``.
+
+    Def. 4.4; the paper notes the referenced attributes behave as a key of the
+    referenced table, so catalogs register that implied key too.
+    """
+
+    table: str
+    attributes: Tuple[str, ...]
+    ref_table: str
+    ref_attributes: Tuple[str, ...]
+
+
+class Catalog:
+    """All declared schemas, tables, views, indexes, and constraints."""
+
+    def __init__(self) -> None:
+        self._schemas: Dict[str, Schema] = {}
+        self._tables: Dict[str, Schema] = {}
+        self._views: Dict[str, Query] = {}
+        self._indexes: Dict[str, IndexDecl] = {}
+        self.keys: List[KeyConstraint] = []
+        self.foreign_keys: List[ForeignKeyConstraint] = []
+
+    # -- declaration -------------------------------------------------------
+
+    def add_schema(self, schema: Schema) -> None:
+        if schema.name in self._schemas:
+            raise SchemaError(f"schema {schema.name!r} declared twice")
+        self._schemas[schema.name] = schema
+
+    def add_table(self, name: str, schema_name: str) -> None:
+        if name in self._tables or name in self._views:
+            raise SchemaError(f"table or view {name!r} declared twice")
+        if schema_name not in self._schemas:
+            raise ResolutionError(f"unknown schema {schema_name!r} for table {name!r}")
+        self._tables[name] = self._schemas[schema_name]
+
+    def add_table_with_schema(self, name: str, schema: Schema) -> None:
+        """Convenience for programmatic construction (tests, corpus)."""
+        if schema.name and schema.name not in self._schemas:
+            self._schemas[schema.name] = schema
+        if name in self._tables:
+            raise SchemaError(f"table {name!r} declared twice")
+        self._tables[name] = schema
+
+    def add_key(self, table: str, attributes: Tuple[str, ...]) -> None:
+        schema = self.table_schema(table)
+        for attr in attributes:
+            if not schema.has_attribute(attr):
+                raise SchemaError(f"key attribute {attr!r} not in table {table!r}")
+        self.keys.append(KeyConstraint(table, tuple(attributes)))
+
+    def add_foreign_key(
+        self,
+        table: str,
+        attributes: Tuple[str, ...],
+        ref_table: str,
+        ref_attributes: Tuple[str, ...],
+    ) -> None:
+        if len(attributes) != len(ref_attributes):
+            raise SchemaError("foreign key attribute lists differ in length")
+        schema = self.table_schema(table)
+        ref_schema = self.table_schema(ref_table)
+        for attr in attributes:
+            if not schema.has_attribute(attr):
+                raise SchemaError(f"fk attribute {attr!r} not in table {table!r}")
+        for attr in ref_attributes:
+            if not ref_schema.has_attribute(attr):
+                raise SchemaError(f"fk target {attr!r} not in table {ref_table!r}")
+        constraint = ForeignKeyConstraint(
+            table, tuple(attributes), ref_table, tuple(ref_attributes)
+        )
+        self.foreign_keys.append(constraint)
+        # Def. 4.4 implies the referenced attributes form a key of ref_table
+        # (Theorem 4.5); register it so canonize can exploit it.
+        implied = KeyConstraint(ref_table, tuple(ref_attributes))
+        if implied not in self.keys:
+            self.keys.append(implied)
+
+    def add_view(self, name: str, query: Query) -> None:
+        if name in self._views or name in self._tables:
+            raise SchemaError(f"table or view {name!r} declared twice")
+        self._views[name] = query
+
+    def add_index(self, name: str, table: str, attributes: Tuple[str, ...]) -> None:
+        """Register an index as its GMAP view (key attrs + indexed attrs)."""
+        from repro.sql.ast import ColumnRef, ExprAs, FromItem, Select, TableRef
+
+        schema = self.table_schema(table)
+        for attr in attributes:
+            if not schema.has_attribute(attr):
+                raise SchemaError(f"index attribute {attr!r} not in table {table!r}")
+        key_attrs = self.key_of(table)
+        if key_attrs is None:
+            raise SchemaError(
+                f"index {name!r} requires a key on table {table!r} (GMAP view)"
+            )
+        seen: List[str] = []
+        for attr in tuple(key_attrs) + tuple(attributes):
+            if attr not in seen:
+                seen.append(attr)
+        alias = "__ix"
+        projections = tuple(ExprAs(ColumnRef(alias, a), a) for a in seen)
+        view_query = Select(projections, (FromItem(TableRef(table), alias),))
+        self._indexes[name] = IndexDecl(name, table, tuple(attributes))
+        self._views[name] = view_query
+
+    # -- lookup ------------------------------------------------------------
+
+    def schema(self, name: str) -> Schema:
+        if name not in self._schemas:
+            raise ResolutionError(f"unknown schema {name!r}")
+        return self._schemas[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def has_view(self, name: str) -> bool:
+        return name in self._views
+
+    def table_schema(self, name: str) -> Schema:
+        if name not in self._tables:
+            raise ResolutionError(f"unknown table {name!r}")
+        return self._tables[name]
+
+    def view_query(self, name: str) -> Query:
+        if name not in self._views:
+            raise ResolutionError(f"unknown view {name!r}")
+        return self._views[name]
+
+    def tables(self) -> Dict[str, Schema]:
+        return dict(self._tables)
+
+    def views(self) -> Dict[str, Query]:
+        return dict(self._views)
+
+    def indexes(self) -> Dict[str, IndexDecl]:
+        return dict(self._indexes)
+
+    def key_of(self, table: str) -> Optional[Tuple[str, ...]]:
+        """The first declared key of ``table``, or None."""
+        for constraint in self.keys:
+            if constraint.table == table:
+                return constraint.attributes
+        return None
+
+    def keys_of(self, table: str) -> List[Tuple[str, ...]]:
+        return [c.attributes for c in self.keys if c.table == table]
+
+    def copy(self) -> "Catalog":
+        clone = Catalog()
+        clone._schemas = dict(self._schemas)
+        clone._tables = dict(self._tables)
+        clone._views = dict(self._views)
+        clone._indexes = dict(self._indexes)
+        clone.keys = list(self.keys)
+        clone.foreign_keys = list(self.foreign_keys)
+        return clone

@@ -1,0 +1,771 @@
+"""Canonization of SPNF terms under integrity constraints (Algorithm 1).
+
+For each term the canonizer repeatedly applies, until fixpoint:
+
+1. congruence closure of the equality predicates (the transitive-closure
+   step of Alg. 1 line 2, strengthened to full congruence);
+2. contradiction detection — ``[e ≠ e']`` with ``e ~ e'``, two distinct
+   constants in one class, or ``[β(..)] × [¬β(..)]`` — the term is 0;
+3. Eq. (15) summation elimination — a bound variable equal to a variable-free
+   value is substituted away; if its schema is concrete and every attribute is
+   pinned, the tuple is reconstructed first (``tuple-ext``, the Ex. 4.7 move);
+4. tuple-equality decomposition over concrete schemas;
+5. key unification (Def. 4.1) — two atoms of a relation with congruent keys
+   merge into one atom plus a tuple equality;
+6. foreign-key join elimination (Def. 4.4, right to left) — a summed atom of
+   the referenced relation used only through its key vanishes;
+7. Theorem 4.3 — a term with a squash factor whose summations are all
+   key-determined by external expressions absorbs entirely into the squash.
+
+Aggregate values are pre-normalized: each ``agg(λt. E)`` body is recursively
+normalized/canonized and its binders renamed canonically, implementing
+"aggregates are uninterpreted functions of the subquery" (Sec. 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.constraints.model import ConstraintSet
+from repro.logic.congruence import CongruenceClosure
+from repro.sql.schema import Schema
+from repro.udp.trace import ProofTrace
+from repro.usr.predicates import AtomPred, EqPred, NePred, Predicate
+from repro.usr.spnf import (
+    NormalForm,
+    NormalTerm,
+    flatten_squash,
+    make_term,
+    normalize,
+    resimplify_term,
+    substitute_term,
+)
+from repro.usr.substitute import subst_value
+from repro.usr.values import (
+    Agg,
+    Attr,
+    ConcatTuple,
+    ConstVal,
+    Func,
+    TupleCons,
+    TupleVar,
+    ValueExpr,
+    project_attr,
+)
+
+#: Free-variable schema context.
+SchemaEnv = Dict[str, Schema]
+
+_MAX_ROUNDS = 100
+
+
+def canonize_form(
+    form: NormalForm,
+    constraints: ConstraintSet,
+    var_schemas: Optional[SchemaEnv] = None,
+    trace: Optional[ProofTrace] = None,
+    apply_squash_invariance: bool = True,
+) -> NormalForm:
+    """Canonize every term of ``form``; contradictory terms drop out."""
+    var_schemas = var_schemas or {}
+    out: List[NormalTerm] = []
+    for term in form:
+        canonized = canonize_term(
+            term, constraints, var_schemas, trace, apply_squash_invariance
+        )
+        if canonized is not None:
+            out.append(canonized)
+    return tuple(out)
+
+
+def canonize_term(
+    term: NormalTerm,
+    constraints: ConstraintSet,
+    var_schemas: SchemaEnv,
+    trace: Optional[ProofTrace] = None,
+    apply_squash_invariance: bool = True,
+) -> Optional[NormalTerm]:
+    """Canonize one term; ``None`` means it reduced to 0."""
+    current = _canonicalize_aggregates(term, constraints, var_schemas)
+    for _ in range(_MAX_ROUNDS):
+        simplified = resimplify_term(current)
+        if simplified is None:
+            if trace is not None:
+                trace.record("mul-zero", "term reduced to 0")
+            return None
+        current = simplified
+        closure = build_closure(current)
+        if _contradictory(current, closure, trace):
+            return None
+        changed, current = _eliminate_bound_var(
+            current, closure, var_schemas, trace
+        )
+        if changed:
+            continue
+        changed, current = _decompose_tuple_equalities(
+            current, var_schemas, trace
+        )
+        if changed:
+            continue
+        changed, current = _apply_key_unification(
+            current, closure, constraints, trace
+        )
+        if changed:
+            continue
+        changed, current = _apply_fk_elimination(
+            current, closure, constraints, trace
+        )
+        if changed:
+            continue
+        break
+    # Recurse into the squash and negation parts with the bound variables
+    # visible as free context.
+    inner_env = dict(var_schemas)
+    inner_env.update(dict(current.vars))
+    squash_part = current.squash_part
+    if squash_part is not None:
+        squash_part = canonize_form(
+            squash_part, constraints, inner_env, trace, apply_squash_invariance=False
+        )
+    neg_part = current.neg_part
+    if neg_part is not None:
+        neg_part = canonize_form(
+            neg_part, constraints, inner_env, trace, apply_squash_invariance=False
+        )
+    rebuilt = make_term(
+        current.vars, current.preds, current.rels, squash_part, neg_part
+    )
+    if rebuilt is None:
+        return None
+    current = rebuilt
+    if apply_squash_invariance:
+        current = _apply_squash_invariance(
+            current, constraints, var_schemas, trace
+        )
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Aggregate canonicalization
+# ---------------------------------------------------------------------------
+
+
+def canonical_rename_form(form: NormalForm) -> NormalForm:
+    """Rename every binder positionally and sort terms deterministically.
+
+    Two structurally isomorphic normal forms (same shapes, different fresh
+    variable numbers) become syntactically identical, which is what lets the
+    congruence procedure compare aggregates as uninterpreted functions of
+    their (canonized) subqueries.
+    """
+    renamed: List[NormalTerm] = []
+    for term in form:
+        mapping: Dict[str, ValueExpr] = {}
+        new_vars = []
+        for position, (name, schema) in enumerate(term.vars):
+            canonical = f"κ{position}"
+            mapping[name] = TupleVar(canonical)
+            new_vars.append((canonical, schema))
+        # substitute_term skips bound names, so rename via a temporary shell
+        # whose binders are already the canonical names.
+        shell = NormalTerm(
+            tuple(new_vars), term.preds, term.rels, term.squash_part, term.neg_part
+        )
+        renamed_term = substitute_term(shell, mapping)
+        squash_part = renamed_term.squash_part
+        if squash_part is not None:
+            squash_part = canonical_rename_form(squash_part)
+        neg_part = renamed_term.neg_part
+        if neg_part is not None:
+            neg_part = canonical_rename_form(neg_part)
+        renamed.append(
+            NormalTerm(
+                renamed_term.vars,
+                renamed_term.preds,
+                renamed_term.rels,
+                squash_part,
+                neg_part,
+            )
+        )
+    renamed.sort(key=str)
+    return tuple(renamed)
+
+
+def _canonical_agg(
+    agg: Agg, constraints: ConstraintSet, var_schemas: SchemaEnv
+) -> Agg:
+    """Normalize + canonize + canonically rename an aggregate's body."""
+    from repro.usr.spnf import form_to_uexpr
+
+    env = dict(var_schemas)
+    env[agg.var] = agg.schema
+    body_form = normalize(agg.body)
+    body_form = canonize_form(
+        body_form, constraints, env, trace=None, apply_squash_invariance=False
+    )
+    lambda_var = "κλ"
+    body_form = tuple(
+        substitute_term(term, {agg.var: TupleVar(lambda_var)})
+        for term in body_form
+    )
+    body_form = canonical_rename_form(body_form)
+    return Agg(agg.name, lambda_var, agg.schema, form_to_uexpr(body_form))
+
+
+def _canonicalize_values(
+    value: ValueExpr, constraints: ConstraintSet, var_schemas: SchemaEnv
+) -> ValueExpr:
+    if isinstance(value, Agg):
+        return _canonical_agg(value, constraints, var_schemas)
+    if isinstance(value, Attr):
+        return project_attr(
+            _canonicalize_values(value.base, constraints, var_schemas), value.name
+        )
+    if isinstance(value, Func):
+        return Func(
+            value.name,
+            tuple(
+                _canonicalize_values(a, constraints, var_schemas)
+                for a in value.args
+            ),
+        )
+    if isinstance(value, TupleCons):
+        return TupleCons(
+            tuple(
+                (n, _canonicalize_values(v, constraints, var_schemas))
+                for n, v in value.fields
+            )
+        )
+    if isinstance(value, ConcatTuple):
+        return ConcatTuple(
+            tuple(
+                (_canonicalize_values(v, constraints, var_schemas), s)
+                for v, s in value.parts
+            )
+        )
+    return value
+
+
+def _contains_agg(value: ValueExpr) -> bool:
+    if isinstance(value, Agg):
+        return True
+    if isinstance(value, Attr):
+        return _contains_agg(value.base)
+    if isinstance(value, Func):
+        return any(_contains_agg(a) for a in value.args)
+    if isinstance(value, TupleCons):
+        return any(_contains_agg(v) for _, v in value.fields)
+    if isinstance(value, ConcatTuple):
+        return any(_contains_agg(v) for v, _ in value.parts)
+    return False
+
+
+def _canonicalize_aggregates(
+    term: NormalTerm, constraints: ConstraintSet, var_schemas: SchemaEnv
+) -> NormalTerm:
+    """Replace every aggregate value in the term by its canonical form."""
+    inner_env = dict(var_schemas)
+    inner_env.update(dict(term.vars))
+
+    def fix_pred(pred: Predicate) -> Predicate:
+        if isinstance(pred, EqPred):
+            if _contains_agg(pred.left) or _contains_agg(pred.right):
+                return EqPred(
+                    _canonicalize_values(pred.left, constraints, inner_env),
+                    _canonicalize_values(pred.right, constraints, inner_env),
+                )
+            return pred
+        if isinstance(pred, NePred):
+            if _contains_agg(pred.left) or _contains_agg(pred.right):
+                return NePred(
+                    _canonicalize_values(pred.left, constraints, inner_env),
+                    _canonicalize_values(pred.right, constraints, inner_env),
+                )
+            return pred
+        if isinstance(pred, AtomPred):
+            if any(_contains_agg(a) for a in pred.args):
+                return AtomPred(
+                    pred.name,
+                    tuple(
+                        _canonicalize_values(a, constraints, inner_env)
+                        for a in pred.args
+                    ),
+                )
+            return pred
+        return pred
+    new_preds = tuple(fix_pred(p) for p in term.preds)
+    new_rels = tuple(
+        (name, _canonicalize_values(arg, constraints, inner_env))
+        if _contains_agg(arg)
+        else (name, arg)
+        for name, arg in term.rels
+    )
+    squash_part = term.squash_part
+    if squash_part is not None:
+        squash_part = tuple(
+            _canonicalize_aggregates(t, constraints, inner_env)
+            for t in squash_part
+        )
+    neg_part = term.neg_part
+    if neg_part is not None:
+        neg_part = tuple(
+            _canonicalize_aggregates(t, constraints, inner_env) for t in neg_part
+        )
+    return NormalTerm(term.vars, new_preds, new_rels, squash_part, neg_part)
+
+
+# ---------------------------------------------------------------------------
+# Closure construction and contradiction detection
+# ---------------------------------------------------------------------------
+
+
+def build_closure(term: NormalTerm) -> CongruenceClosure:
+    """Closure of the term's equality predicates over all its values."""
+    closure = CongruenceClosure()
+    for pred in term.preds:
+        if isinstance(pred, EqPred):
+            closure.merge(pred.left, pred.right)
+        elif isinstance(pred, NePred):
+            closure.add_term(pred.left)
+            closure.add_term(pred.right)
+        elif isinstance(pred, AtomPred):
+            for arg in pred.args:
+                closure.add_term(arg)
+    for _, arg in term.rels:
+        closure.add_term(arg)
+    return closure
+
+
+def _contradictory(
+    term: NormalTerm, closure: CongruenceClosure, trace: Optional[ProofTrace]
+) -> bool:
+    for pred in term.preds:
+        if isinstance(pred, NePred) and closure.equal(pred.left, pred.right):
+            if trace is not None:
+                trace.record("excluded-middle", f"{pred} contradicts equalities")
+            return True
+    # Two distinct constants in one class.
+    for group in closure.classes():
+        constants = {m.value for m in group if isinstance(m, ConstVal)}
+        if len(constants) > 1:
+            if trace is not None:
+                trace.record("subst-equals", f"distinct constants equated: {constants}")
+            return True
+    # [β(..)] × [¬β(..)] with congruent arguments.
+    atoms = [p for p in term.preds if isinstance(p, AtomPred)]
+    for pred in atoms:
+        if not pred.name.startswith("¬"):
+            continue
+        base = pred.name[1:]
+        for other in atoms:
+            if other.name != base or len(other.args) != len(pred.args):
+                continue
+            if all(closure.equal(a, b) for a, b in zip(pred.args, other.args)):
+                if trace is not None:
+                    trace.record("excluded-middle", f"{pred} contradicts {other}")
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Eq. (15): summation elimination
+# ---------------------------------------------------------------------------
+
+
+def _candidate_priority(value: ValueExpr) -> Tuple[int, str]:
+    """Prefer plain variables over constructed values for substitution."""
+    if isinstance(value, TupleVar):
+        return (0, value.name)
+    if isinstance(value, (TupleCons, ConcatTuple)):
+        return (1, repr(value))
+    return (2, repr(value))
+
+
+def _eliminate_bound_var(
+    term: NormalTerm,
+    closure: CongruenceClosure,
+    var_schemas: SchemaEnv,
+    trace: Optional[ProofTrace],
+) -> Tuple[bool, NormalTerm]:
+    """Try to remove one summation via Eq. (15) (+ tuple-ext reconstruction)."""
+    for index, (name, schema) in enumerate(term.vars):
+        var = TupleVar(name)
+        # Direct: the class of `var` holds a var-free value.
+        members = [
+            m
+            for m in closure.class_members(var)
+            if m != var and name not in m.free_tuple_vars()
+        ]
+        if members:
+            members.sort(key=_candidate_priority)
+            replacement = members[0]
+            new_term = _drop_binder(term, index, name, replacement)
+            if trace is not None:
+                trace.record("eq-sum-elim", f"Σ{name} eliminated by {replacement}")
+            return True, new_term
+        # Reconstruction: every attribute pinned to a var-free value.  Only
+        # variables that feed no relation atom are reconstructed (the Fig. 3
+        # situation: the variable ranges over a projected subquery output);
+        # rewriting a relation argument into a tuple constructor would block
+        # the key/foreign-key identities, which match on plain variables.
+        feeds_relation = any(
+            name in arg.free_tuple_vars() for _, arg in term.rels
+        )
+        if not feeds_relation and schema.is_concrete() and schema.attributes:
+            fields: List[Tuple[str, ValueExpr]] = []
+            for attr in schema.attributes:
+                access = Attr(var, attr.name)
+                pins = [
+                    m
+                    for m in closure.class_members(access)
+                    if name not in m.free_tuple_vars()
+                ]
+                if not pins:
+                    fields = []
+                    break
+                pins.sort(key=_candidate_priority)
+                fields.append((attr.name, pins[0]))
+            if fields:
+                replacement = TupleCons(tuple(fields))
+                new_term = _drop_binder(term, index, name, replacement)
+                if trace is not None:
+                    trace.record(
+                        "tuple-ext", f"Σ{name} reconstructed as {replacement}"
+                    )
+                    trace.record("eq-sum-elim", f"Σ{name} eliminated")
+                return True, new_term
+    return False, term
+
+
+def _drop_binder(
+    term: NormalTerm, index: int, name: str, replacement: ValueExpr
+) -> NormalTerm:
+    remaining = term.vars[:index] + term.vars[index + 1 :]
+    shell = NormalTerm(
+        remaining, term.preds, term.rels, term.squash_part, term.neg_part
+    )
+    return substitute_term(shell, {name: replacement})
+
+
+# ---------------------------------------------------------------------------
+# Tuple-equality decomposition (tuple-ext, applied to remaining equalities)
+# ---------------------------------------------------------------------------
+
+
+def _tuple_attr_names(
+    value: ValueExpr, bound: Dict[str, Schema], var_schemas: SchemaEnv
+) -> Optional[Tuple[str, ...]]:
+    """Attribute names of a tuple-valued expression, if fully known."""
+    if isinstance(value, TupleVar):
+        schema = bound.get(value.name) or var_schemas.get(value.name)
+        if schema is not None and schema.is_concrete():
+            return schema.attribute_names()
+        return None
+    if isinstance(value, TupleCons):
+        return tuple(name for name, _ in value.fields)
+    if isinstance(value, ConcatTuple):
+        names: List[str] = []
+        counts: Dict[str, int] = {}
+        for _, schema in value.parts:
+            if schema is None or schema.generic:
+                return None
+            for attr in schema.attributes:
+                count = counts.get(attr.name, 0)
+                counts[attr.name] = count + 1
+                names.append(attr.name if count == 0 else f"{attr.name}_{count}")
+        return tuple(names)
+    return None
+
+
+def _concat_component(value: ConcatTuple, out_name: str) -> Optional[ValueExpr]:
+    """The component of a concatenation owning (deduplicated) ``out_name``."""
+    counts: Dict[str, int] = {}
+    for part, schema in value.parts:
+        if schema is None or schema.generic:
+            return None
+        for attr in schema.attributes:
+            count = counts.get(attr.name, 0)
+            counts[attr.name] = count + 1
+            this_name = attr.name if count == 0 else f"{attr.name}_{count}"
+            if this_name == out_name:
+                return project_attr(part, attr.name)
+    return None
+
+
+def _project_for_decomposition(value: ValueExpr, out_name: str) -> Optional[ValueExpr]:
+    if isinstance(value, ConcatTuple):
+        return _concat_component(value, out_name)
+    return project_attr(value, out_name)
+
+
+def _decompose_tuple_equalities(
+    term: NormalTerm, var_schemas: SchemaEnv, trace: Optional[ProofTrace]
+) -> Tuple[bool, NormalTerm]:
+    """Split one whole-tuple equality into attribute equalities."""
+    bound = dict(term.vars)
+    for pred in term.preds:
+        if not isinstance(pred, EqPred):
+            continue
+        left_names = _tuple_attr_names(pred.left, bound, var_schemas)
+        right_names = _tuple_attr_names(pred.right, bound, var_schemas)
+        if left_names is None or right_names is None:
+            continue
+        if len(left_names) != len(right_names):
+            # Incompatible arities: under the standard interpretation the
+            # tuples differ; leave the equality symbolic (sound).
+            continue
+        new_preds: List[Predicate] = [p for p in term.preds if p != pred]
+        ok = True
+        for left_name, right_name in zip(left_names, right_names):
+            left_component = _project_for_decomposition(pred.left, left_name)
+            right_component = _project_for_decomposition(pred.right, right_name)
+            if left_component is None or right_component is None:
+                ok = False
+                break
+            new_preds.append(EqPred(left_component, right_component))
+        if not ok:
+            continue
+        if trace is not None:
+            trace.record("tuple-ext", f"decompose {pred}")
+        new_term = NormalTerm(
+            term.vars, tuple(new_preds), term.rels, term.squash_part, term.neg_part
+        )
+        return True, new_term
+    return False, term
+
+
+# ---------------------------------------------------------------------------
+# Def. 4.1: key unification
+# ---------------------------------------------------------------------------
+
+
+def _apply_key_unification(
+    term: NormalTerm,
+    closure: CongruenceClosure,
+    constraints: ConstraintSet,
+    trace: Optional[ProofTrace],
+) -> Tuple[bool, NormalTerm]:
+    for table, key_attrs in [(c.table, c.attributes) for c in constraints.keys]:
+        atoms = [
+            (i, arg) for i, (name, arg) in enumerate(term.rels) if name == table
+        ]
+        for pos_a in range(len(atoms)):
+            for pos_b in range(pos_a + 1, len(atoms)):
+                index_a, arg_a = atoms[pos_a]
+                index_b, arg_b = atoms[pos_b]
+                same_key = all(
+                    closure.equal(
+                        project_attr(arg_a, attr), project_attr(arg_b, attr)
+                    )
+                    for attr in key_attrs
+                )
+                if not same_key:
+                    continue
+                new_rels = tuple(
+                    atom for i, atom in enumerate(term.rels) if i != index_b
+                )
+                new_preds = term.preds
+                if arg_a != arg_b:
+                    new_preds = new_preds + (EqPred(arg_a, arg_b),)
+                if trace is not None:
+                    trace.record(
+                        "key",
+                        f"merge {table}({arg_a}) with {table}({arg_b})",
+                    )
+                new_term = NormalTerm(
+                    term.vars, new_preds, new_rels, term.squash_part, term.neg_part
+                )
+                return True, new_term
+    return False, term
+
+
+# ---------------------------------------------------------------------------
+# Def. 4.4: foreign-key join elimination
+# ---------------------------------------------------------------------------
+
+
+def _apply_fk_elimination(
+    term: NormalTerm,
+    closure: CongruenceClosure,
+    constraints: ConstraintSet,
+    trace: Optional[ProofTrace],
+) -> Tuple[bool, NormalTerm]:
+    bound_names = term.bound_names()
+    for fk in constraints.foreign_keys:
+        for index, (rel_name, arg) in enumerate(term.rels):
+            if rel_name != fk.ref_table or not isinstance(arg, TupleVar):
+                continue
+            if arg.name not in bound_names:
+                continue
+            if not _fk_atom_removable(term, closure, fk, index, arg):
+                continue
+            var_name = arg.name
+            new_rels = tuple(a for i, a in enumerate(term.rels) if i != index)
+            new_preds = tuple(
+                p for p in term.preds if var_name not in p.free_tuple_vars()
+            )
+            new_vars = tuple(v for v in term.vars if v[0] != var_name)
+            if trace is not None:
+                trace.record(
+                    "fk",
+                    f"eliminate {fk.ref_table}({var_name}) via "
+                    f"{fk.table}.{fk.attributes} → {fk.ref_table}.{fk.ref_attributes}",
+                )
+            new_term = NormalTerm(
+                new_vars, new_preds, new_rels, term.squash_part, term.neg_part
+            )
+            return True, new_term
+    return False, term
+
+
+def _fk_atom_removable(
+    term: NormalTerm,
+    closure: CongruenceClosure,
+    fk,
+    atom_index: int,
+    var: TupleVar,
+) -> bool:
+    """Check the Def. 4.4 side conditions for removing ``ref_table(var)``.
+
+    The referencing atom ``S(s)`` must be present with all fk attributes
+    congruent to the candidate's key attributes, and the candidate variable
+    must occur *only* in this atom and in equalities pinning its referenced
+    key attributes.
+    """
+    name = var.name
+    # A referencing atom with congruent fk attributes must exist.
+    referencing = False
+    for rel_name, sarg in term.rels:
+        if rel_name != fk.table:
+            continue
+        if all(
+            closure.equal(
+                project_attr(var, ref_attr), project_attr(sarg, src_attr)
+            )
+            for src_attr, ref_attr in zip(fk.attributes, fk.ref_attributes)
+        ):
+            referencing = True
+            break
+    if not referencing:
+        return False
+    # Occurrence discipline: only this atom and key-pinning equalities.
+    for i, (_, other_arg) in enumerate(term.rels):
+        if i != atom_index and name in other_arg.free_tuple_vars():
+            return False
+    allowed_accesses = {Attr(var, a) for a in fk.ref_attributes}
+    for pred in term.preds:
+        if name not in pred.free_tuple_vars():
+            continue
+        if not isinstance(pred, EqPred):
+            return False
+        sides = [pred.left, pred.right]
+        var_sides = [s for s in sides if name in s.free_tuple_vars()]
+        free_sides = [s for s in sides if name not in s.free_tuple_vars()]
+        if len(var_sides) != 1 or len(free_sides) != 1:
+            return False
+        if var_sides[0] not in allowed_accesses:
+            return False
+    for part in (term.squash_part, term.neg_part):
+        if part is None:
+            continue
+        for sub in part:
+            if name in sub.free_tuple_vars():
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4.3: squash invariance
+# ---------------------------------------------------------------------------
+
+
+def _apply_squash_invariance(
+    term: NormalTerm,
+    constraints: ConstraintSet,
+    var_schemas: SchemaEnv,
+    trace: Optional[ProofTrace],
+) -> NormalTerm:
+    """Absorb a key-determined term into a squash factor (Theorem 4.3).
+
+    The theorem states ``T = ‖T‖`` for terms whose summations are key-pinned
+    to external expressions; the squash factor ``‖E‖`` may be trivial
+    (``E = 1``), so the rewrite also applies to squash-free terms — that is
+    how ``R(t) = ‖R(t)‖`` under a key (via Def. 4.1's ``R(t)² = R(t)`` and
+    Eq. (6)) enters the canonical form.  Negation factors are excluded: the
+    axioms do not give ``not(x)² = not(x)``.
+    """
+    if term.neg_part is not None:
+        return term
+    if not term.rels and term.squash_part is None:
+        # A pure predicate product is already squash-stable (Eq. (11));
+        # wrapping it would only churn the representation.
+        return term
+    if not _is_key_determined(term, constraints):
+        return term
+    inner = flatten_squash(
+        (NormalTerm(term.vars, term.preds, term.rels, term.squash_part, None),)
+    )
+    # The absorption merged previously-separate factors into single terms;
+    # canonize the merged body so key/FK identities fire across them.
+    inner = canonize_form(
+        inner, constraints, var_schemas, trace, apply_squash_invariance=False
+    )
+    squashed = make_term((), (), (), inner, None)
+    if squashed is None:
+        return term
+    if trace is not None:
+        trace.record("key-squash", "term absorbed into its squash factor")
+    return squashed
+
+
+def _is_key_determined(term: NormalTerm, constraints: ConstraintSet) -> bool:
+    """Every summation pinned through a key to external values; all atoms keyed.
+
+    The fixpoint mirrors Theorem 4.3 applied once per summation, innermost
+    first: a bound variable is determined when some atom ``R(t)`` has every
+    key attribute congruent to an expression over free or already-determined
+    variables.
+    """
+    closure = build_closure(term)
+    bound = set(term.bound_names())
+    # Every relation atom must belong to a relation with a declared key,
+    # otherwise R(t)² = R(t) is unavailable.
+    for rel_name, _ in term.rels:
+        if not constraints.has_key(rel_name):
+            return False
+    determined: Set[str] = set()
+
+    def value_determined(value: ValueExpr) -> bool:
+        return all(
+            v in determined or v not in bound for v in value.free_tuple_vars()
+        )
+
+    changed = True
+    while changed:
+        changed = False
+        for name in list(bound - determined):
+            var = TupleVar(name)
+            pinned = False
+            for rel_name, arg in term.rels:
+                if arg != var:
+                    continue
+                for key_attrs in constraints.keys_of(rel_name):
+                    if all(
+                        any(
+                            member != Attr(var, attr)
+                            and name not in member.free_tuple_vars()
+                            and value_determined(member)
+                            for member in closure.class_members(
+                                Attr(var, attr)
+                            )
+                        )
+                        for attr in key_attrs
+                    ):
+                        pinned = True
+                        break
+                if pinned:
+                    break
+            if pinned:
+                determined.add(name)
+                changed = True
+    return bound <= determined

@@ -1,0 +1,86 @@
+"""Human-readable proof reports.
+
+A proved goal carries an axiom trace; this module turns the whole pipeline
+state — the two queries, their U-expressions, SPNF, canonical forms, and the
+trace — into a Markdown document in the style of the paper's worked examples
+(Ex. 4.7, Sec. 5.4).  Used by the CLI's ``--report`` flag and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.constraints.model import constraints_from_catalog
+from repro.frontend.solver import Solver
+from repro.udp.canonize import canonize_form
+from repro.usr.axioms import AXIOMS
+from repro.usr.pretty import pretty_form
+from repro.usr.spnf import normalize
+
+
+def render_proof_report(solver: Solver, left: str, right: str) -> str:
+    """A Markdown report of deciding ``left ≡ right`` under the catalog."""
+    outcome = solver.check(left, right)
+    constraints = constraints_from_catalog(solver.catalog)
+
+    lines: List[str] = []
+    lines.append("# Equivalence proof report")
+    lines.append("")
+    lines.append("## Queries")
+    lines.append("")
+    lines.append("```sql")
+    lines.append(f"-- Q1\n{left.strip()}")
+    lines.append(f"-- Q2\n{right.strip()}")
+    lines.append("```")
+    lines.append("")
+    lines.append(f"Integrity constraints: {constraints}")
+    lines.append("")
+
+    try:
+        left_denotation = solver.compile(left)
+        right_denotation = solver.compile(right)
+    except Exception as error:  # unsupported fragment
+        lines.append(f"**verdict: {outcome.verdict.value}** — {error}")
+        return "\n".join(lines)
+
+    for label, denotation in (("Q1", left_denotation), ("Q2", right_denotation)):
+        lines.append(f"## {label} — U-expression (Sec. 3.2)")
+        lines.append("")
+        lines.append("```")
+        lines.append(f"λ{denotation.var}. {denotation.body}")
+        lines.append("```")
+        lines.append("")
+        form = normalize(denotation.body)
+        lines.append(f"### {label} — SPNF (Theorem 3.4)")
+        lines.append("")
+        lines.append("```")
+        lines.append(pretty_form(form))
+        lines.append("```")
+        lines.append("")
+        canonical = canonize_form(
+            form, constraints, {denotation.var: denotation.schema}
+        )
+        lines.append(f"### {label} — canonical form (Algorithm 1)")
+        lines.append("")
+        lines.append("```")
+        lines.append(pretty_form(canonical))
+        lines.append("```")
+        lines.append("")
+
+    lines.append(f"## Verdict: **{outcome.verdict.value}**")
+    lines.append("")
+    if outcome.reason:
+        lines.append(f"Reason: {outcome.reason}")
+        lines.append("")
+    if outcome.proved and outcome.trace is not None:
+        lines.append("Axioms applied (in order of first use):")
+        lines.append("")
+        for key in outcome.trace.axioms_used():
+            axiom = AXIOMS.get(key)
+            if axiom is not None:
+                lines.append(f"* `{key}` — {axiom.statement}  ({axiom.source})")
+            else:
+                lines.append(f"* `{key}`")
+        lines.append("")
+        lines.append(f"Total rewrite steps recorded: {len(outcome.trace)}")
+    return "\n".join(lines)

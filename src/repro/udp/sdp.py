@@ -1,0 +1,42 @@
+"""SDP — the decision procedure for squashed expressions (Algorithm 4).
+
+Entry point named after the paper: ``SDP(‖E1‖, ‖E2‖, C)``.  The inputs are
+the squash *bodies* as flattened normal forms (nested squashes removed by
+Lemma 5.1 during normalization); the procedure canonizes both and checks
+set-semantics equivalence of the unions — by mutual homomorphism containment
+(default) or by the paper's minimize-then-match formulation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.constraints.model import ConstraintSet
+from repro.udp.canonize import SchemaEnv, canonize_form
+from repro.udp.trace import ProofTrace
+from repro.usr.spnf import NormalForm
+
+
+def sdp(
+    left: NormalForm,
+    right: NormalForm,
+    constraints: Optional[ConstraintSet] = None,
+    env: Optional[SchemaEnv] = None,
+    trace: Optional[ProofTrace] = None,
+    strategy: str = "homomorphism",
+) -> bool:
+    """Are ``‖Σ left‖`` and ``‖Σ right‖`` equivalent under ``constraints``?"""
+    from repro.udp.decide import DecisionOptions, _Engine
+
+    constraints = constraints or ConstraintSet()
+    trace = trace if trace is not None else ProofTrace()
+    engine = _Engine(
+        constraints, DecisionOptions(sdp_strategy=strategy), trace
+    )
+    left = canonize_form(
+        left, constraints, env or {}, trace, apply_squash_invariance=False
+    )
+    right = canonize_form(
+        right, constraints, env or {}, trace, apply_squash_invariance=False
+    )
+    return engine.sdp_equivalent(left, right)

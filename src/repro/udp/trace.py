@@ -1,0 +1,99 @@
+"""Proof traces and verdicts.
+
+The Lean implementation produces a machine-checkable proof term; our
+reproduction records the same information as a :class:`ProofTrace` — an
+ordered list of axiom applications (:class:`ProofStep`), each naming an entry
+of the axiom catalog (:mod:`repro.usr.axioms`) and describing the subterm it
+was applied to.  A ``PROVED`` verdict therefore carries the full chain of
+identities that rewrites one query's U-expression into the other's.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.usr.axioms import AXIOMS
+
+
+class Verdict(enum.Enum):
+    """Outcome of the decision procedure.
+
+    ``PROVED`` is definitive (soundness, Theorem 5.3).  ``NOT_PROVED`` means
+    no proof was found — the queries may still be equivalent unless they fall
+    in a completeness fragment (Theorems 5.4/5.5), in which case it is a
+    genuine non-equivalence.  ``UNSUPPORTED`` marks queries outside the Fig. 2
+    fragment, and ``TIMEOUT`` a blown search budget.
+    """
+
+    PROVED = "proved"
+    NOT_PROVED = "not_proved"
+    UNSUPPORTED = "unsupported"
+    TIMEOUT = "timeout"
+
+    def __bool__(self) -> bool:
+        return self is Verdict.PROVED
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One axiom application."""
+
+    axiom: str
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.axiom not in AXIOMS and self.axiom != "structural":
+            raise ValueError(f"unknown axiom key {self.axiom!r}")
+
+    def __str__(self) -> str:
+        if self.detail:
+            return f"{self.axiom}: {self.detail}"
+        return self.axiom
+
+
+class ProofTrace:
+    """An append-only log of axiom applications."""
+
+    def __init__(self) -> None:
+        self.steps: List[ProofStep] = []
+
+    def record(self, axiom: str, detail: str = "") -> None:
+        self.steps.append(ProofStep(axiom, detail))
+
+    def extend(self, other: "ProofTrace") -> None:
+        self.steps.extend(other.steps)
+
+    def axioms_used(self) -> List[str]:
+        seen: List[str] = []
+        for step in self.steps:
+            if step.axiom not in seen:
+                seen.append(step.axiom)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __str__(self) -> str:
+        return "\n".join(str(step) for step in self.steps)
+
+
+@dataclass
+class DecisionResult:
+    """Verdict plus evidence."""
+
+    verdict: Verdict
+    trace: ProofTrace = field(default_factory=ProofTrace)
+    reason: str = ""
+    elapsed_seconds: float = 0.0
+
+    @property
+    def proved(self) -> bool:
+        return self.verdict is Verdict.PROVED
+
+    def __str__(self) -> str:
+        head = f"{self.verdict.value}"
+        if self.reason:
+            head += f" ({self.reason})"
+        return head

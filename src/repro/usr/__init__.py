@@ -1,0 +1,71 @@
+"""U-semiring expressions: the paper's core formalism (Sec. 3).
+
+A SQL query denotes a function ``Tuple(σ) → U`` into an *unbounded semiring*
+``(U, 0, 1, +, ×, ‖·‖, not(·), (Σ_D))``.  This package defines:
+
+* :mod:`repro.usr.values` — value expressions (tuple variables, attribute
+  access, uninterpreted functions, aggregates, constants);
+* :mod:`repro.usr.predicates` — predicate atoms ``[b]``;
+* :mod:`repro.usr.terms` — the U-expression AST and the denotation wrapper;
+* :mod:`repro.usr.axioms` — the axiom catalog (each a named identity);
+* :mod:`repro.usr.spnf` — normalization into Sum-Product Normal Form
+  (Theorem 3.4);
+* :mod:`repro.usr.compile` — the SQL → U-expression translation (Sec. 3.2);
+* :mod:`repro.usr.substitute` — capture-avoiding substitution;
+* :mod:`repro.usr.pretty` / :mod:`repro.usr.size` — printing and metrics.
+"""
+
+from repro.usr.terms import (
+    Add,
+    Mul,
+    Not,
+    One,
+    Pred,
+    QueryDenotation,
+    Rel,
+    Squash,
+    Sum,
+    UExpr,
+    Zero,
+    add,
+    mul,
+)
+from repro.usr.values import (
+    Agg,
+    Attr,
+    ConcatTuple,
+    ConstVal,
+    Func,
+    TupleCons,
+    TupleVar,
+    ValueExpr,
+)
+from repro.usr.predicates import AtomPred, EqPred, NePred, Predicate
+
+__all__ = [
+    "Add",
+    "Agg",
+    "AtomPred",
+    "Attr",
+    "ConcatTuple",
+    "ConstVal",
+    "EqPred",
+    "Func",
+    "Mul",
+    "NePred",
+    "Not",
+    "One",
+    "Pred",
+    "Predicate",
+    "QueryDenotation",
+    "Rel",
+    "Squash",
+    "Sum",
+    "TupleCons",
+    "TupleVar",
+    "UExpr",
+    "ValueExpr",
+    "Zero",
+    "add",
+    "mul",
+]

@@ -1,0 +1,86 @@
+"""The axiom catalog of the U-semiring (Definitions 3.1, Sec. 3.2, Sec. 4).
+
+Every transformation the library performs is an application of one of these
+named identities; proof traces reference them by key.  The catalog is the
+reproduction of the paper's "trusted code base": the 129 lines of Lean
+axioms become this table plus the instance self-check harness in
+:mod:`repro.semirings.base`, which verifies that every concrete semiring we
+ship actually satisfies each identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Axiom:
+    """A named identity between two U-expressions."""
+
+    key: str
+    statement: str
+    source: str
+
+
+_AXIOM_LIST = [
+    # -- commutative semiring ------------------------------------------------
+    Axiom("add-comm", "x + y = y + x", "semiring"),
+    Axiom("add-assoc", "(x + y) + z = x + (y + z)", "semiring"),
+    Axiom("add-zero", "x + 0 = x", "semiring"),
+    Axiom("mul-comm", "x × y = y × x", "semiring"),
+    Axiom("mul-assoc", "(x × y) × z = x × (y × z)", "semiring"),
+    Axiom("mul-one", "x × 1 = x", "semiring"),
+    Axiom("mul-zero", "x × 0 = 0", "semiring"),
+    Axiom("distrib", "x × (y + z) = x × y + x × z", "semiring"),
+    # -- squash (Eq. (1)-(6)) --------------------------------------------------
+    Axiom("squash-zero", "‖0‖ = 0", "Eq. (1)"),
+    Axiom("squash-one-plus", "‖1 + x‖ = 1", "Eq. (1)"),
+    Axiom("squash-absorb-add", "‖‖x‖ + y‖ = ‖x + y‖", "Eq. (2)"),
+    Axiom("squash-mul", "‖x‖ × ‖y‖ = ‖x × y‖", "Eq. (3)"),
+    Axiom("squash-idem", "‖x‖ × ‖x‖ = ‖x‖", "Eq. (4)"),
+    Axiom("squash-self", "x × ‖x‖ = x", "Eq. (5)"),
+    Axiom("squash-fix", "x² = x  ⇒  ‖x‖ = x", "Eq. (6)"),
+    # -- negation -------------------------------------------------------------
+    Axiom("not-zero", "not(0) = 1", "Sec. 3.1"),
+    Axiom("not-mul", "not(x × y) = ‖not(x) + not(y)‖", "Sec. 3.1"),
+    Axiom("not-add", "not(x + y) = not(x) × not(y)", "Sec. 3.1"),
+    Axiom("not-squash", "not(‖x‖) = ‖not(x)‖ = not(x)", "Sec. 3.1"),
+    # -- unbounded summation (Eq. (7)-(10)) -------------------------------------
+    Axiom("sum-add", "Σt (f1 + f2) = Σt f1 + Σt f2", "Eq. (7)"),
+    Axiom("sum-swap", "Σt1 Σt2 f = Σt2 Σt1 f", "Eq. (8)"),
+    Axiom("sum-scale", "x × Σt f = Σt (x × f)", "Eq. (9)"),
+    Axiom("sum-squash", "‖Σt f‖ = ‖Σt ‖f‖‖", "Eq. (10)"),
+    # -- predicates (Eq. (11)-(15)) ----------------------------------------------
+    Axiom("pred-squashed", "[b] = ‖[b]‖", "Eq. (11)"),
+    Axiom("excluded-middle", "[e1 = e2] + [e1 ≠ e2] = 1", "Eq. (12)"),
+    Axiom("subst-equals", "f(e1) × [e1 = e2] = f(e2) × [e1 = e2]", "Eq. (13)"),
+    Axiom("eq-unique", "Σt [t = e] = 1", "Eq. (14)"),
+    Axiom("eq-sum-elim", "Σt [t = e] × f(t) = f(e)", "Eq. (15), derived"),
+    Axiom("eq-trans", "[e1 = e2] × [e2 = e3] = [e1 = e2] × [e2 = e3] × [e1 = e3]",
+          "congruence, derived from Eq. (13)"),
+    # -- integrity constraints -------------------------------------------------
+    Axiom("key", "[t.k = t'.k] × R(t) × R(t') = [t = t'] × R(t)", "Def. 4.1"),
+    Axiom("fk", "S(t') = S(t') × Σt R(t) × [t.k = t'.k']", "Def. 4.4"),
+    Axiom(
+        "key-squash",
+        "Σt [b] ‖E‖ [t.k = e] R(t) = ‖Σt [b] ‖E‖ [t.k = e] R(t)‖",
+        "Theorem 4.3",
+    ),
+    # -- derived lemmas ---------------------------------------------------------
+    Axiom("squash-flatten", "‖a × ‖x‖ + y‖ = ‖a × x + y‖", "Lemma 5.1"),
+    Axiom("view-inline", "v(t) = q(t) for view v := q", "Sec. 4.1"),
+    Axiom(
+        "tuple-ext",
+        "[t = t'] = Π_a [t.a = t'.a] for concrete schemas",
+        "Sec. 4.2 (Ex. 4.7 reconstruction step)",
+    ),
+]
+
+#: key → Axiom, the canonical registry.
+AXIOMS: Dict[str, Axiom] = {axiom.key: axiom for axiom in _AXIOM_LIST}
+
+
+def axiom(key: str) -> Axiom:
+    """Look up an axiom by key; raises KeyError for unknown keys."""
+    return AXIOMS[key]

@@ -1,0 +1,54 @@
+"""Pretty-printing of U-expressions and normal forms.
+
+Two renderings:
+
+* :func:`pretty` — Unicode, close to the paper's notation
+  (``Σ_t([t.a ≥ 12] × R(t))``);
+* :func:`pretty_ascii` — pure ASCII for logs and terminals without Unicode.
+"""
+
+from __future__ import annotations
+
+from repro.usr.spnf import NormalForm, NormalTerm, form_to_uexpr, term_to_uexpr
+from repro.usr.terms import QueryDenotation, UExpr
+
+_ASCII_MAP = {
+    "Σ": "SUM",
+    "‖": "|",
+    "×": "*",
+    "≠": "!=",
+    "⟨": "<",
+    "⟩": ">",
+    "⧺": "++",
+    "λ": "\\",
+    "≥": ">=",
+    "≤": "<=",
+    "¬": "!",
+}
+
+
+def pretty(expr: UExpr) -> str:
+    """Unicode rendering (relies on each node's ``__str__``)."""
+    return str(expr)
+
+
+def pretty_ascii(expr: UExpr) -> str:
+    """ASCII rendering."""
+    text = str(expr)
+    for src, dst in _ASCII_MAP.items():
+        text = text.replace(src, dst)
+    return text
+
+
+def pretty_denotation(denotation: QueryDenotation) -> str:
+    return f"λ{denotation.var}. {pretty(denotation.body)}"
+
+
+def pretty_term(term: NormalTerm) -> str:
+    return pretty(term_to_uexpr(term))
+
+
+def pretty_form(form: NormalForm) -> str:
+    if not form:
+        return "0"
+    return "\n  + ".join(pretty_term(term) for term in form)

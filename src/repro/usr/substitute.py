@@ -1,0 +1,134 @@
+"""Capture-avoiding substitution of tuple variables in U-expressions.
+
+The compiler generates globally-unique binder names, so capture can only occur
+if an expression is substituted *into* itself; we still rename defensively
+whenever a binder collides with a free variable of the payload.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict
+
+from repro.usr.predicates import AtomPred, EqPred, NePred, Predicate
+from repro.usr.terms import (
+    Add,
+    Mul,
+    Not,
+    Pred,
+    Rel,
+    Squash,
+    Sum,
+    UExpr,
+    _One,
+    _Zero,
+)
+from repro.usr.values import (
+    Agg,
+    Attr,
+    ConcatTuple,
+    ConstVal,
+    Func,
+    TupleCons,
+    TupleVar,
+    ValueExpr,
+    project_attr,
+)
+
+_rename_counter = itertools.count()
+
+
+def fresh_name(base: str) -> str:
+    """A globally fresh tuple-variable name derived from ``base``."""
+    stem = base.split("$")[0]
+    return f"{stem}${next(_rename_counter)}"
+
+
+def substitute_tuple_var(expr: UExpr, var: str, value: ValueExpr) -> UExpr:
+    """Replace free occurrences of tuple variable ``var`` by ``value``."""
+    return _subst(expr, {var: value})
+
+
+def substitute_many(expr: UExpr, mapping: Dict[str, ValueExpr]) -> UExpr:
+    """Simultaneous substitution of several tuple variables."""
+    if not mapping:
+        return expr
+    return _subst(expr, dict(mapping))
+
+
+def _subst(expr: UExpr, mapping: Dict[str, ValueExpr]) -> UExpr:
+    if isinstance(expr, (_Zero, _One)):
+        return expr
+    if isinstance(expr, Add):
+        return Add(tuple(_subst(a, mapping) for a in expr.args))
+    if isinstance(expr, Mul):
+        return Mul(tuple(_subst(a, mapping) for a in expr.args))
+    if isinstance(expr, Squash):
+        return Squash(_subst(expr.body, mapping))
+    if isinstance(expr, Not):
+        return Not(_subst(expr.body, mapping))
+    if isinstance(expr, Pred):
+        return Pred(subst_predicate(expr.pred, mapping))
+    if isinstance(expr, Rel):
+        return Rel(expr.name, subst_value(expr.arg, mapping))
+    if isinstance(expr, Sum):
+        inner = {k: v for k, v in mapping.items() if k != expr.var}
+        if not inner:
+            return expr
+        payload_vars: frozenset = frozenset()
+        for value in inner.values():
+            payload_vars |= value.free_tuple_vars()
+        var = expr.var
+        body = expr.body
+        if var in payload_vars:
+            renamed = fresh_name(var)
+            body = _subst(body, {var: TupleVar(renamed)})
+            var = renamed
+        return Sum(var, expr.schema, _subst(body, inner))
+    raise TypeError(f"cannot substitute in {type(expr).__name__}")
+
+
+def subst_predicate(pred: Predicate, mapping: Dict[str, ValueExpr]) -> Predicate:
+    if isinstance(pred, EqPred):
+        return EqPred(subst_value(pred.left, mapping), subst_value(pred.right, mapping))
+    if isinstance(pred, NePred):
+        return NePred(subst_value(pred.left, mapping), subst_value(pred.right, mapping))
+    if isinstance(pred, AtomPred):
+        return AtomPred(pred.name, tuple(subst_value(a, mapping) for a in pred.args))
+    raise TypeError(f"cannot substitute in predicate {type(pred).__name__}")
+
+
+def subst_value(value: ValueExpr, mapping: Dict[str, ValueExpr]) -> ValueExpr:
+    if isinstance(value, TupleVar):
+        return mapping.get(value.name, value)
+    if isinstance(value, Attr):
+        base = subst_value(value.base, mapping)
+        # Re-normalize so ⟨a: e⟩.a reduces after substitution.
+        return project_attr(base, value.name)
+    if isinstance(value, ConstVal):
+        return value
+    if isinstance(value, Func):
+        return Func(value.name, tuple(subst_value(a, mapping) for a in value.args))
+    if isinstance(value, Agg):
+        inner = {k: v for k, v in mapping.items() if k != value.var}
+        if not inner:
+            return value
+        payload_vars: frozenset = frozenset()
+        for payload in inner.values():
+            payload_vars |= payload.free_tuple_vars()
+        var = value.var
+        body = value.body
+        if var in payload_vars:
+            renamed = fresh_name(var)
+            body = substitute_tuple_var(body, var, TupleVar(renamed))
+            var = renamed
+        return Agg(value.name, var, value.schema, _subst(body, inner))
+    if isinstance(value, TupleCons):
+        return TupleCons(
+            tuple((n, subst_value(v, mapping)) for n, v in value.fields)
+        )
+    if isinstance(value, ConcatTuple):
+        return ConcatTuple(
+            tuple((subst_value(v, mapping), s) for v, s in value.parts)
+        )
+    raise TypeError(f"cannot substitute in value {type(value).__name__}")

@@ -1,0 +1,177 @@
+"""Value expressions: the scalar/tuple-level terms inside ``[b]`` and ``R(t)``.
+
+These are the ``e`` of Fig. 2 after translation: tuple variables, attribute
+projections, uninterpreted function applications, aggregates over query
+denotations, constants, and (for the Eq. (15) elimination machinery) explicit
+tuple constructors.
+
+All nodes are immutable, hashable, and compare structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, TYPE_CHECKING
+
+from repro.sql.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.usr.terms import UExpr
+
+
+class ValueExpr:
+    """Base class for value expressions."""
+
+    __slots__ = ()
+
+    def free_tuple_vars(self) -> frozenset:
+        """Names of tuple variables occurring free in this value."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TupleVar(ValueExpr):
+    """A tuple variable ``t`` ranging over ``Tuple(σ)``."""
+
+    name: str
+
+    def free_tuple_vars(self) -> frozenset:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Attr(ValueExpr):
+    """Attribute access ``base.name``."""
+
+    base: ValueExpr
+    name: str
+
+    def free_tuple_vars(self) -> frozenset:
+        return self.base.free_tuple_vars()
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.name}"
+
+
+@dataclass(frozen=True)
+class ConstVal(ValueExpr):
+    """A literal constant."""
+
+    value: object
+
+    def free_tuple_vars(self) -> frozenset:
+        return frozenset()
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Func(ValueExpr):
+    """Uninterpreted function application ``f(e1, ..., en)``."""
+
+    name: str
+    args: Tuple[ValueExpr, ...]
+
+    def free_tuple_vars(self) -> frozenset:
+        out: frozenset = frozenset()
+        for arg in self.args:
+            out |= arg.free_tuple_vars()
+        return out
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class Agg(ValueExpr):
+    """An aggregate ``agg(λ var. body)`` over a query denotation.
+
+    ``body`` is a U-expression with ``var`` free; the pair represents the
+    K-relation the aggregate consumes.  The decision procedure treats ``Agg``
+    as an uninterpreted function of the *canonized* body, so two aggregates
+    are equal when their names match and their bodies are U-equivalent.
+    """
+
+    name: str
+    var: str
+    schema: Schema
+    body: "UExpr"
+
+    def free_tuple_vars(self) -> frozenset:
+        return self.body.free_tuple_vars() - frozenset({self.var})
+
+    def __str__(self) -> str:
+        return f"{self.name}(λ{self.var}. {self.body})"
+
+
+@dataclass(frozen=True)
+class TupleCons(ValueExpr):
+    """An explicit tuple ``⟨a1: e1, ..., an: en⟩``.
+
+    Produced when a summation variable with a fully-known schema is pinned
+    attribute-by-attribute (Ex. 4.7's ``[t1 = (t3.k, t3.a)]`` step) and then
+    substituted away via Eq. (15).
+    """
+
+    fields: Tuple[Tuple[str, ValueExpr], ...]
+
+    def free_tuple_vars(self) -> frozenset:
+        out: frozenset = frozenset()
+        for _, value in self.fields:
+            out |= value.free_tuple_vars()
+        return out
+
+    def field(self, name: str) -> Optional[ValueExpr]:
+        for field_name, value in self.fields:
+            if field_name == name:
+                return value
+        return None
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{n}: {v}" for n, v in self.fields)
+        return f"⟨{inner}⟩"
+
+
+@dataclass(frozen=True)
+class ConcatTuple(ValueExpr):
+    """Concatenation of tuples ``t1 ⧺ t2 ⧺ ...`` (cross-product output).
+
+    Each part carries its schema when known, so attribute access can route to
+    the right component; parts with generic schemas keep accesses opaque.
+    """
+
+    parts: Tuple[Tuple[ValueExpr, Optional[Schema]], ...]
+
+    def free_tuple_vars(self) -> frozenset:
+        out: frozenset = frozenset()
+        for value, _ in self.parts:
+            out |= value.free_tuple_vars()
+        return out
+
+    def __str__(self) -> str:
+        return " ⧺ ".join(str(v) for v, _ in self.parts)
+
+
+def project_attr(value: ValueExpr, name: str) -> ValueExpr:
+    """Smart attribute access: simplifies projections of constructors.
+
+    ``⟨a: e⟩.a`` reduces to ``e``; concatenations route to the component whose
+    (concrete) schema owns the attribute; anything else stays symbolic.
+    """
+    if isinstance(value, TupleCons):
+        field = value.field(name)
+        if field is not None:
+            return field
+        return Attr(value, name)
+    if isinstance(value, ConcatTuple):
+        for part, schema in value.parts:
+            if schema is not None and schema.has_attribute(name):
+                return project_attr(part, name)
+        return Attr(value, name)
+    return Attr(value, name)

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Solver
+from repro.sql.program import Catalog
+from repro.sql.schema import Schema
+
+#: Two plain tables, no constraints.
+RS_PROGRAM = """
+schema rs(a:int, b:int);
+schema ss(c:int, d:int);
+table r(rs);
+table s(ss);
+"""
+
+#: Keyed + indexed relation (Fig. 1 setting).
+KEYED_PROGRAM = """
+schema ks(k:int, a:int);
+table r0(ks);
+key r0(k);
+index i0 on r0(a);
+"""
+
+#: Calcite-style EMP/DEPT with key + foreign key.
+EMP_PROGRAM = """
+schema emp_s(empno:int, ename:string, deptno:int, sal:int, comm:int);
+schema dept_s(deptno:int, dname:string, loc:string);
+table emp(emp_s);
+table dept(dept_s);
+key emp(empno);
+key dept(deptno);
+foreign key emp(deptno) references dept(deptno);
+"""
+
+
+@pytest.fixture
+def rs_solver() -> Solver:
+    return Solver.from_program_text(RS_PROGRAM)
+
+
+@pytest.fixture
+def keyed_solver() -> Solver:
+    return Solver.from_program_text(KEYED_PROGRAM)
+
+
+@pytest.fixture
+def emp_solver() -> Solver:
+    return Solver.from_program_text(EMP_PROGRAM)
+
+
+@pytest.fixture
+def rs_catalog(rs_solver) -> Catalog:
+    return rs_solver.catalog
+
+
+def make_catalog(*tables) -> Catalog:
+    """``make_catalog(("r", "a", "b"), ("s", "c"))`` — int-typed helper."""
+    catalog = Catalog()
+    for spec in tables:
+        name, *attrs = spec
+        catalog.add_table_with_schema(name, Schema.of(name + "_s", *attrs))
+    return catalog

@@ -1,0 +1,223 @@
+"""Canonizer tests (Algorithm 1): elimination, keys, foreign keys, Thm 4.3."""
+
+import pytest
+
+from repro.constraints.model import ConstraintSet
+from repro.semirings import Interpretation, NaturalsSemiring
+from repro.semirings.interp import tuple_key
+from repro.sql.program import ForeignKeyConstraint, KeyConstraint
+from repro.sql.schema import Schema
+from repro.udp.canonize import build_closure, canonize_form, canonize_term
+from repro.usr.predicates import AtomPred, EqPred, NePred
+from repro.usr.spnf import form_to_uexpr, normalize
+from repro.usr.terms import Pred, Rel, Sum, mul, squash
+from repro.usr.values import Attr, ConstVal, TupleCons, TupleVar
+
+S = Schema.of("s", "k", "a")
+T, U, V = TupleVar("t"), TupleVar("u"), TupleVar("v")
+EMPTY = ConstraintSet()
+KEYED = ConstraintSet(keys=[KeyConstraint("r", ("k",))])
+
+
+def canon(expr, constraints=EMPTY, env=None):
+    return canonize_form(normalize(expr), constraints, env or {})
+
+
+def test_eq15_whole_variable_elimination():
+    # Σ_u [u = t] × r(u)  =  r(t)
+    expr = Sum("u", S, mul(Pred(EqPred(U, T)), Rel("r", U)))
+    form = canon(expr, env={"t": S})
+    assert len(form) == 1
+    term = form[0]
+    assert term.vars == ()
+    assert term.rels == (("r", T),)
+
+
+def test_eq15_preserves_meaning_in_model():
+    expr = Sum("u", S, mul(Pred(EqPred(U, T)), Rel("r", U)))
+    form = canon(expr, env={"t": S})
+    rows = [{"k": 0, "a": 1}, {"k": 0, "a": 1}]
+    table = {}
+    for row in rows:
+        table[tuple_key(row)] = table.get(tuple_key(row), 0) + 1
+    model = Interpretation(NaturalsSemiring(), [0, 1], {"r": table})
+    env = {"t": {"k": 0, "a": 1}}
+    assert model.evaluate(expr, env) == model.evaluate(
+        form_to_uexpr(form), env
+    )
+
+
+def test_tuple_reconstruction_elimination():
+    # Σ_u [u.k = t.k] × [u.a = t.a]  with u feeding no atom: u reconstructs.
+    expr = Sum(
+        "u", S,
+        mul(
+            Pred(EqPred(Attr(U, "k"), Attr(T, "k"))),
+            Pred(EqPred(Attr(U, "a"), Attr(T, "a"))),
+            Pred(AtomPred("<", (Attr(U, "a"), ConstVal(9)))),
+        ),
+    )
+    form = canon(expr, env={"t": S})
+    assert form[0].vars == ()
+    # The surviving atom now constrains t directly.
+    assert "t.a" in str(form[0].preds[0])
+
+
+def test_reconstruction_skipped_when_variable_feeds_relation():
+    expr = Sum(
+        "u", S,
+        mul(
+            Pred(EqPred(Attr(U, "k"), Attr(T, "k"))),
+            Pred(EqPred(Attr(U, "a"), Attr(T, "a"))),
+            Rel("r", U),
+        ),
+    )
+    form = canon(expr, env={"t": S})
+    assert len(form[0].vars) == 1  # u must survive as a relation argument
+
+
+def test_contradictory_inequality_zeroes_term():
+    expr = mul(Pred(EqPred(T, U)), Pred(NePred(T, U)), Rel("r", T))
+    assert canon(expr, env={"t": S, "u": S}) == ()
+
+
+def test_distinct_constants_zero_term():
+    expr = mul(
+        Pred(EqPred(Attr(T, "a"), ConstVal(1))),
+        Pred(EqPred(Attr(T, "a"), ConstVal(2))),
+        Rel("r", T),
+    )
+    assert canon(expr, env={"t": S}) == ()
+
+
+def test_atom_and_negated_atom_zero_term():
+    atom = AtomPred("<", (Attr(T, "a"), ConstVal(5)))
+    negated = AtomPred("¬<", (Attr(T, "a"), ConstVal(5)))
+    expr = mul(Pred(atom), Pred(negated), Rel("r", T))
+    assert canon(expr, env={"t": S}) == ()
+
+
+def test_key_unification_merges_atoms():
+    # Σ_u,v [u.k = v.k] r(u) r(v)  --key-->  Σ_u r(u) (v unified into u)
+    expr = Sum(
+        "u", S,
+        Sum(
+            "v", S,
+            mul(
+                Pred(EqPred(Attr(U, "k"), Attr(V, "k"))),
+                Rel("r", U),
+                Rel("r", V),
+            ),
+        ),
+    )
+    form = canonize_form(normalize(expr), KEYED, {})
+    assert len(form) == 1
+    assert len(form[0].rels) == 1
+    assert len(form[0].vars) == 1
+
+
+def test_key_unification_respects_missing_key_equality():
+    # Without the key equality the two atoms must both survive.
+    expr = Sum("u", S, Sum("v", S, mul(Rel("r", U), Rel("r", V))))
+    form = canonize_form(normalize(expr), KEYED, {})
+    assert len(form[0].rels) == 2
+
+
+def test_duplicate_atom_same_argument_dedups_under_key():
+    expr = mul(Rel("r", T), Rel("r", T))
+    form = canonize_form(normalize(expr), KEYED, {"t": S})
+    # R(t)² = R(t) under a key (Def. 4.1 with t = t').
+    squashed_or_not = form[0]
+    total_atoms = len(squashed_or_not.rels)
+    if squashed_or_not.squash_part is not None:
+        total_atoms += sum(len(st.rels) for st in squashed_or_not.squash_part)
+    assert total_atoms == 1
+
+
+def test_fk_elimination_removes_dangling_join():
+    fk = ConstraintSet(
+        keys=[KeyConstraint("dept", ("dk",))],
+        foreign_keys=[ForeignKeyConstraint("emp", ("dno",), "dept", ("dk",))],
+    )
+    emp_schema = Schema.of("emp_s", "eid", "dno")
+    dept_schema = Schema.of("dept_s", "dk", "dname")
+    e, d = TupleVar("e"), TupleVar("d")
+    expr = Sum(
+        "e", emp_schema,
+        Sum(
+            "d", dept_schema,
+            mul(
+                Pred(EqPred(Attr(d, "dk"), Attr(e, "dno"))),
+                Pred(EqPred(Attr(e, "eid"), Attr(T, "eid"))),
+                Rel("emp", e),
+                Rel("dept", d),
+            ),
+        ),
+    )
+    form = canonize_form(normalize(expr), fk, {"t": Schema.of("o", "eid")})
+    names = [name for name, _ in form[0].rels]
+    assert names == ["emp"]
+
+
+def test_fk_elimination_blocked_when_ref_attrs_used():
+    fk = ConstraintSet(
+        keys=[KeyConstraint("dept", ("dk",))],
+        foreign_keys=[ForeignKeyConstraint("emp", ("dno",), "dept", ("dk",))],
+    )
+    emp_schema = Schema.of("emp_s", "eid", "dno")
+    dept_schema = Schema.of("dept_s", "dk", "dname")
+    e, d = TupleVar("e"), TupleVar("d")
+    expr = Sum(
+        "e", emp_schema,
+        Sum(
+            "d", dept_schema,
+            mul(
+                Pred(EqPred(Attr(d, "dk"), Attr(e, "dno"))),
+                # dname is used, so dept(d) must stay.
+                Pred(AtomPred("<", (Attr(d, "dname"), ConstVal(9)))),
+                Rel("emp", e),
+                Rel("dept", d),
+            ),
+        ),
+    )
+    form = canonize_form(normalize(expr), fk, {})
+    names = sorted(name for name, _ in form[0].rels)
+    assert names == ["dept", "emp"]
+
+
+def test_squash_invariance_absorbs_keyed_term():
+    # [t.k-pinned] r(t) with key: the whole term becomes ‖...‖ (Thm 4.3).
+    expr = mul(
+        Pred(AtomPred("<", (Attr(T, "a"), ConstVal(9)))),
+        Rel("r", T),
+        squash(Rel("q", U)),
+    )
+    constraints = ConstraintSet(
+        keys=[KeyConstraint("r", ("k",)), KeyConstraint("q", ("k",))]
+    )
+    form = canonize_form(normalize(expr), constraints, {"t": S, "u": S})
+    term = form[0]
+    assert term.rels == () and term.preds == ()
+    assert term.squash_part is not None
+
+
+def test_squash_invariance_blocked_without_keys():
+    expr = mul(Rel("r", T), squash(Rel("q", U)))
+    form = canonize_form(normalize(expr), EMPTY, {"t": S, "u": S})
+    term = form[0]
+    assert term.rels != ()  # r(t) must remain outside the squash
+
+
+def test_squash_invariance_blocked_by_negation():
+    from repro.usr.terms import not_
+
+    expr = mul(Rel("r", T), not_(Rel("q", U)), squash(Rel("q", U)))
+    form = canonize_form(normalize(expr), KEYED, {"t": S, "u": S})
+    assert form[0].neg_part is not None
+    assert form[0].rels != ()
+
+
+def test_build_closure_includes_relation_arguments():
+    term = normalize(mul(Pred(EqPred(T, U)), Rel("r", T)))[0]
+    closure = build_closure(term)
+    assert closure.equal(T, U)

@@ -1,0 +1,50 @@
+"""Query clustering tests."""
+
+import pytest
+
+from repro.frontend.cluster import cluster_queries
+
+from tests.conftest import RS_PROGRAM
+from repro import Solver
+
+
+@pytest.fixture
+def solver():
+    return Solver.from_program_text(RS_PROGRAM)
+
+
+def test_equivalent_spellings_cluster_together(solver):
+    groups = cluster_queries(solver, [
+        "SELECT * FROM r x WHERE x.a = 1 AND x.b = 2",
+        "SELECT * FROM r x WHERE x.b = 2 AND x.a = 1",
+        "SELECT * FROM (SELECT * FROM r y WHERE y.a = 1) x WHERE x.b = 2",
+    ])
+    assert len(groups) == 1
+    assert len(groups[0]) == 3
+
+
+def test_inequivalent_queries_split(solver):
+    groups = cluster_queries(solver, [
+        "SELECT * FROM r x WHERE x.a = 1",
+        "SELECT * FROM r x WHERE x.a = 2",
+        "SELECT * FROM r x WHERE 1 = x.a",
+    ])
+    assert sorted(len(g) for g in groups) == [1, 2]
+
+
+def test_unsupported_query_is_singleton(solver):
+    groups = cluster_queries(solver, [
+        "SELECT * FROM r x",
+        "SELECT * FROM r x WHERE x.a IS NULL",
+    ])
+    assert len(groups) == 2
+
+
+def test_empty_input(solver):
+    assert cluster_queries(solver, []) == []
+
+
+def test_representative_is_first_member(solver):
+    first = "SELECT * FROM r x"
+    groups = cluster_queries(solver, [first, "SELECT * FROM r y"])
+    assert groups[0].representative == first

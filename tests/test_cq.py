@@ -1,0 +1,209 @@
+"""Isomorphism, homomorphism, and minimization tests (TDP/SDP cores)."""
+
+import pytest
+
+from repro.cq.homomorphism import find_homomorphism
+from repro.cq.isomorphism import MatchContext, terms_isomorphic
+from repro.cq.minimize import minimize_term
+from repro.sql.schema import Schema
+from repro.usr.predicates import AtomPred, EqPred, NePred
+from repro.usr.spnf import normalize
+from repro.usr.terms import Pred, Rel, Sum, mul, not_, squash
+from repro.usr.values import Attr, ConstVal, TupleVar
+
+S = Schema.of("s", "k", "a")
+S2 = Schema.of("s2", "c")
+T, U, V, W = TupleVar("t"), TupleVar("u"), TupleVar("v"), TupleVar("w")
+
+#: A context whose recursive comparators are structural equality — enough
+#: for terms without squash/negation parts.
+PLAIN = MatchContext(
+    squash_equiv=lambda a, b: a == b,
+    form_equiv=lambda a, b: a == b,
+)
+
+
+def term_of(expr):
+    form = normalize(expr)
+    assert len(form) == 1
+    return form[0]
+
+
+# -- isomorphism -----------------------------------------------------------
+
+
+def test_identical_terms_isomorphic():
+    term = term_of(Sum("u", S, mul(Rel("r", U), Pred(EqPred(Attr(U, "a"), ConstVal(1))))))
+    assert terms_isomorphic(term, term, PLAIN)
+
+
+def test_renamed_terms_isomorphic():
+    left = term_of(Sum("u", S, Rel("r", U)))
+    right = term_of(Sum("v", S, Rel("r", V)))
+    assert terms_isomorphic(left, right, PLAIN)
+
+
+def test_different_relations_not_isomorphic():
+    left = term_of(Sum("u", S, Rel("r", U)))
+    right = term_of(Sum("v", S, Rel("q", V)))
+    assert not terms_isomorphic(left, right, PLAIN)
+
+
+def test_atom_multiplicity_matters():
+    left = term_of(Sum("u", S, mul(Rel("r", U), Rel("r", U))))
+    right = term_of(Sum("v", S, Rel("r", V)))
+    assert not terms_isomorphic(left, right, PLAIN)
+
+
+def test_schema_mismatch_blocks_bijection():
+    left = term_of(Sum("u", S, Rel("r", U)))
+    right = term_of(Sum("v", S2, Rel("r", V)))
+    assert not terms_isomorphic(left, right, PLAIN)
+
+
+def test_predicate_entailment_mutual():
+    # [u.k = 1] × [u.a = u.k] vs [u.a = 1] × [u.k = u.a]: closures agree.
+    left = term_of(
+        Sum("u", S, mul(
+            Pred(EqPred(Attr(U, "k"), ConstVal(1))),
+            Pred(EqPred(Attr(U, "a"), Attr(U, "k"))),
+            Rel("r", U),
+        ))
+    )
+    right = term_of(
+        Sum("v", S, mul(
+            Pred(EqPred(Attr(V, "a"), ConstVal(1))),
+            Pred(EqPred(Attr(V, "k"), Attr(V, "a"))),
+            Rel("r", V),
+        ))
+    )
+    assert terms_isomorphic(left, right, PLAIN)
+
+
+def test_extra_predicate_blocks_isomorphism():
+    left = term_of(Sum("u", S, mul(Pred(AtomPred("<", (Attr(U, "a"), ConstVal(5)))), Rel("r", U))))
+    right = term_of(Sum("v", S, Rel("r", V)))
+    assert not terms_isomorphic(left, right, PLAIN)
+
+
+def test_inequality_atoms_matched_modulo_congruence():
+    left = term_of(Sum("u", S, mul(Pred(NePred(Attr(U, "a"), ConstVal(0))), Rel("r", U))))
+    right = term_of(Sum("v", S, mul(Pred(NePred(ConstVal(0), Attr(V, "a"))), Rel("r", V))))
+    assert terms_isomorphic(left, right, PLAIN)
+
+
+def test_two_variable_permutation_search():
+    left = term_of(
+        Sum("u", S, Sum("v", S, mul(
+            Rel("r", U), Rel("q", V),
+            Pred(EqPred(Attr(U, "a"), Attr(V, "k"))),
+        )))
+    )
+    right = term_of(
+        Sum("x", S, Sum("y", S, mul(
+            Rel("q", TupleVar("x")), Rel("r", TupleVar("y")),
+            Pred(EqPred(Attr(TupleVar("y"), "a"), Attr(TupleVar("x"), "k"))),
+        )))
+    )
+    assert terms_isomorphic(left, right, PLAIN)
+
+
+def test_free_variables_must_align():
+    left = term_of(mul(Rel("r", T)))
+    right = term_of(mul(Rel("r", U)))
+    # t vs u free: not isomorphic (free variables are rigid).
+    assert not terms_isomorphic(left, right, PLAIN)
+
+
+# -- homomorphism -----------------------------------------------------------
+
+
+def test_homomorphism_folds_redundant_atom():
+    # Q = Σ_u,v r(u) r(v) [u.a = v.a]  →  P = Σ_w r(w):  u,v ↦ w.
+    source = term_of(
+        Sum("u", S, Sum("v", S, mul(
+            Rel("r", U), Rel("r", V),
+            Pred(EqPred(Attr(U, "a"), Attr(V, "a"))),
+        )))
+    )
+    target = term_of(Sum("w", S, Rel("r", W)))
+    mapping = find_homomorphism(source, target, PLAIN)
+    assert mapping == {"u": "w", "v": "w"}
+
+
+def test_no_homomorphism_without_matching_atom():
+    source = term_of(Sum("u", S, Rel("r", U)))
+    target = term_of(Sum("v", S, Rel("q", V)))
+    assert find_homomorphism(source, target, PLAIN) is None
+
+
+def test_homomorphism_respects_predicates():
+    source = term_of(
+        Sum("u", S, mul(Pred(EqPred(Attr(U, "a"), ConstVal(1))), Rel("r", U)))
+    )
+    target_without = term_of(Sum("v", S, Rel("r", V)))
+    assert find_homomorphism(source, target_without, PLAIN) is None
+    target_with = term_of(
+        Sum("v", S, mul(Pred(EqPred(Attr(V, "a"), ConstVal(1))), Rel("r", V)))
+    )
+    assert find_homomorphism(source, target_with, PLAIN) is not None
+
+
+def test_homomorphism_direction_asymmetric():
+    small = term_of(Sum("w", S, Rel("r", W)))
+    big = term_of(
+        Sum("u", S, mul(Pred(EqPred(Attr(U, "a"), ConstVal(1))), Rel("r", U)))
+    )
+    # hom(small → big) exists (fold w onto u) ...
+    assert find_homomorphism(small, big, PLAIN) is not None
+    # ... but hom(big → small) does not (the predicate is not entailed).
+    assert find_homomorphism(big, small, PLAIN) is None
+
+
+def test_homomorphism_free_vars_fixed():
+    source = term_of(mul(Rel("r", T)))
+    target = term_of(mul(Rel("r", T)))
+    assert find_homomorphism(source, target, PLAIN) == {}
+
+
+# -- minimization --------------------------------------------------------------
+
+
+def test_minimize_collapses_redundant_self_join():
+    term = term_of(
+        Sum("u", S, Sum("v", S, mul(
+            Rel("r", U), Rel("r", V),
+            Pred(EqPred(Attr(U, "a"), Attr(V, "a"))),
+        )))
+    )
+    core = minimize_term(term)
+    assert len(core.rels) == 1
+    assert len(core.vars) == 1
+
+
+def test_minimize_keeps_distinct_atoms():
+    term = term_of(
+        Sum("u", S, Sum("v", S2, mul(Rel("r", U), Rel("q", V))))
+    )
+    core = minimize_term(term)
+    assert len(core.rels) == 2
+
+
+def test_minimize_fixed_point():
+    term = term_of(Sum("u", S, Rel("r", U)))
+    assert minimize_term(term) == term
+
+
+def test_minimize_triangle_to_edge():
+    # r(u,v), r(v,w) with u.a = v.k, v.a = w.k and no output constraints:
+    # folding w onto u requires r(v, u) to exist — it doesn't, so the chain
+    # of length 2 does NOT minimize to a single atom.
+    term = term_of(
+        Sum("u", S, Sum("v", S, Sum("w", S, mul(
+            Rel("r", U), Rel("r", V), Rel("r", W),
+            Pred(EqPred(Attr(U, "a"), Attr(V, "k"))),
+        ))))
+    )
+    core = minimize_term(term)
+    # w is unconstrained and r(w) folds onto r(u) or r(v).
+    assert len(core.rels) == 2

@@ -1,0 +1,132 @@
+"""GROUP BY / HAVING desugaring tests (Sec. 3.2)."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.sql.ast import AggCall, ExprAs, Select
+from repro.sql.desugar import desugar_query
+from repro.sql.parser import parse_query
+from repro.sql.scope import resolve_query
+
+from tests.conftest import make_catalog
+
+
+@pytest.fixture
+def catalog():
+    return make_catalog(("emp", "empno", "deptno", "sal"))
+
+
+def desugared(catalog, text):
+    resolved, _ = resolve_query(parse_query(text), catalog)
+    return desugar_query(resolved)
+
+
+def test_group_by_becomes_distinct_select(catalog):
+    query = desugared(
+        catalog,
+        "SELECT e.deptno AS deptno, sum(e.sal) AS s FROM emp e GROUP BY e.deptno",
+    )
+    assert isinstance(query, Select)
+    assert query.distinct
+    assert not query.group_by
+
+
+def test_aggregate_becomes_correlated_subquery(catalog):
+    query = desugared(
+        catalog,
+        "SELECT e.deptno AS deptno, sum(e.sal) AS s FROM emp e GROUP BY e.deptno",
+    )
+    agg = query.projections[1].expr
+    assert isinstance(agg, AggCall)
+    inner = agg.query
+    assert isinstance(inner, Select)
+    # The group subquery projects the operand under the agg_arg alias.
+    assert isinstance(inner.projections[0], ExprAs)
+    assert inner.projections[0].alias == "agg_arg"
+    # And correlates the group key with the renamed outer alias.
+    assert inner.where is not None
+
+
+def test_outer_aliases_are_renamed(catalog):
+    query = desugared(
+        catalog,
+        "SELECT e.deptno AS deptno, sum(e.sal) AS s FROM emp e GROUP BY e.deptno",
+    )
+    outer_alias = query.from_items[0].alias
+    assert outer_alias != "e"
+
+
+def test_row_filter_appears_inside_and_outside(catalog):
+    query = desugared(
+        catalog,
+        "SELECT e.deptno AS deptno, sum(e.sal) AS s FROM emp e "
+        "WHERE e.sal > 10 GROUP BY e.deptno",
+    )
+    # Outside: the group-defining query keeps the filter.
+    assert query.where is not None
+    # Inside: the aggregate subquery keeps it too.
+    agg = query.projections[1].expr
+    assert "sal" in str(agg.query.where)
+
+
+def test_having_moves_to_outer_where(catalog):
+    query = desugared(
+        catalog,
+        "SELECT e.deptno AS deptno, sum(e.sal) AS s FROM emp e "
+        "GROUP BY e.deptno HAVING sum(e.sal) > 100",
+    )
+    assert query.where is not None
+    assert "sum" in str(query.where)
+    # The HAVING aggregate must not leak into the group subquery's WHERE.
+    agg = query.projections[1].expr
+    assert agg.query.where is None or "sum" not in str(agg.query.where)
+
+
+def test_global_aggregate_desugars(catalog):
+    query = desugared(catalog, "SELECT sum(e.sal) AS s FROM emp e")
+    assert isinstance(query, Select) and query.distinct
+    assert isinstance(query.projections[0].expr, AggCall)
+
+
+def test_count_star_projects_star_subquery(catalog):
+    query = desugared(
+        catalog, "SELECT e.deptno AS deptno, count(*) AS c FROM emp e GROUP BY e.deptno"
+    )
+    agg = query.projections[1].expr
+    assert isinstance(agg, AggCall)
+    assert str(agg.query).startswith("SELECT *")
+
+
+def test_non_key_bare_column_in_grouped_select_rejected(catalog):
+    with pytest.raises(CompileError):
+        desugared(
+            catalog,
+            "SELECT e.sal AS sal, sum(e.sal) AS s FROM emp e GROUP BY e.deptno",
+        )
+
+
+def test_group_key_can_be_projected_multiple_times(catalog):
+    query = desugared(
+        catalog,
+        "SELECT e.deptno AS d1, e.deptno AS d2 FROM emp e GROUP BY e.deptno",
+    )
+    names = [p.alias for p in query.projections]
+    assert names == ["d1", "d2"]
+
+
+def test_ungrouped_query_unchanged(catalog):
+    text = "SELECT * FROM emp e WHERE e.sal > 10"
+    query = desugared(catalog, text)
+    assert not query.distinct
+    assert query.where is not None
+
+
+def test_nested_grouped_subquery_desugared(catalog):
+    query = desugared(
+        catalog,
+        "SELECT * FROM (SELECT e.deptno AS deptno, sum(e.sal) AS s "
+        "FROM emp e GROUP BY e.deptno) t WHERE t.s > 5",
+    )
+    inner = query.from_items[0].query
+    assert isinstance(inner, Select)
+    assert inner.distinct and not inner.group_by

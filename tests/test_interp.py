@@ -1,0 +1,144 @@
+"""Finite-model interpreter tests, including the equality axioms (12)-(15)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.semirings import (
+    BooleanSemiring,
+    Interpretation,
+    NaturalsSemiring,
+)
+from repro.semirings.interp import tuple_key
+from repro.sql.schema import Schema
+from repro.usr.predicates import AtomPred, EqPred, NePred
+from repro.usr.terms import One, Pred, Rel, Sum, Zero, add, mul, not_, squash
+from repro.usr.values import Agg, Attr, ConcatTuple, ConstVal, Func, TupleCons, TupleVar
+
+S = Schema.of("s", "a")
+T = TupleVar("t")
+N = NaturalsSemiring()
+
+
+def model(rows_r=(), universe=(0, 1)):
+    table = {}
+    for row in rows_r:
+        key = tuple_key(row)
+        table[key] = table.get(key, 0) + 1
+    return Interpretation(N, list(universe), {"r": table})
+
+
+def test_relation_multiplicity():
+    m = model([{"a": 1}, {"a": 1}])
+    assert m.evaluate(Rel("r", T), {"t": {"a": 1}}) == 2
+    assert m.evaluate(Rel("r", T), {"t": {"a": 0}}) == 0
+
+
+def test_sum_counts_whole_bag():
+    m = model([{"a": 0}, {"a": 1}, {"a": 1}])
+    assert m.evaluate(Sum("t", S, Rel("r", T))) == 3
+
+
+def test_eq14_uniqueness_of_equality():
+    """Σ_t [t = e] = 1 in any finite model whose universe covers e."""
+    m = model()
+    e = TupleCons((("a", ConstVal(1)),))
+    expr = Sum("t", S, Pred(EqPred(T, e)))
+    assert m.evaluate(expr) == 1
+
+
+def test_eq15_sum_elimination():
+    """Σ_t [t = e] × f(t) = f(e)."""
+    m = model([{"a": 1}, {"a": 1}])
+    e = TupleCons((("a", ConstVal(1)),))
+    lhs = Sum("t", S, mul(Pred(EqPred(T, e)), Rel("r", T)))
+    rhs = Rel("r", e)
+    assert m.evaluate(lhs) == m.evaluate(rhs) == 2
+
+
+def test_eq12_excluded_middle():
+    m = model()
+    left = Attr(T, "a")
+    expr = add(Pred(EqPred(left, ConstVal(0))), Pred(NePred(left, ConstVal(0))))
+    assert m.evaluate(expr, {"t": {"a": 0}}) == 1
+    assert m.evaluate(expr, {"t": {"a": 1}}) == 1
+
+
+def test_squash_and_not():
+    m = model([{"a": 1}])
+    body = Sum("t", S, Rel("r", T))
+    assert m.evaluate(squash(body)) == 1
+    assert m.evaluate(not_(body)) == 0
+    empty = model([])
+    assert empty.evaluate(squash(body)) == 0
+    assert empty.evaluate(not_(body)) == 1
+
+
+def test_interpreted_comparison_atoms():
+    m = model()
+    lt = Pred(AtomPred("<", (ConstVal(1), ConstVal(2))))
+    assert m.evaluate(lt) == 1
+    ge = Pred(AtomPred("<", (ConstVal(2), ConstVal(1))))
+    assert m.evaluate(ge) == 0
+
+
+def test_negated_atom_is_complement():
+    m = model()
+    atom = Pred(AtomPred("<", (Attr(T, "a"), ConstVal(1))))
+    negated = Pred(AtomPred("¬<", (Attr(T, "a"), ConstVal(1))))
+    env = {"t": {"a": 0}}
+    assert m.evaluate(atom, env) + m.evaluate(negated, env) == 1
+
+
+def test_unknown_atoms_deterministic():
+    m = model()
+    atom = Pred(AtomPred("mystery", (ConstVal(3),)))
+    assert m.evaluate(atom) == m.evaluate(atom)
+
+
+def test_func_values_opaque_but_congruent():
+    m = model()
+    f_of_1 = Func("f", (ConstVal(1),))
+    expr = Pred(EqPred(f_of_1, Func("f", (ConstVal(1),))))
+    assert m.evaluate(expr) == 1
+    expr2 = Pred(EqPred(f_of_1, Func("f", (ConstVal(0),))))
+    assert m.evaluate(expr2) == 0
+
+
+def test_agg_token_depends_on_body_relation():
+    rows = [{"a": 1}, {"a": 1}]  # multiplicity 2, so squaring is visible
+    m = model(rows)
+    agg1 = Agg("sum", "t", S, Rel("r", TupleVar("t")))
+    agg2 = Agg("sum", "t", S, mul(Rel("r", TupleVar("t")), Rel("r", TupleVar("t"))))
+    v1 = m.eval_value(agg1, {})
+    v2 = m.eval_value(agg2, {})
+    assert v1[0] == "agg:sum"
+    assert v1 != v2  # multiplicity 2 vs 4 in the recorded K-relation
+    # Identical bodies give identical tokens.
+    assert m.eval_value(agg1, {}) == m.eval_value(agg1, {})
+
+
+def test_unbound_variable_raises():
+    m = model()
+    with pytest.raises(EvaluationError):
+        m.evaluate(Rel("r", T), {})
+
+
+def test_generic_schema_rejected():
+    m = model()
+    generic = Schema.of("g", "a", generic=True)
+    with pytest.raises(EvaluationError):
+        m.evaluate(Sum("t", generic, One))
+
+
+def test_concat_tuple_evaluation_dedups_names():
+    m = model()
+    s2 = Schema.of("x", "a")
+    concat = ConcatTuple(((TupleVar("t"), s2), (TupleVar("u"), s2)))
+    value = m.eval_value(concat, {"t": {"a": 1}, "u": {"a": 0}})
+    assert value == {"a": 1, "a_1": 0}
+
+
+def test_boolean_semiring_evaluation():
+    table = {tuple_key({"a": 1}): True}
+    m = Interpretation(BooleanSemiring(), [0, 1], {"r": table})
+    assert m.evaluate(Sum("t", S, Rel("r", T))) is True

@@ -1,0 +1,101 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)]
+
+
+def test_keywords_case_insensitive():
+    assert values("SELECT select SeLeCt") == ["select", "select", "select"]
+    assert all(t.kind == "KEYWORD" for t in tokenize("SELECT select"))
+
+
+def test_identifiers_preserve_case():
+    tokens = tokenize("Emp DEPT x_1")
+    assert [t.value for t in tokens] == ["Emp", "DEPT", "x_1"]
+    assert all(t.kind == "IDENT" for t in tokens)
+
+
+def test_integer_literals():
+    tokens = tokenize("0 42 1000")
+    assert [t.value for t in tokens] == ["0", "42", "1000"]
+    assert all(t.kind == "INT" for t in tokens)
+
+
+def test_string_literals():
+    tokens = tokenize("'hello' 'a b c'")
+    assert [t.value for t in tokens] == ["hello", "a b c"]
+    assert all(t.kind == "STRING" for t in tokens)
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize("'oops")
+
+
+def test_unterminated_string_at_newline_raises():
+    with pytest.raises(LexError):
+        tokenize("'oops\nnext'x")
+
+
+def test_line_comments_are_skipped():
+    tokens = tokenize("SELECT -- the projection\n *")
+    assert [t.kind for t in tokens] == ["KEYWORD", "STAR"]
+
+
+def test_comparison_operators():
+    assert values("= <> <= >= < > == !=") == [
+        "=", "<>", "<=", ">=", "<", ">", "==", "<>",
+    ]
+
+
+def test_generic_schema_marker():
+    tokens = tokenize("(a:int, ??)")
+    assert "QQ" in [t.kind for t in tokens]
+
+
+def test_punctuation_kinds():
+    assert kinds("( ) , ; . * : + - /") == [
+        "LPAREN", "RPAREN", "COMMA", "SEMI", "DOT", "STAR", "COLON",
+        "PLUS", "MINUS", "SLASH",
+    ]
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("SELECT\n  x")
+    assert tokens[0].line == 1 and tokens[0].column == 1
+    assert tokens[1].line == 2 and tokens[1].column == 3
+
+
+def test_invalid_character_raises_with_position():
+    with pytest.raises(LexError) as err:
+        tokenize("SELECT @")
+    assert err.value.line == 1
+    assert err.value.column == 8
+
+
+def test_token_is_keyword_helper():
+    token = tokenize("FROM")[0]
+    assert token.is_keyword("from")
+    assert not token.is_keyword("select")
+
+
+def test_qualified_column_tokens():
+    assert kinds("x.a") == ["IDENT", "DOT", "IDENT"]
+
+
+def test_empty_input():
+    assert tokenize("") == []
+
+
+def test_whitespace_only_input():
+    assert tokenize("  \t \n ") == []

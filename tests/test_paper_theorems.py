@@ -1,0 +1,194 @@
+"""Semantic checks of the paper's derived identities and theorems.
+
+Each test evaluates both sides of a derived identity in concrete finite
+models of the ``N`` U-semiring (with constraint-satisfying relation
+interpretations where a theorem assumes a key), confirming the paper's
+Sec. 3–5 derivations hold in the models the library actually uses.
+"""
+
+import itertools
+
+import pytest
+
+from repro.semirings import Interpretation, NaturalsSemiring
+from repro.semirings.interp import tuple_key
+from repro.sql.schema import Schema
+from repro.usr.predicates import AtomPred, EqPred, NePred
+from repro.usr.terms import One, Pred, Rel, Sum, add, mul, not_, squash
+from repro.usr.values import Attr, ConstVal, TupleCons, TupleVar
+
+S = Schema.of("s", "k", "a")
+T, U = TupleVar("t"), TupleVar("u")
+N = NaturalsSemiring()
+UNIVERSE = [0, 1]
+
+
+def model(rows, keyed=False):
+    """An N-model of relation r; ``keyed=True`` deduplicates on k."""
+    table = {}
+    seen_keys = set()
+    for row in rows:
+        if keyed:
+            if row["k"] in seen_keys:
+                continue
+            seen_keys.add(row["k"])
+            table[tuple_key(row)] = 1
+        else:
+            key = tuple_key(row)
+            table[key] = table.get(key, 0) + 1
+    return Interpretation(N, UNIVERSE, {"r": table})
+
+
+def all_models(keyed=False, max_rows=2):
+    """Every small instance of r over the universe (keyed if requested)."""
+    candidates = [
+        {"k": k, "a": a} for k in UNIVERSE for a in UNIVERSE
+    ]
+    for size in range(max_rows + 1):
+        for combo in itertools.combinations_with_replacement(candidates, size):
+            rows = list(combo)
+            if keyed:
+                keys = [row["k"] for row in rows]
+                if len(keys) != len(set(keys)):
+                    continue
+            yield model(rows, keyed=keyed)
+
+
+def eq_in_all_models(lhs, rhs, env=None, keyed=False):
+    for m in all_models(keyed=keyed):
+        assert m.evaluate(lhs, env) == m.evaluate(rhs, env), (
+            f"identity fails:\n  {lhs}\n  vs {rhs}"
+        )
+
+
+# -- Eq. (15): Σ_t [t = e] × f(t) = f(e) -------------------------------------
+
+
+def test_eq15_derived_identity():
+    e = TupleCons((("k", ConstVal(1)), ("a", ConstVal(0))))
+    lhs = Sum("t", S, mul(Pred(EqPred(T, e)), Rel("r", T)))
+    rhs = Rel("r", e)
+    eq_in_all_models(lhs, rhs)
+
+
+# -- Lemma 5.1: ‖a × ‖x‖ + y‖ = ‖a × x + y‖ -------------------------------------
+
+
+def test_lemma_51():
+    a = Rel("r", T)
+    x = Sum("u", S, mul(Rel("r", U), Pred(EqPred(Attr(U, "a"), Attr(T, "a")))))
+    y = Pred(AtomPred("<", (Attr(T, "a"), ConstVal(1))))
+    lhs = squash(add(mul(a, squash(x)), y))
+    rhs = squash(add(mul(a, x), y))
+    env = {"t": {"k": 0, "a": 1}}
+    for m in all_models():
+        assert m.evaluate(lhs, env) == m.evaluate(rhs, env)
+
+
+# -- Def. 4.1 consequences -----------------------------------------------------
+
+
+def test_key_identity_def_41():
+    """[t.k = u.k] × R(t) × R(u) = [t = u] × R(t) in keyed models."""
+    lhs = mul(Pred(EqPred(Attr(T, "k"), Attr(U, "k"))), Rel("r", T), Rel("r", U))
+    rhs = mul(Pred(EqPred(T, U)), Rel("r", T))
+    for m in all_models(keyed=True):
+        for t_row in m.tuples_of(S):
+            for u_row in m.tuples_of(S):
+                env = {"t": t_row, "u": u_row}
+                assert m.evaluate(lhs, env) == m.evaluate(rhs, env)
+
+
+def test_key_implies_multiplicity_idempotence():
+    """Theorem 4.2's first half: R(t)² = R(t) under a key."""
+    lhs = mul(Rel("r", T), Rel("r", T))
+    rhs = Rel("r", T)
+    for m in all_models(keyed=True):
+        for t_row in m.tuples_of(S):
+            env = {"t": t_row}
+            assert m.evaluate(lhs, env) == m.evaluate(rhs, env)
+
+
+def test_key_identity_fails_without_key():
+    """Sanity: Def. 4.1 really needs the key — bags break it."""
+    lhs = mul(Rel("r", T), Rel("r", T))
+    rhs = Rel("r", T)
+    m = model([{"k": 0, "a": 0}, {"k": 0, "a": 0}])  # multiplicity 2
+    env = {"t": {"k": 0, "a": 0}}
+    assert m.evaluate(lhs, env) == 4
+    assert m.evaluate(rhs, env) == 2
+
+
+# -- Theorem 4.3: key-pinned sums are squash-invariant ------------------------------
+
+
+def test_theorem_43():
+    body = mul(
+        Pred(AtomPred("<", (ConstVal(0), Attr(T, "a")))),
+        Pred(EqPred(Attr(T, "k"), Attr(U, "a"))),
+        Rel("r", T),
+    )
+    summed = Sum("t", S, body)
+    for m in all_models(keyed=True):
+        for u_row in m.tuples_of(S):
+            env = {"u": u_row}
+            value = m.evaluate(summed, env)
+            squashed = m.evaluate(squash(summed), env)
+            assert value == squashed
+
+
+# -- Def. 4.4: foreign keys ---------------------------------------------------------
+
+
+def test_fk_identity_def_44():
+    """S(u) = S(u) × Σ_t R(t) × [t.k = u.f] in fk-satisfying models."""
+    s_schema = Schema.of("s2", "f")
+    u = TupleVar("u")
+    lhs = Rel("q", u)
+    rhs = mul(
+        Rel("q", u),
+        Sum("t", S, mul(Rel("r", T), Pred(EqPred(Attr(T, "k"), Attr(u, "f"))))),
+    )
+    # Build fk-satisfying models: q.f values must appear as unique r.k.
+    r_rows = [{"k": 0, "a": 1}, {"k": 1, "a": 0}]
+    for q_values in ([], [0], [1], [0, 1], [0, 0]):
+        table_r = {tuple_key(row): 1 for row in r_rows}
+        table_q = {}
+        for value in q_values:
+            key = tuple_key({"f": value})
+            table_q[key] = table_q.get(key, 0) + 1
+        m = Interpretation(N, UNIVERSE, {"r": table_r, "q": table_q})
+        for u_row in m.tuples_of(s_schema):
+            env = {"u": u_row}
+            assert m.evaluate(lhs, env) == m.evaluate(rhs, env)
+
+
+# -- excluded middle (Eq. 12) with summation ------------------------------------------
+
+
+def test_excluded_middle_splits_sums():
+    """Σ_t f = Σ_t [t.a = 0] f + Σ_t [t.a ≠ 0] f (the Ex. 5.2 move)."""
+    f = Rel("r", T)
+    whole = Sum("t", S, f)
+    split = add(
+        Sum("t", S, mul(Pred(EqPred(Attr(T, "a"), ConstVal(0))), f)),
+        Sum("t", S, mul(Pred(NePred(Attr(T, "a"), ConstVal(0))), f)),
+    )
+    eq_in_all_models(whole, split)
+
+
+# -- the Sec. 4.2 incompleteness direction --------------------------------------------
+
+
+def test_u_equivalence_is_strictly_stronger_than_n_equivalence():
+    """Squash distinguishes more than N does in some U-semirings.
+
+    ``‖x‖`` and ``x`` agree on {0, 1} ⊂ N but differ at 2 — a reminder that
+    U-equivalence quantifies over all instances, so syntactic 0/1 reasoning
+    cannot replace the squash operator.
+    """
+    x = Rel("r", T)
+    m = model([{"k": 0, "a": 0}, {"k": 0, "a": 0}])
+    env = {"t": {"k": 0, "a": 0}}
+    assert m.evaluate(x, env) == 2
+    assert m.evaluate(squash(x), env) == 1

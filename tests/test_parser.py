@@ -1,0 +1,268 @@
+"""Parser tests: queries, predicates, projections, and programs."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    AggCall,
+    AndPred,
+    BinPred,
+    ColumnRef,
+    Constant,
+    DistinctQuery,
+    Except,
+    Exists,
+    ExprAs,
+    FuncCall,
+    NotPred,
+    OrPred,
+    Select,
+    Star,
+    TableRef,
+    TableStar,
+    TruePred,
+    UnionAll,
+)
+from repro.sql.parser import parse_program, parse_query
+from repro.sql.program import (
+    ForeignKeyDecl,
+    IndexDecl,
+    KeyDecl,
+    SchemaDecl,
+    TableDecl,
+    VerifyStmt,
+    ViewDecl,
+)
+
+
+# -- queries -----------------------------------------------------------------
+
+
+def test_simple_select_star():
+    query = parse_query("SELECT * FROM r x")
+    assert isinstance(query, Select)
+    assert query.projections == (Star(),)
+    assert query.from_items[0].alias == "x"
+    assert isinstance(query.from_items[0].query, TableRef)
+
+
+def test_table_alias_defaults_to_table_name():
+    query = parse_query("SELECT * FROM r")
+    assert query.from_items[0].alias == "r"
+
+
+def test_select_distinct_flag():
+    query = parse_query("SELECT DISTINCT x.a FROM r x")
+    assert query.distinct
+
+
+def test_projection_alias_and_bare_column():
+    query = parse_query("SELECT x.a AS out, b FROM r x")
+    first, second = query.projections
+    assert isinstance(first, ExprAs) and first.alias == "out"
+    assert isinstance(second, ExprAs) and second.expr == ColumnRef("", "b")
+
+
+def test_table_star_projection():
+    query = parse_query("SELECT x.*, y.a FROM r x, s y")
+    assert isinstance(query.projections[0], TableStar)
+    assert query.projections[0].table == "x"
+
+
+def test_where_comparison_ops():
+    for op in ("=", "<>", "<", "<=", ">", ">="):
+        query = parse_query(f"SELECT * FROM r x WHERE x.a {op} 5")
+        assert isinstance(query.where, BinPred)
+        assert query.where.op == op
+
+
+def test_predicate_precedence_and_binds_tighter_than_or():
+    query = parse_query("SELECT * FROM r x WHERE x.a = 1 OR x.a = 2 AND x.b = 3")
+    assert isinstance(query.where, OrPred)
+    assert isinstance(query.where.right, AndPred)
+
+
+def test_not_predicate():
+    query = parse_query("SELECT * FROM r x WHERE NOT x.a = 1")
+    assert isinstance(query.where, NotPred)
+
+
+def test_parenthesized_predicate():
+    query = parse_query("SELECT * FROM r x WHERE (x.a = 1 OR x.b = 2) AND TRUE")
+    assert isinstance(query.where, AndPred)
+    assert isinstance(query.where.left, OrPred)
+    assert isinstance(query.where.right, TruePred)
+
+
+def test_parenthesized_expression_comparison():
+    query = parse_query("SELECT * FROM r x WHERE (x.a) = 1")
+    assert isinstance(query.where, BinPred)
+
+
+def test_exists_subquery():
+    query = parse_query(
+        "SELECT * FROM r x WHERE EXISTS (SELECT * FROM s y WHERE y.c = x.a)"
+    )
+    assert isinstance(query.where, Exists)
+    assert not query.where.negated
+
+
+def test_not_exists_subquery():
+    query = parse_query(
+        "SELECT * FROM r x WHERE NOT EXISTS (SELECT * FROM s y)"
+    )
+    assert isinstance(query.where, Exists)
+    assert query.where.negated
+
+
+def test_union_all_and_except_left_assoc():
+    query = parse_query(
+        "SELECT * FROM r a UNION ALL SELECT * FROM r b EXCEPT SELECT * FROM r c"
+    )
+    assert isinstance(query, Except)
+    assert isinstance(query.left, UnionAll)
+
+
+def test_standalone_distinct_combinator():
+    query = parse_query("DISTINCT (SELECT * FROM r x)")
+    assert isinstance(query, DistinctQuery)
+
+
+def test_subquery_in_from_requires_alias():
+    with pytest.raises(ParseError):
+        parse_query("SELECT * FROM (SELECT * FROM r x)")
+
+
+def test_subquery_in_from_with_alias():
+    query = parse_query("SELECT * FROM (SELECT * FROM r x) t")
+    assert query.from_items[0].alias == "t"
+    assert isinstance(query.from_items[0].query, Select)
+
+
+def test_group_by_clause():
+    query = parse_query("SELECT x.k AS k, sum(x.a) AS s FROM r x GROUP BY x.k")
+    assert query.group_by == (ColumnRef("x", "k"),)
+
+
+def test_aggregate_over_subquery_parses_as_aggcall():
+    query = parse_query(
+        "SELECT sum(SELECT x.a AS a FROM r x) AS s FROM s y"
+    )
+    expr = query.projections[0].expr
+    assert isinstance(expr, AggCall)
+    assert expr.name == "sum"
+
+
+def test_count_star():
+    query = parse_query("SELECT count(*) AS c FROM r x GROUP BY x.a")
+    expr = query.projections[0].expr
+    assert isinstance(expr, FuncCall)
+    assert expr.args == (ColumnRef("", "*"),)
+
+
+def test_arithmetic_expression_as_uninterpreted_function():
+    query = parse_query("SELECT * FROM r x WHERE x.a + 5 > x.b")
+    assert isinstance(query.where.left, FuncCall)
+    assert query.where.left.name == "+"
+
+
+def test_string_and_boolean_constants():
+    query = parse_query("SELECT * FROM r x WHERE x.a = 'lo'")
+    assert query.where.right == Constant("lo")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(ParseError):
+        parse_query("SELECT * FROM r x extra")
+
+
+def test_missing_from_is_allowed_for_bare_select():
+    # The Fig. 2 grammar technically allows SELECT p q with any q; our
+    # surface form requires FROM for selects, so this must fail cleanly.
+    with pytest.raises(ParseError):
+        parse_query("SELECT")
+
+
+# -- programs -----------------------------------------------------------------
+
+
+def test_schema_declaration():
+    program = parse_program("schema s(a:int, b:string);")
+    decl = program.statements[0]
+    assert isinstance(decl, SchemaDecl)
+    assert decl.schema.attribute_names() == ("a", "b")
+    assert decl.schema.attribute("b").type == "string"
+
+
+def test_generic_schema_declaration():
+    program = parse_program("schema s(a:int, ??);")
+    assert program.statements[0].schema.generic
+
+
+def test_table_key_and_index_declarations():
+    program = parse_program(
+        """
+        schema s(k:int, a:int);
+        table r(s);
+        key r(k);
+        index i on r(a);
+        """
+    )
+    assert isinstance(program.statements[1], TableDecl)
+    assert isinstance(program.statements[2], KeyDecl)
+    assert isinstance(program.statements[3], IndexDecl)
+
+
+def test_foreign_key_declaration():
+    program = parse_program(
+        """
+        schema s1(k:int); schema s2(f:int);
+        table a(s1); table b(s2);
+        key a(k);
+        foreign key b(f) references a(k);
+        """
+    )
+    fk = [s for s in program.statements if isinstance(s, ForeignKeyDecl)][0]
+    assert fk.table == "b" and fk.ref_table == "a"
+
+
+def test_view_declaration():
+    program = parse_program(
+        "schema s(a:int); table r(s); view v SELECT * FROM r x WHERE x.a = 1;"
+    )
+    view = program.statements[-1]
+    assert isinstance(view, ViewDecl)
+    assert isinstance(view.query, Select)
+
+
+def test_verify_statement():
+    program = parse_program(
+        "schema s(a:int); table r(s); "
+        "verify SELECT * FROM r x == SELECT * FROM r y;"
+    )
+    goals = program.verify_goals()
+    assert len(goals) == 1
+    assert isinstance(goals[0], VerifyStmt)
+
+
+def test_verify_requires_double_equals():
+    with pytest.raises(ParseError):
+        parse_program("verify SELECT * FROM r x = SELECT * FROM r y;")
+
+
+def test_statement_requires_semicolon():
+    with pytest.raises(ParseError):
+        parse_program("schema s(a:int)")
+
+
+def test_multiple_statements_build_catalog():
+    program = parse_program(
+        """
+        schema s(k:int, a:int);
+        table r(s);
+        key r(k);
+        """
+    )
+    catalog = program.build_catalog()
+    assert catalog.has_table("r")
+    assert catalog.key_of("r") == ("k",)

@@ -1,0 +1,141 @@
+"""Schema and catalog tests."""
+
+import pytest
+
+from repro.errors import ResolutionError, SchemaError
+from repro.sql.ast import Select, TableRef
+from repro.sql.program import Catalog, KeyConstraint
+from repro.sql.schema import Attribute, Schema
+
+
+# -- Schema --------------------------------------------------------------
+
+
+def test_schema_of_builder_with_types():
+    schema = Schema.of("s", "a:int", "b:string", "c")
+    assert schema.attribute_names() == ("a", "b", "c")
+    assert schema.attribute("b").type == "string"
+    assert schema.attribute("c").type == "int"
+
+
+def test_duplicate_attribute_rejected():
+    with pytest.raises(SchemaError):
+        Schema("s", (Attribute("a"), Attribute("a")))
+
+
+def test_missing_attribute_lookup_raises():
+    schema = Schema.of("s", "a")
+    with pytest.raises(SchemaError):
+        schema.attribute("zz")
+
+
+def test_generic_schema_is_not_concrete():
+    schema = Schema.of("s", "a", generic=True)
+    assert not schema.is_concrete()
+    assert "??" in str(schema)
+
+
+def test_concat_renames_duplicates_positionally():
+    left = Schema.of("l", "a", "b")
+    right = Schema.of("r", "a", "c")
+    merged = left.concat(right)
+    assert merged.attribute_names() == ("a", "b", "a_1", "c")
+
+
+def test_concat_propagates_genericity():
+    left = Schema.of("l", "a")
+    right = Schema.of("r", "b", generic=True)
+    assert left.concat(right).generic
+
+
+# -- Catalog -----------------------------------------------------------------
+
+
+def test_catalog_table_lookup():
+    catalog = Catalog()
+    catalog.add_schema(Schema.of("s", "a"))
+    catalog.add_table("r", "s")
+    assert catalog.has_table("r")
+    assert catalog.table_schema("r").attribute_names() == ("a",)
+
+
+def test_catalog_unknown_schema_rejected():
+    catalog = Catalog()
+    with pytest.raises(ResolutionError):
+        catalog.add_table("r", "nope")
+
+
+def test_catalog_duplicate_table_rejected():
+    catalog = Catalog()
+    catalog.add_schema(Schema.of("s", "a"))
+    catalog.add_table("r", "s")
+    with pytest.raises(SchemaError):
+        catalog.add_table("r", "s")
+
+
+def test_key_attribute_must_exist():
+    catalog = Catalog()
+    catalog.add_schema(Schema.of("s", "a"))
+    catalog.add_table("r", "s")
+    with pytest.raises(SchemaError):
+        catalog.add_key("r", ("zz",))
+
+
+def test_foreign_key_implies_referenced_key():
+    catalog = Catalog()
+    catalog.add_schema(Schema.of("s1", "k"))
+    catalog.add_schema(Schema.of("s2", "f"))
+    catalog.add_table("a", "s1")
+    catalog.add_table("b", "s2")
+    catalog.add_foreign_key("b", ("f",), "a", ("k",))
+    # Theorem 4.5: the referenced attributes behave as a key of `a`.
+    assert KeyConstraint("a", ("k",)) in catalog.keys
+
+
+def test_foreign_key_arity_mismatch_rejected():
+    catalog = Catalog()
+    catalog.add_schema(Schema.of("s1", "k", "l"))
+    catalog.add_schema(Schema.of("s2", "f"))
+    catalog.add_table("a", "s1")
+    catalog.add_table("b", "s2")
+    with pytest.raises(SchemaError):
+        catalog.add_foreign_key("b", ("f",), "a", ("k", "l"))
+
+
+def test_index_becomes_gmap_view():
+    catalog = Catalog()
+    catalog.add_schema(Schema.of("s", "k", "a", "b"))
+    catalog.add_table("r", "s")
+    catalog.add_key("r", ("k",))
+    catalog.add_index("i", "r", ("a",))
+    assert catalog.has_view("i")
+    view = catalog.view_query("i")
+    assert isinstance(view, Select)
+    # The GMAP view projects the key plus the indexed attribute.
+    names = [p.alias for p in view.projections]
+    assert names == ["k", "a"]
+
+
+def test_index_requires_key():
+    catalog = Catalog()
+    catalog.add_schema(Schema.of("s", "k", "a"))
+    catalog.add_table("r", "s")
+    with pytest.raises(SchemaError):
+        catalog.add_index("i", "r", ("a",))
+
+
+def test_catalog_copy_is_independent():
+    catalog = Catalog()
+    catalog.add_schema(Schema.of("s", "k"))
+    catalog.add_table("r", "s")
+    clone = catalog.copy()
+    clone.add_key("r", ("k",))
+    assert not catalog.keys and clone.keys
+
+
+def test_view_and_table_namespace_shared():
+    catalog = Catalog()
+    catalog.add_schema(Schema.of("s", "a"))
+    catalog.add_table("r", "s")
+    with pytest.raises(SchemaError):
+        catalog.add_view("r", TableRef("r"))

@@ -1,0 +1,109 @@
+"""Name resolution and schema-inference tests."""
+
+import pytest
+
+from repro.errors import ResolutionError
+from repro.sql.ast import ColumnRef, Exists, Select
+from repro.sql.parser import parse_query
+from repro.sql.scope import infer_schema, resolve_query
+
+from tests.conftest import make_catalog
+
+
+@pytest.fixture
+def catalog():
+    return make_catalog(("r", "a", "b"), ("s", "c", "d"))
+
+
+def test_bare_column_qualified(catalog):
+    resolved, _ = resolve_query(parse_query("SELECT a FROM r x"), catalog)
+    assert resolved.projections[0].expr == ColumnRef("x", "a")
+
+
+def test_bare_column_unique_across_items(catalog):
+    resolved, _ = resolve_query(
+        parse_query("SELECT * FROM r x, s y WHERE a = c"), catalog
+    )
+    assert resolved.where.left == ColumnRef("x", "a")
+    assert resolved.where.right == ColumnRef("y", "c")
+
+
+def test_ambiguous_bare_column_rejected(catalog):
+    with pytest.raises(ResolutionError):
+        resolve_query(parse_query("SELECT a FROM r x, r y"), catalog)
+
+
+def test_unknown_column_rejected(catalog):
+    with pytest.raises(ResolutionError):
+        resolve_query(parse_query("SELECT zz FROM r x"), catalog)
+
+
+def test_unknown_alias_rejected(catalog):
+    with pytest.raises(ResolutionError):
+        resolve_query(parse_query("SELECT q.a FROM r x"), catalog)
+
+
+def test_alias_attribute_checked(catalog):
+    with pytest.raises(ResolutionError):
+        resolve_query(parse_query("SELECT x.zz FROM r x"), catalog)
+
+
+def test_correlated_subquery_sees_outer_alias(catalog):
+    query = parse_query(
+        "SELECT * FROM r x WHERE EXISTS (SELECT * FROM s y WHERE y.c = x.a)"
+    )
+    resolved, _ = resolve_query(query, catalog)
+    exists = resolved.where
+    assert isinstance(exists, Exists)
+    inner = exists.query
+    assert inner.where.right == ColumnRef("x", "a")
+
+
+def test_inner_alias_shadows_outer(catalog):
+    query = parse_query(
+        "SELECT * FROM r x WHERE EXISTS (SELECT * FROM s x WHERE x.c = 1)"
+    )
+    resolved, _ = resolve_query(query, catalog)
+    inner = resolved.where.query
+    assert inner.where.left == ColumnRef("x", "c")
+
+
+def test_output_schema_star(catalog):
+    schema = infer_schema(parse_query("SELECT * FROM r x, s y"), catalog)
+    assert schema.attribute_names() == ("a", "b", "c", "d")
+
+
+def test_output_schema_self_join_dedup(catalog):
+    schema = infer_schema(parse_query("SELECT * FROM r x, r y"), catalog)
+    assert schema.attribute_names() == ("a", "b", "a_1", "b_1")
+
+
+def test_output_schema_expr_alias(catalog):
+    schema = infer_schema(parse_query("SELECT x.a AS out FROM r x"), catalog)
+    assert schema.attribute_names() == ("out",)
+
+
+def test_output_schema_bare_column_named_after_column(catalog):
+    schema = infer_schema(parse_query("SELECT x.a FROM r x"), catalog)
+    assert schema.attribute_names() == ("a",)
+
+
+def test_union_arity_mismatch_rejected(catalog):
+    query = parse_query(
+        "SELECT x.a AS a FROM r x UNION ALL SELECT y.c AS c, y.d AS d FROM s y"
+    )
+    with pytest.raises(ResolutionError):
+        resolve_query(query, catalog)
+
+
+def test_subquery_schema_flows_outward(catalog):
+    schema = infer_schema(
+        parse_query("SELECT t.a AS z FROM (SELECT x.a AS a FROM r x) t"),
+        catalog,
+    )
+    assert schema.attribute_names() == ("z",)
+
+
+def test_table_star_schema(catalog):
+    schema = infer_schema(parse_query("SELECT y.* FROM r x, s y"), catalog)
+    assert schema.attribute_names() == ("c", "d")

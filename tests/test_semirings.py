@@ -1,0 +1,128 @@
+"""U-semiring instance tests: every instance satisfies every axiom.
+
+This is the executable counterpart of the paper's trusted axiom base: the
+axiom self-check harness exercises all Definition 3.1 identities on sample
+elements of each shipped instance, and hypothesis drives the ``N`` instance
+with arbitrary naturals.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.semirings import (
+    BooleanSemiring,
+    DiagonalMatrixSemiring,
+    ExtendedNaturals,
+    INFINITY,
+    NaturalsSemiring,
+    check_axioms,
+)
+from repro.semirings.base import AxiomViolation, USemiring
+from repro.semirings.matrices import Diag
+
+N = NaturalsSemiring()
+B = BooleanSemiring()
+NBAR = ExtendedNaturals()
+DIAG = DiagonalMatrixSemiring()
+
+
+def test_naturals_satisfy_all_axioms():
+    checked = check_axioms(N, [0, 1, 2, 3, 7])
+    assert "squash-self" in checked and "distrib" in checked
+
+
+def test_booleans_satisfy_all_axioms():
+    check_axioms(B, [False, True])
+
+
+def test_extended_naturals_satisfy_axioms_on_finite_elements():
+    check_axioms(NBAR, [0, 1, 2, 5])
+
+
+def test_extended_naturals_infinity_breaks_eq6():
+    """Reproduction note: the paper's N̄ example is subtly inconsistent.
+
+    Sec. 3.1 lists ``N̄ = N ∪ {∞}`` as a U-semiring, but ∞ is multiplicatively
+    idempotent (∞² = ∞), so Eq. (6) forces ``‖∞‖ = ∞`` while Eq. (1)
+    (``‖1 + x‖ = 1`` with x = ∞) forces ``‖∞‖ = 1``.  No squash can satisfy
+    both; our instance follows the standard reading (``‖∞‖ = 1``) and the
+    axiom checker correctly flags the Eq. (6) failure at ∞.
+    """
+    assert NBAR.mul(INFINITY, INFINITY) == INFINITY
+    assert NBAR.squash(INFINITY) == 1  # Eq. (1) reading
+    with pytest.raises(AxiomViolation):
+        check_axioms(NBAR, [0, 1, INFINITY])
+
+
+def test_diagonal_matrices_satisfy_all_axioms():
+    samples = [
+        Diag(0, 0), Diag(1, 1), Diag(2, 0), Diag(0, 3), Diag(2, 5),
+    ]
+    check_axioms(DIAG, samples)
+
+
+def test_diagonal_matrices_refute_conditional_squash_axiom():
+    """Sec. 3.1: ``x ≠ 0 ⇒ ‖x‖ = 1`` must NOT hold in every U-semiring."""
+    x = Diag(2, 0)
+    assert x != DIAG.zero
+    assert DIAG.squash(x) == Diag(1, 0)
+    assert DIAG.squash(x) != DIAG.one
+
+
+def test_infinity_arithmetic():
+    assert NBAR.add(3, INFINITY) == INFINITY
+    assert NBAR.mul(0, INFINITY) == 0
+    assert NBAR.mul(2, INFINITY) == INFINITY
+    assert NBAR.squash(INFINITY) == 1
+    assert NBAR.not_(INFINITY) == 0
+
+
+def test_broken_instance_is_caught():
+    class Broken(NaturalsSemiring):
+        name = "broken"
+
+        def squash(self, value):
+            return value  # violates ‖1 + x‖ = 1
+
+    with pytest.raises(AxiomViolation):
+        check_axioms(Broken(), [0, 1, 2])
+
+
+def test_sum_and_product_helpers():
+    assert N.sum([1, 2, 3]) == 6
+    assert N.product([2, 3, 4]) == 24
+    assert N.sum([]) == 0
+    assert N.product([]) == 1
+
+
+def test_from_bool():
+    assert N.from_bool(True) == 1
+    assert N.from_bool(False) == 0
+
+
+@given(st.integers(min_value=0, max_value=50), st.integers(min_value=0, max_value=50))
+def test_naturals_squash_laws_hypothesis(x, y):
+    assert N.mul(N.squash(x), N.squash(y)) == N.squash(N.mul(x, y))
+    assert N.squash(N.add(N.squash(x), y)) == N.squash(N.add(x, y))
+    assert N.mul(x, N.squash(x)) == x
+
+
+@given(st.integers(min_value=0, max_value=50), st.integers(min_value=0, max_value=50))
+def test_naturals_negation_laws_hypothesis(x, y):
+    assert N.not_(N.mul(x, y)) == N.squash(N.add(N.not_(x), N.not_(y)))
+    assert N.not_(N.add(x, y)) == N.mul(N.not_(x), N.not_(y))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10), max_size=8))
+def test_naturals_sum_matches_python_sum(values):
+    assert N.sum(values) == sum(values)
+
+
+@given(
+    st.integers(min_value=0, max_value=9),
+    st.integers(min_value=0, max_value=9),
+    st.integers(min_value=0, max_value=9),
+)
+def test_diag_componentwise_distributivity(a, b, c):
+    x, y, z = Diag(a, b), Diag(b, c), Diag(c, a)
+    assert DIAG.mul(x, DIAG.add(y, z)) == DIAG.add(DIAG.mul(x, y), DIAG.mul(x, z))

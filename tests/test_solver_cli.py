@@ -1,0 +1,109 @@
+"""Solver front-end and CLI tests."""
+
+import pytest
+
+from repro import Solver, Verdict
+from repro.frontend.cli import main
+from repro.frontend.solver import prove
+
+from tests.conftest import KEYED_PROGRAM, RS_PROGRAM
+
+
+def test_prove_one_shot():
+    outcome = prove(
+        "SELECT * FROM r x WHERE x.a = 1",
+        "SELECT * FROM r x WHERE 1 = x.a",
+        program=RS_PROGRAM,
+    )
+    assert outcome.proved
+
+
+def test_run_program_checks_each_goal():
+    solver = Solver()
+    outcomes = solver.run_program(
+        RS_PROGRAM
+        + """
+        verify SELECT * FROM r x == SELECT * FROM r y;
+        verify SELECT * FROM r x == SELECT * FROM s y;
+        """
+    )
+    assert [o.proved for o in outcomes] == [True, False]
+
+
+def test_unsupported_feature_reported_not_raised():
+    solver = Solver.from_program_text(RS_PROGRAM)
+    outcome = solver.check("SELECT * FROM r x WHERE x.a IS NULL", "SELECT * FROM r x")
+    assert outcome.verdict is Verdict.UNSUPPORTED
+
+
+def test_unknown_table_reported_as_unsupported():
+    solver = Solver.from_program_text(RS_PROGRAM)
+    outcome = solver.check("SELECT * FROM nope x", "SELECT * FROM r x")
+    assert outcome.verdict is Verdict.UNSUPPORTED
+
+
+def test_compile_returns_denotation():
+    solver = Solver.from_program_text(RS_PROGRAM)
+    denotation = solver.compile("SELECT * FROM r x")
+    assert denotation.schema.attribute_names() == ("a", "b")
+
+
+def test_outcome_str_mentions_verdict():
+    solver = Solver.from_program_text(RS_PROGRAM)
+    outcome = solver.check("SELECT * FROM r x", "SELECT * FROM r y")
+    assert "proved" in str(outcome)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def write_program(tmp_path, text):
+    path = tmp_path / "goals.cos"
+    path.write_text(text, encoding="utf-8")
+    return str(path)
+
+
+def test_cli_success_exit_code(tmp_path, capsys):
+    path = write_program(
+        tmp_path,
+        RS_PROGRAM + "verify SELECT * FROM r x == SELECT * FROM r y;",
+    )
+    assert main([path]) == 0
+    out = capsys.readouterr().out
+    assert "PROVED" in out
+
+
+def test_cli_failure_exit_code(tmp_path, capsys):
+    path = write_program(
+        tmp_path,
+        RS_PROGRAM + "verify SELECT * FROM r x == SELECT * FROM s y;",
+    )
+    assert main([path]) == 1
+    out = capsys.readouterr().out
+    assert "NOT_PROVED" in out
+
+
+def test_cli_show_trace(tmp_path, capsys):
+    path = write_program(
+        tmp_path,
+        KEYED_PROGRAM
+        + "verify SELECT * FROM r0 x == SELECT DISTINCT * FROM r0 x;",
+    )
+    assert main([path, "--show-trace"]) == 0
+    out = capsys.readouterr().out
+    assert "key-squash" in out or "key" in out
+
+
+def test_cli_no_constraints_flag(tmp_path, capsys):
+    path = write_program(
+        tmp_path,
+        KEYED_PROGRAM
+        + "verify SELECT * FROM r0 x == SELECT DISTINCT * FROM r0 x;",
+    )
+    assert main([path, "--no-constraints"]) == 1
+
+
+def test_cli_empty_program(tmp_path, capsys):
+    path = write_program(tmp_path, RS_PROGRAM)
+    assert main([path]) == 0
+    assert "no verify goals" in capsys.readouterr().out

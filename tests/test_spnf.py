@@ -1,0 +1,252 @@
+"""SPNF normalization tests (Theorem 3.4), including semantic preservation.
+
+The key property: for any U-expression E, ``normalize(E)`` reconstructs to an
+expression with the same value in the ``N`` U-semiring under every finite
+interpretation — SPNF conversion is meaning-preserving.
+"""
+
+import pytest
+
+from repro.semirings import Interpretation, NaturalsSemiring
+from repro.semirings.interp import tuple_key
+from repro.sql.schema import Schema
+from repro.usr.predicates import AtomPred, EqPred, NePred
+from repro.usr.spnf import (
+    NormalTerm,
+    flatten_squash,
+    form_to_uexpr,
+    make_term,
+    mul_terms,
+    normalize,
+)
+from repro.usr.terms import (
+    Add,
+    Mul,
+    Not,
+    One,
+    Pred,
+    Rel,
+    Squash,
+    Sum,
+    Zero,
+    add,
+    mul,
+    not_,
+    squash,
+)
+from repro.usr.values import Attr, ConstVal, TupleVar
+
+S = Schema.of("s", "a")
+S2 = Schema.of("s2", "a", "b")
+T = TupleVar("t")
+U = TupleVar("u")
+
+
+def interp(rel_rows):
+    """N-interpretation over universe {0,1} with given relation bags."""
+    relations = {}
+    for name, rows in rel_rows.items():
+        table = {}
+        for row in rows:
+            key = tuple_key(row)
+            table[key] = table.get(key, 0) + 1
+        relations[name] = table
+    return Interpretation(NaturalsSemiring(), [0, 1], relations)
+
+
+def assert_preserved(expr, rel_rows, env=None):
+    model = interp(rel_rows)
+    direct = model.evaluate(expr, env)
+    renormalized = model.evaluate(form_to_uexpr(normalize(expr)), env)
+    assert direct == renormalized, f"SPNF changed meaning of {expr}"
+
+
+# -- structure -----------------------------------------------------------------
+
+
+def test_zero_normalizes_to_empty_form():
+    assert normalize(Zero) == ()
+
+
+def test_one_normalizes_to_single_unit_term():
+    form = normalize(One)
+    assert len(form) == 1 and form[0].is_one()
+
+
+def test_add_produces_one_term_per_summand():
+    form = normalize(add(Rel("r", T), Rel("s", T)))
+    assert len(form) == 2
+
+
+def test_mul_distributes_over_add():
+    expr = mul(Rel("r", T), add(Rel("s", T), Rel("q", T)))
+    form = normalize(expr)
+    assert len(form) == 2
+    assert all(len(term.rels) == 2 for term in form)
+
+
+def test_sum_pushed_through_add():
+    expr = Sum("t", S, add(Rel("r", T), Rel("s", T)))
+    form = normalize(expr)
+    assert len(form) == 2
+    assert all(term.vars == (("t", S),) for term in form)
+
+
+def test_duplicate_predicates_deduplicated():
+    pred = Pred(EqPred(Attr(T, "a"), ConstVal(1)))
+    form = normalize(mul(pred, pred, Rel("r", T)))
+    assert len(form[0].preds) == 1
+
+
+def test_duplicate_relation_atoms_kept():
+    form = normalize(mul(Rel("r", T), Rel("r", T)))
+    assert len(form[0].rels) == 2  # bag semantics: R(t)² ≠ R(t)
+
+
+def test_false_constant_predicate_kills_term():
+    form = normalize(mul(Pred(EqPred(ConstVal(1), ConstVal(2))), Rel("r", T)))
+    assert form == ()
+
+
+def test_true_constant_predicate_dropped():
+    form = normalize(mul(Pred(EqPred(ConstVal(1), ConstVal(1))), Rel("r", T)))
+    assert form[0].preds == ()
+
+
+def test_reflexive_inequality_kills_term():
+    form = normalize(mul(Pred(NePred(Attr(T, "a"), Attr(T, "a"))), Rel("r", T)))
+    assert form == ()
+
+
+def test_squash_factors_merge():
+    expr = mul(squash(Rel("r", T)), squash(Rel("s", T)))
+    form = normalize(expr)
+    assert len(form) == 1
+    term = form[0]
+    assert term.squash_part is not None
+    assert len(term.squash_part) == 1
+    assert len(term.squash_part[0].rels) == 2  # ‖x‖×‖y‖ = ‖xy‖
+
+
+def test_not_factors_merge_into_sum():
+    expr = mul(not_(Rel("r", T)), not_(Rel("s", T)))
+    form = normalize(expr)
+    term = form[0]
+    assert term.neg_part is not None
+    assert len(term.neg_part) == 2  # not(x)·not(y) = not(x + y)
+
+
+def test_squash_of_zero_is_zero():
+    assert normalize(squash(mul(Pred(EqPred(ConstVal(0), ConstVal(1)))))) == ()
+
+
+def test_squash_of_one_plus_x_is_one():
+    form = normalize(Squash(add(One, Rel("r", T))))
+    assert len(form) == 1 and form[0].is_one()
+
+
+def test_not_zero_is_one():
+    form = normalize(Not(Zero))
+    assert len(form) == 1 and form[0].is_one()
+
+
+def test_nested_squash_flattened():
+    inner = squash(Rel("s", U))
+    expr = Squash(Sum("t", S, mul(Rel("r", T), inner)))
+    form = normalize(expr)
+    term = form[0]
+    assert term.squash_part is not None
+    # Inside the outer squash, no term retains an inner squash factor.
+    assert all(sub.squash_part is None for sub in term.squash_part)
+
+
+def test_binder_collision_freshened_in_product():
+    left = Sum("t", S, Rel("r", T))
+    right = Sum("t", S, Rel("s", T))
+    form = normalize(mul(left, right))
+    names = [name for name, _ in form[0].vars]
+    assert len(set(names)) == 2
+
+
+def test_correlated_squash_reference_stays_captured():
+    # Σ_t (r(t) × ‖s(t)‖) under an outer squash: flattening must keep the
+    # correlation on the same binder (regression for the scope-merge bug).
+    expr = Squash(Sum("t", S, mul(Rel("r", T), squash(Rel("s", T)))))
+    form = normalize(expr)
+    term = form[0].squash_part[0]
+    names = {name for name, _ in term.vars}
+    rel_vars = set()
+    for _, arg in term.rels:
+        rel_vars |= arg.free_tuple_vars()
+    assert rel_vars <= names
+
+
+# -- semantics preservation -----------------------------------------------------
+
+
+ROWS = {
+    "r": [{"a": 0}, {"a": 1}, {"a": 1}],
+    "s": [{"a": 1}],
+}
+
+
+def test_preservation_simple_product():
+    expr = Sum("t", S, mul(Rel("r", T), Rel("s", T)))
+    assert_preserved(expr, ROWS)
+
+
+def test_preservation_distributed_sum():
+    expr = Sum("t", S, mul(Rel("r", T), add(Rel("s", T), One)))
+    assert_preserved(expr, ROWS)
+
+
+def test_preservation_squash():
+    expr = squash(Sum("t", S, Rel("r", T)))
+    assert_preserved(expr, ROWS)
+
+
+def test_preservation_nested_squash_lemma_51():
+    expr = Squash(Sum("t", S, mul(Rel("r", T), squash(Rel("s", T)))))
+    assert_preserved(expr, ROWS)
+
+
+def test_preservation_negation():
+    expr = Sum("t", S, mul(Rel("r", T), not_(Rel("s", T))))
+    assert_preserved(expr, ROWS)
+
+
+def test_preservation_predicates():
+    expr = Sum(
+        "t", S,
+        mul(Pred(EqPred(Attr(T, "a"), ConstVal(1))), Rel("r", T)),
+    )
+    assert_preserved(expr, ROWS)
+
+
+def test_preservation_free_variable():
+    expr = mul(Rel("r", T), squash(Sum("u", S, mul(Rel("s", U),
+               Pred(EqPred(Attr(T, "a"), Attr(U, "a")))))))
+    assert_preserved(expr, ROWS, env={"t": {"a": 1}})
+
+
+# -- term algebra ----------------------------------------------------------------
+
+
+def test_mul_terms_merges_all_parts():
+    left = make_term((("t", S),), (), (("r", T),), None, None)
+    right = make_term(
+        (("u", S),), (EqPred(Attr(U, "a"), ConstVal(0)),), (("s", U),),
+        None, None,
+    )
+    merged = mul_terms(left, right)
+    assert len(merged.vars) == 2
+    assert len(merged.rels) == 2
+    assert len(merged.preds) == 1
+
+
+def test_flatten_squash_distributes_inner_sum():
+    inner_form = normalize(add(Rel("r", T), Rel("s", T)))
+    host = make_term((), (), (("q", T),), inner_form, None)
+    flat = flatten_squash((host,))
+    assert len(flat) == 2
+    assert all(term.squash_part is None for term in flat)

@@ -1,0 +1,85 @@
+"""Tests for the paper-named TDP/SDP entry points (Algorithms 3-4)."""
+
+import pytest
+
+from repro.constraints.model import ConstraintSet
+from repro.sql.program import KeyConstraint
+from repro.sql.schema import Schema
+from repro.udp.sdp import sdp
+from repro.udp.tdp import tdp
+from repro.usr.predicates import EqPred
+from repro.usr.spnf import normalize
+from repro.usr.terms import Pred, Rel, Sum, mul, squash
+from repro.usr.values import Attr, TupleVar
+
+S = Schema.of("s", "k", "a")
+T, U, V = TupleVar("t"), TupleVar("u"), TupleVar("v")
+
+
+def term_of(expr):
+    form = normalize(expr)
+    assert len(form) == 1
+    return form[0]
+
+
+def test_tdp_renamed_terms():
+    left = term_of(Sum("u", S, mul(Rel("r", U), Pred(EqPred(Attr(U, "a"), Attr(T, "a"))))))
+    right = term_of(Sum("v", S, mul(Rel("r", V), Pred(EqPred(Attr(V, "a"), Attr(T, "a"))))))
+    assert tdp(left, right)
+
+
+def test_tdp_rejects_distinct_structure():
+    left = term_of(Sum("u", S, Rel("r", U)))
+    right = term_of(Sum("v", S, mul(Rel("r", V), Rel("r", V))))
+    assert not tdp(left, right)
+
+
+def test_tdp_with_squash_parts():
+    left = term_of(mul(Rel("r", T), squash(Sum("u", S, Rel("r", U)))))
+    right = term_of(mul(Rel("r", T), squash(Sum("v", S, Rel("r", V)))))
+    assert tdp(left, right)
+
+
+def test_sdp_folds_redundant_term():
+    left = normalize(
+        Sum("u", S, Sum("v", S, mul(
+            Rel("r", U), Rel("r", V),
+            Pred(EqPred(Attr(U, "a"), Attr(V, "a"))),
+        )))
+    )
+    right = normalize(Sum("w", S, Rel("r", TupleVar("w"))))
+    assert sdp(left, right)
+    assert sdp(left, right, strategy="minimize")
+
+
+def test_sdp_union_containment_both_ways():
+    branch_a = Sum("u", S, mul(Rel("r", U), Pred(EqPred(Attr(U, "a"), Attr(U, "k")))))
+    branch_b = Sum("v", S, Rel("r", V))
+    left = normalize(branch_a) + normalize(branch_b)
+    right = normalize(Sum("w", S, Rel("r", TupleVar("w"))))
+    # ⋃(a ∪ b) = b since a ⊆ b: the unions are set-equal.
+    assert sdp(left, right)
+
+
+def test_sdp_detects_inequivalence():
+    left = normalize(Sum("u", S, Rel("r", U)))
+    right = normalize(Sum("v", S, Rel("q", V)))
+    assert not sdp(left, right)
+
+
+def test_sdp_uses_constraints():
+    constraints = ConstraintSet(keys=[KeyConstraint("r", ("k",))])
+    left = normalize(
+        Sum("u", S, Sum("v", S, mul(
+            Rel("r", U), Rel("r", V),
+            Pred(EqPred(Attr(U, "k"), Attr(V, "k"))),
+            Pred(EqPred(Attr(U, "a"), Attr(T, "a"))),
+        )))
+    )
+    right = normalize(
+        Sum("w", S, mul(
+            Rel("r", TupleVar("w")),
+            Pred(EqPred(Attr(TupleVar("w"), "a"), Attr(T, "a"))),
+        ))
+    )
+    assert sdp(left, right, constraints, env={"t": S})

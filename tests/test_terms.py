@@ -1,0 +1,118 @@
+"""U-expression AST and smart-constructor tests."""
+
+from repro.sql.schema import Schema
+from repro.usr.predicates import AtomPred, EqPred, NePred
+from repro.usr.terms import (
+    Add,
+    Mul,
+    Not,
+    One,
+    Pred,
+    Rel,
+    Squash,
+    Sum,
+    Zero,
+    add,
+    big_sum,
+    mul,
+    not_,
+    squash,
+)
+from repro.usr.values import Attr, ConstVal, Func, TupleCons, TupleVar
+
+
+S = Schema.of("s", "a", "b")
+T = TupleVar("t")
+U = TupleVar("u")
+
+
+def test_add_flattens_and_drops_zero():
+    expr = add(Rel("r", T), add(Zero, Rel("s", U)))
+    assert isinstance(expr, Add)
+    assert len(expr.args) == 2
+
+
+def test_add_of_nothing_is_zero():
+    assert add() is Zero
+
+
+def test_add_singleton_unwraps():
+    assert add(Rel("r", T)) == Rel("r", T)
+
+
+def test_mul_flattens_and_drops_one():
+    expr = mul(Rel("r", T), mul(One, Rel("s", U)))
+    assert isinstance(expr, Mul)
+    assert len(expr.args) == 2
+
+
+def test_mul_zero_annihilates():
+    assert mul(Rel("r", T), Zero, Rel("s", U)) is Zero
+
+
+def test_mul_of_nothing_is_one():
+    assert mul() is One
+
+
+def test_squash_smart_constructor():
+    assert squash(Zero) is Zero
+    assert squash(One) is One
+    inner = Squash(Rel("r", T))
+    assert squash(inner) == inner  # ‖‖x‖‖ = ‖x‖
+
+
+def test_not_smart_constructor():
+    assert not_(Zero) is One
+    # not(‖x‖) = not(x)
+    assert not_(Squash(Rel("r", T))) == Not(Rel("r", T))
+
+
+def test_big_sum_right_nesting():
+    expr = big_sum([("t", S), ("u", S)], Rel("r", T))
+    assert isinstance(expr, Sum) and expr.var == "t"
+    assert isinstance(expr.body, Sum) and expr.body.var == "u"
+
+
+def test_free_tuple_vars_through_operators():
+    expr = mul(Rel("r", T), Pred(EqPred(Attr(T, "a"), Attr(U, "b"))))
+    assert expr.free_tuple_vars() == frozenset({"t", "u"})
+
+
+def test_sum_binds_its_variable():
+    expr = Sum("t", S, mul(Rel("r", T), Rel("s", U)))
+    assert expr.free_tuple_vars() == frozenset({"u"})
+
+
+def test_eq_pred_is_symmetric_in_structure():
+    assert EqPred(T, U) == EqPred(U, T)
+    assert NePred(T, U) == NePred(U, T)
+
+
+def test_atom_pred_not_symmetric():
+    lt_one_way = AtomPred("<", (Attr(T, "a"), ConstVal(5)))
+    lt_other_way = AtomPred("<", (ConstVal(5), Attr(T, "a")))
+    assert lt_one_way != lt_other_way
+
+
+def test_tuple_cons_field_lookup():
+    cons = TupleCons((("a", ConstVal(1)), ("b", ConstVal(2))))
+    assert cons.field("a") == ConstVal(1)
+    assert cons.field("zz") is None
+
+
+def test_value_free_vars():
+    value = Func("f", (Attr(T, "a"), ConstVal(3)))
+    assert value.free_tuple_vars() == frozenset({"t"})
+
+
+def test_operator_overloads():
+    expr = Rel("r", T) + Rel("s", U)
+    assert isinstance(expr, Add)
+    expr = Rel("r", T) * Rel("s", U)
+    assert isinstance(expr, Mul)
+
+
+def test_str_rendering_round_trips_key_shapes():
+    expr = Sum("t", S, mul(Pred(EqPred(Attr(T, "a"), ConstVal(1))), Rel("r", T)))
+    text = str(expr)
+    assert "Σ_t" in text and "r(t)" in text

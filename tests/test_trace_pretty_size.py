@@ -1,0 +1,135 @@
+"""Proof traces, pretty printers, and size metrics."""
+
+import pytest
+
+from repro.sql.parser import parse_query
+from repro.sql.pretty import format_query
+from repro.sql.schema import Schema
+from repro.udp.trace import DecisionResult, ProofStep, ProofTrace, Verdict
+from repro.usr.axioms import AXIOMS, axiom
+from repro.usr.predicates import EqPred
+from repro.usr.pretty import pretty, pretty_ascii, pretty_form
+from repro.usr.size import expr_size, form_size
+from repro.usr.spnf import normalize
+from repro.usr.terms import Pred, Rel, Sum, mul, squash
+from repro.usr.values import Attr, ConstVal, TupleVar
+
+S = Schema.of("s", "a")
+T = TupleVar("t")
+
+
+# -- axiom catalog -----------------------------------------------------------
+
+
+def test_axiom_catalog_contains_paper_identities():
+    for key in ("squash-self", "eq-sum-elim", "key", "fk", "key-squash",
+                "squash-flatten", "excluded-middle", "eq-unique"):
+        assert key in AXIOMS
+
+
+def test_axiom_lookup():
+    assert axiom("key").source == "Def. 4.1"
+    with pytest.raises(KeyError):
+        axiom("nonsense")
+
+
+def test_axioms_have_statements_and_sources():
+    for entry in AXIOMS.values():
+        assert entry.statement and entry.source
+
+
+# -- traces -------------------------------------------------------------------
+
+
+def test_trace_records_steps():
+    trace = ProofTrace()
+    trace.record("key", "merged r(t) with r(u)")
+    trace.record("eq-sum-elim")
+    assert len(trace) == 2
+    assert trace.axioms_used() == ["key", "eq-sum-elim"]
+
+
+def test_trace_rejects_unknown_axiom():
+    with pytest.raises(ValueError):
+        ProofStep("made-up-axiom")
+
+
+def test_trace_extend():
+    first = ProofTrace()
+    first.record("key")
+    second = ProofTrace()
+    second.record("fk")
+    first.extend(second)
+    assert trace_axioms(first) == ["key", "fk"]
+
+
+def trace_axioms(trace):
+    return [step.axiom for step in trace.steps]
+
+
+def test_verdict_truthiness():
+    assert Verdict.PROVED
+    assert not Verdict.NOT_PROVED
+    assert not Verdict.UNSUPPORTED
+
+
+def test_decision_result_str():
+    result = DecisionResult(Verdict.PROVED, reason="isomorphic")
+    assert "proved" in str(result)
+    assert result.proved
+
+
+# -- pretty printers -----------------------------------------------------------
+
+
+def test_uexpr_pretty_unicode():
+    expr = Sum("t", S, mul(Pred(EqPred(Attr(T, "a"), ConstVal(1))), Rel("r", T)))
+    text = pretty(expr)
+    assert "Σ_t" in text and "×" in text
+
+
+def test_uexpr_pretty_ascii_has_no_unicode():
+    expr = squash(Sum("t", S, Rel("r", T)))
+    text = pretty_ascii(expr)
+    assert text.isascii()
+
+
+def test_pretty_form_of_zero():
+    assert pretty_form(()) == "0"
+
+
+def test_sql_pretty_round_trip():
+    text = (
+        "SELECT x.a AS a, y.c AS c FROM r x, s y "
+        "WHERE x.a = y.c UNION ALL SELECT x.a AS a, y.c AS c FROM r x, s y"
+    )
+    query = parse_query(text)
+    formatted = format_query(query)
+    assert parse_query(formatted) == query
+
+
+def test_sql_pretty_nested_subquery():
+    query = parse_query(
+        "SELECT t.a AS a FROM (SELECT x.a AS a FROM r x WHERE x.a = 1) t"
+    )
+    formatted = format_query(query)
+    assert parse_query(formatted) == query
+
+
+# -- sizes -----------------------------------------------------------------------
+
+
+def test_expr_size_counts_nodes():
+    expr = mul(Pred(EqPred(Attr(T, "a"), ConstVal(1))), Rel("r", T))
+    assert expr_size(expr) >= 5
+
+
+def test_form_size_of_zero_is_one():
+    assert form_size(()) == 1
+
+
+def test_spnf_growth_measurable():
+    expr = Sum("t", S, mul(Rel("r", T), squash(Rel("q", T))))
+    before = expr_size(expr)
+    after = form_size(normalize(expr))
+    assert before > 0 and after > 0
