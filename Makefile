@@ -1,0 +1,26 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke batch-corpus
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Full benchmark sweep (pytest-benchmark figures + corpus-pass timing).
+bench:
+	$(PYTHON) -m pytest -q benchmarks/bench_fig5_summary.py \
+		benchmarks/bench_fig6_characterization.py \
+		benchmarks/bench_fig7_runtime.py \
+		benchmarks/bench_ablations.py \
+		benchmarks/bench_bugs_refutation.py \
+		benchmarks/bench_scaling.py \
+		benchmarks/bench_spnf_growth.py
+	$(PYTHON) benchmarks/bench_fig7_runtime.py --workers 4
+
+## CI smoke: the quick corpus-pass mode only.
+bench-smoke:
+	$(PYTHON) benchmarks/bench_fig7_runtime.py --quick
+
+## One batch-service pass over the built-in corpus, results to stdout.
+batch-corpus:
+	$(PYTHON) -m repro.frontend.cli batch --corpus --workers 4

@@ -10,6 +10,15 @@ Absolute numbers are not comparable (Lean proof search vs our in-process
 Python), but the *shape* is: constraint-, aggregate-, and DISTINCT-bearing
 rules must be slower than plain UCQ rewrites.  The shape assertions below
 check exactly that, and per-category timings are benchmarked.
+
+Run as a script, this file also measures the corpus *pass* end to end —
+the seed-equivalent sequential cold-cache baseline (memoization disabled,
+caches cleared, fresh solver per rule) against the batch service with
+memoization and N workers — asserting every verdict identical between the
+two modes::
+
+    PYTHONPATH=src python benchmarks/bench_fig7_runtime.py --quick
+    PYTHONPATH=src python benchmarks/bench_fig7_runtime.py --workers 4
 """
 
 from __future__ import annotations
@@ -106,3 +115,108 @@ def test_fig7_cell_benchmark(benchmark, cell):
     (_, _), rule = cell
     verdict, _ = benchmark(lambda: run_rule(rule))
     assert verdict is Verdict.PROVED
+
+
+# ---------------------------------------------------------------------------
+# Script mode: corpus-pass speedup (sequential cold-cache vs batch service)
+# ---------------------------------------------------------------------------
+
+
+def _sequential_cold_pass(rules):
+    """The seed-equivalent baseline: no memo, no reuse, traces collected."""
+    import time
+
+    from repro import DecisionOptions, Solver, clear_caches, set_memoization
+
+    previous = set_memoization(False)
+    clear_caches()
+    try:
+        verdicts = {}
+        started = time.monotonic()
+        for rule in rules:
+            solver = Solver.from_program_text(rule.program, DecisionOptions())
+            outcome = solver.check(rule.left, rule.right)
+            verdicts[rule.rule_id] = outcome.verdict
+        elapsed = time.monotonic() - started
+    finally:
+        set_memoization(previous)
+        clear_caches()
+    return verdicts, elapsed
+
+
+def _batch_pass(rules, workers):
+    """One service-mode pass: memoization on, N workers, no traces."""
+    import time
+
+    from repro.service import BatchPair, BatchVerifier
+
+    pairs = [
+        BatchPair(rule.rule_id, rule.left, rule.right, rule.program)
+        for rule in rules
+    ]
+    verifier = BatchVerifier(workers=workers)
+    started = time.monotonic()
+    records = verifier.run(pairs)
+    elapsed = time.monotonic() - started
+    errored = [r for r in records if r.verdict == "error"]
+    assert not errored, "corpus rules errored: " + ", ".join(
+        f"{r.pair_id} ({r.reason})" for r in errored
+    )
+    return {record.pair_id: Verdict(record.verdict) for record in records}, elapsed
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Corpus-pass timing: sequential cold-cache vs batch service."
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: Calcite UCQ subset only, single worker",
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    rules = list(all_rules())
+    workers = args.workers
+    if args.quick:
+        rules = [
+            rule for rule in rules
+            if rule.dataset == "calcite" and Category.UCQ in rule.categories
+        ]
+        workers = 1
+
+    cold_verdicts, cold_elapsed = _sequential_cold_pass(rules)
+    warm0_verdicts, first_elapsed = _batch_pass(rules, workers)
+    steady_verdicts, steady_elapsed = _batch_pass(rules, workers)
+
+    mismatches = [
+        rule.rule_id for rule in rules
+        if not (
+            cold_verdicts[rule.rule_id]
+            == warm0_verdicts[rule.rule_id]
+            == steady_verdicts[rule.rule_id]
+        )
+    ]
+    assert not mismatches, f"verdicts diverged between modes: {mismatches}"
+
+    lines = [
+        "Fig. 7 corpus-pass timing "
+        f"({len(rules)} rules, {workers} workers requested)",
+        f"sequential cold-cache pass : {cold_elapsed * 1000:8.1f} ms",
+        f"batch first (cold memo)    : {first_elapsed * 1000:8.1f} ms "
+        f"({cold_elapsed / first_elapsed:.2f}x)",
+        f"batch steady (warm memo)   : {steady_elapsed * 1000:8.1f} ms "
+        f"({cold_elapsed / steady_elapsed:.2f}x)",
+        "verdicts: identical across all modes",
+    ]
+    report = "\n".join(lines)
+    write_report("fig7_batch_speedup.txt", report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -14,7 +14,14 @@ from typing import Dict, List, Tuple
 import pytest
 
 from repro import DecisionOptions, Solver
-from repro.corpus import Category, Expectation, RewriteRule, all_rules
+from repro.corpus import (
+    Category,
+    Expectation,
+    RewriteRule,
+    all_rules,
+    as_batch_pairs,
+)
+from repro.service import BatchVerifier
 from repro.udp.trace import Verdict
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
@@ -46,6 +53,29 @@ def run_corpus(options: DecisionOptions = None):
     return results
 
 
+def run_corpus_batch(workers: int = 1, options: DecisionOptions = None):
+    """One corpus pass through the batch service (the service-mode path).
+
+    Returns the same ``{rule_id: (rule, verdict, secs)}`` shape as
+    :func:`run_corpus` so the figure harnesses can consume either.
+    """
+    rules = {rule.rule_id: rule for rule in all_rules()}
+    verifier = BatchVerifier(workers=workers, options=options)
+    records = verifier.run(as_batch_pairs())
+    errored = [r for r in records if r.verdict == "error"]
+    assert not errored, "corpus rules errored: " + ", ".join(
+        f"{r.pair_id} ({r.reason})" for r in errored
+    )
+    return {
+        record.pair_id: (
+            rules[record.pair_id],
+            Verdict(record.verdict),
+            record.elapsed_seconds,
+        )
+        for record in records
+    }
+
+
 def format_table(headers: List[str], rows: List[List[str]]) -> str:
     widths = [len(h) for h in headers]
     for row in rows:
@@ -60,5 +90,9 @@ def format_table(headers: List[str], rows: List[List[str]]) -> str:
 
 @pytest.fixture(scope="session")
 def corpus_results():
-    """Corpus run shared across benchmark files within a session."""
-    return run_corpus()
+    """Corpus run shared across benchmark files within a session.
+
+    Routed through the batch service (in-process), the same path the
+    ``udp-prove batch --corpus`` frontend takes.
+    """
+    return run_corpus_batch(workers=1)

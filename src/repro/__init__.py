@@ -32,7 +32,11 @@ Public surface:
   finite-model interpreter;
 * :mod:`repro.engine` / :mod:`repro.checker` — the executable bag-semantics
   engine and the bounded counterexample finder;
-* :mod:`repro.corpus` — the evaluation corpus (literature + Calcite + bugs).
+* :mod:`repro.corpus` — the evaluation corpus (literature + Calcite + bugs);
+* :mod:`repro.service` — the batch-verification subsystem
+  (:class:`~repro.service.batch.BatchVerifier`: multiprocessing fan-out,
+  per-pair timeouts, JSONL sinks) over the hash-consing/memoization layer
+  of :mod:`repro.hashcons`.
 """
 
 from repro.errors import (
@@ -47,6 +51,8 @@ from repro.errors import (
     UnsupportedFeatureError,
 )
 from repro.frontend.solver import Solver, VerificationOutcome, prove
+from repro.hashcons import cache_stats, clear_caches, set_memoization
+from repro.service import BatchPair, BatchRecord, BatchVerifier
 from repro.sql.program import Catalog
 from repro.sql.schema import Attribute, Schema
 from repro.udp.decide import DecisionOptions, decide_equivalence
@@ -56,6 +62,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Attribute",
+    "BatchPair",
+    "BatchRecord",
+    "BatchVerifier",
     "Catalog",
     "CompileError",
     "DecisionOptions",
@@ -73,7 +82,10 @@ __all__ = [
     "UnsupportedFeatureError",
     "Verdict",
     "VerificationOutcome",
+    "cache_stats",
+    "clear_caches",
     "decide_equivalence",
     "prove",
+    "set_memoization",
     "__version__",
 ]

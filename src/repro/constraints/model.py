@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.hashcons import fingerprint
 from repro.sql.program import Catalog, ForeignKeyConstraint, KeyConstraint
 
 
@@ -33,6 +34,32 @@ class ConstraintSet:
 
     def is_empty(self) -> bool:
         return not self.keys and not self.foreign_keys
+
+    def digest(self) -> str:
+        """Order-insensitive stable digest of the constraint set.
+
+        Part of every canonize memo key (fingerprint × constraint digest):
+        two solvers over catalogs that declare the same keys and foreign
+        keys — in any order — share cache entries, while adding or
+        removing a constraint changes the digest and thus misses the
+        cache instead of replaying a stale canonical form.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is not None:
+            return cached
+        keys = tuple(sorted((c.table, c.attributes) for c in self.keys))
+        fks = tuple(
+            sorted(
+                (c.table, c.attributes, c.ref_table, c.ref_attributes)
+                for c in self.foreign_keys
+            )
+        )
+        digest = fingerprint((keys, fks))
+        # Cached on first use: mutating `keys`/`foreign_keys` after a set
+        # has been handed to the decision procedure is unsupported (build a
+        # fresh ConstraintSet instead).
+        self.__dict__["_digest"] = digest
+        return digest
 
     def __str__(self) -> str:
         lines = [f"key {c.table}({', '.join(c.attributes)})" for c in self.keys]

@@ -17,6 +17,7 @@ from repro.corpus.rules import (
     Expectation,
     RewriteRule,
     all_rules,
+    as_batch_pairs,
     rules_by_dataset,
 )
 import repro.corpus.literature  # noqa: F401  (registers rules)
@@ -29,5 +30,6 @@ __all__ = [
     "Expectation",
     "RewriteRule",
     "all_rules",
+    "as_batch_pairs",
     "rules_by_dataset",
 ]

@@ -78,6 +78,27 @@ def get_rule(rule_id: str) -> RewriteRule:
     return _REGISTRY[rule_id]
 
 
+def as_batch_pairs(dataset: Optional[str] = None):
+    """The corpus (optionally one dataset) as batch-service work units.
+
+    The returned :class:`~repro.service.batch.BatchPair` list is ordered
+    by rule id, so batch results line up with :func:`all_rules` and are
+    reproducible across runs and worker counts.
+    """
+    from repro.service.batch import BatchPair
+
+    rules = all_rules() if dataset is None else rules_by_dataset(dataset)
+    return [
+        BatchPair(
+            pair_id=rule.rule_id,
+            left=rule.left,
+            right=rule.right,
+            program=rule.program,
+        )
+        for rule in rules
+    ]
+
+
 # Shared declaration snippets -------------------------------------------------
 
 #: Two generic-purpose concrete tables (used by algebraic rules).

@@ -1,8 +1,20 @@
-"""Command-line interface: ``udp-prove program.cos``.
+"""Command-line interface: ``udp-prove program.cos`` and ``udp-prove batch``.
 
 An input file contains declarations and ``verify q1 == q2;`` goals (the
 Fig. 2 statement language).  Exit status is 0 when every goal is proved,
 1 otherwise.
+
+The ``batch`` subcommand routes bulk workloads through the
+:mod:`repro.service` subsystem::
+
+    udp-prove batch pairs.jsonl --workers 4 --output results.jsonl
+    udp-prove batch goals.cos   --workers 4        # verify goals as pairs
+    udp-prove batch --corpus    --workers 4        # the built-in corpus
+
+Input JSONL lines look like ``{"id": ..., "left": ..., "right": ...,
+"program": "schema ...;"}``; results are emitted one JSON object per
+line in deterministic input order.  Batch exit status is 0 unless a pair
+*errored* (``not_proved`` is a normal bulk outcome, not a failure).
 """
 
 from __future__ import annotations
@@ -11,6 +23,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.errors import ReproError
 from repro.frontend.solver import Solver
 from repro.udp.decide import DecisionOptions
 from repro.udp.trace import Verdict
@@ -55,7 +68,91 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="udp-prove batch",
+        description="Bulk-verify query pairs via the batch service.",
+    )
+    parser.add_argument(
+        "input",
+        nargs="?",
+        help="pairs file: .jsonl of {id,left,right,program} or a .cos program",
+    )
+    parser.add_argument(
+        "--corpus",
+        action="store_true",
+        help="verify the built-in evaluation corpus instead of an input file",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default 1 = in-process)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-pair decision budget in seconds (default 30)",
+    )
+    parser.add_argument(
+        "--output", help="write results as JSON lines to this path"
+    )
+    parser.add_argument(
+        "--no-constraints", action="store_true",
+        help="ignore key/foreign-key constraints (ablation)",
+    )
+    return parser
+
+
+def run_batch(argv: List[str]) -> int:
+    from repro.service import BatchVerifier, pairs_from_jsonl, pairs_from_program
+
+    args = build_batch_parser().parse_args(argv)
+    if args.corpus:
+        from repro.corpus import as_batch_pairs
+
+        pairs = as_batch_pairs()
+    elif args.input is None:
+        print("error: provide a pairs file or --corpus", file=sys.stderr)
+        return 2
+    else:
+        try:
+            with open(args.input, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            print(f"error: cannot read {args.input}: {error}", file=sys.stderr)
+            return 2
+        try:
+            if args.input.endswith(".jsonl"):
+                pairs = pairs_from_jsonl(text.splitlines())
+            else:
+                pairs = pairs_from_program(text)
+        except (KeyError, ValueError, ReproError) as error:
+            print(
+                f"error: malformed pairs input {args.input}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+    options = DecisionOptions(
+        timeout_seconds=args.timeout,
+        use_constraints=not args.no_constraints,
+        collect_trace=False,
+    )
+    verifier = BatchVerifier(workers=args.workers, options=options)
+    if args.output:
+        records = verifier.run_to_path(pairs, args.output)
+    else:
+        records = verifier.run(pairs, sink=sys.stdout)
+    counts: dict = {}
+    for record in records:
+        counts[record.verdict] = counts.get(record.verdict, 0) + 1
+    summary = ", ".join(f"{v}={counts[v]}" for v in sorted(counts))
+    print(f"batch: {len(records)} pairs ({summary})", file=sys.stderr)
+    return 1 if counts.get("error") else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:  # pragma: no cover - interactive entry
+        argv = sys.argv[1:]
+    if argv and argv[0] == "batch":
+        return run_batch(argv[1:])
     args = build_arg_parser().parse_args(argv)
     with open(args.program, "r", encoding="utf-8") as handle:
         text = handle.read()

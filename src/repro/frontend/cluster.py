@@ -8,17 +8,25 @@ the ones UDP can prove pairwise equivalent.  Since ``PROVED`` is sound but
 queries in different groups are merely not proven equal.
 
 Proved equivalence is transitive (it is semantic equality), so each new query
-is only compared against one representative per existing group.
+is decided against **at most one representative per existing group** — never
+against the other members.  The whole pass reuses one
+:class:`~repro.frontend.solver.Solver`: every query is compiled exactly once
+(the solver's compile cache persists representatives across comparisons), and
+each comparison runs on the cached denotations, where the normalize/canonize
+memo layers (:mod:`repro.service`) make the representative's side of every
+decision a cache hit after its first comparison.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.errors import ReproError
 from repro.frontend.solver import Solver
 from repro.sql.ast import Query
 from repro.udp.trace import Verdict
+from repro.usr.terms import QueryDenotation
 
 
 @dataclass
@@ -27,28 +35,73 @@ class QueryGroup:
 
     representative: Union[str, Query]
     members: List[Union[str, Query]] = field(default_factory=list)
+    #: Compiled denotation of the representative; ``None`` when the
+    #: representative is unsupported (singleton group by construction).
+    denotation: Optional[QueryDenotation] = None
 
     def __len__(self) -> int:
         return len(self.members)
 
 
+@dataclass
+class ClusterStats:
+    """Instrumentation of one clustering pass.
+
+    ``decisions`` records every (query index, group index) pair that was
+    actually decided — the cluster tests assert each query is compared
+    against at most one representative per group, i.e. the transitivity
+    shortcut really is exercised.
+    """
+
+    compiled: int = 0
+    unsupported: int = 0
+    decisions: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def comparisons(self) -> int:
+        return len(self.decisions)
+
+    def max_decisions_per_query_group(self) -> int:
+        """1 when no (query, group) pair was ever decided twice."""
+        counts: dict = {}
+        for pair in self.decisions:
+            counts[pair] = counts.get(pair, 0) + 1
+        return max(counts.values(), default=0)
+
+
 def cluster_queries(
-    solver: Solver, queries: Sequence[Union[str, Query]]
+    solver: Solver,
+    queries: Sequence[Union[str, Query]],
+    stats: Optional[ClusterStats] = None,
 ) -> List[QueryGroup]:
     """Group ``queries`` by proved equivalence under the solver's catalog.
 
     Unsupported queries land in singleton groups (nothing can be proved
-    about them).
+    about them).  Pass a :class:`ClusterStats` to observe how many
+    decisions the pass actually ran.
     """
     groups: List[QueryGroup] = []
-    for query in queries:
+    for query_index, query in enumerate(queries):
+        try:
+            denotation = solver.compile(query)
+        except ReproError:
+            denotation = None
+        if stats is not None:
+            stats.compiled += 1
+            if denotation is None:
+                stats.unsupported += 1
         placed = False
-        for group in groups:
-            outcome = solver.check(group.representative, query)
-            if outcome.verdict is Verdict.PROVED:
-                group.members.append(query)
-                placed = True
-                break
+        if denotation is not None:
+            for group_index, group in enumerate(groups):
+                if group.denotation is None:
+                    continue  # unsupported representative: nothing provable
+                if stats is not None:
+                    stats.decisions.append((query_index, group_index))
+                outcome = solver.check_denotations(group.denotation, denotation)
+                if outcome.verdict is Verdict.PROVED:
+                    group.members.append(query)
+                    placed = True
+                    break
         if not placed:
-            groups.append(QueryGroup(query, [query]))
+            groups.append(QueryGroup(query, [query], denotation))
     return groups

@@ -46,7 +46,16 @@ class VerificationOutcome:
 
 
 class Solver:
-    """Checks SQL query equivalences under a catalog of declarations."""
+    """Checks SQL query equivalences under a catalog of declarations.
+
+    The solver caches per catalog: compiled denotations (keyed by the
+    query's SQL text — the compiler numbers binders deterministically per
+    ``compile`` call, so a cached denotation is byte-identical to a
+    recompile) and the :class:`~repro.constraints.model.ConstraintSet`.
+    Both caches are dropped automatically whenever ``self.catalog`` is
+    *rebound*; mutating a catalog object in place after checks started is
+    unsupported (see :mod:`repro.service` on cache invalidation).
+    """
 
     def __init__(
         self,
@@ -67,14 +76,50 @@ class Solver:
         solver._program = program
         return solver
 
+    # -- per-catalog caches -------------------------------------------------
+
+    _COMPILE_CACHE_CAP = 512
+
+    def __setattr__(self, name: str, value) -> None:
+        if name == "catalog":
+            self.__dict__["_compile_cache"] = {}
+            self.__dict__["_constraints"] = None
+        super().__setattr__(name, value)
+
+    def _constraint_set(self) -> ConstraintSet:
+        constraints = self.__dict__.get("_constraints")
+        if constraints is None:
+            constraints = constraints_from_catalog(self.catalog)
+            self.__dict__["_constraints"] = constraints
+        return constraints
+
     # -- compilation -------------------------------------------------------
 
     def compile(self, query: Union[str, Query]) -> QueryDenotation:
-        """Parse/resolve/desugar/compile one query to its denotation."""
+        """Parse/resolve/desugar/compile one query to its denotation.
+
+        Results are cached per query (by SQL text, or by the AST node
+        itself for ``Query`` inputs — the pretty-printer is not
+        injective, so rendered text cannot key an AST), so re-checking
+        the same query — the clustering front end compares every
+        incoming query against group representatives — compiles it once.
+        """
+        key = query
+        cache = self.__dict__.setdefault("_compile_cache", {})
+        try:
+            cached = cache.get(key)
+        except TypeError:  # unhashable AST payload: skip caching
+            cache = None
+            cached = None
+        if cached is not None:
+            return cached
         parsed = parse_query(query) if isinstance(query, str) else query
         resolved, _ = resolve_query(parsed, self.catalog)
         desugared = desugar_query(resolved)
-        return Compiler(self.catalog).compile_query(desugared)
+        denotation = Compiler(self.catalog).compile_query(desugared)
+        if cache is not None and len(cache) < self._COMPILE_CACHE_CAP:
+            cache[key] = denotation
+        return denotation
 
     # -- decision -----------------------------------------------------------
 
@@ -97,15 +142,26 @@ class Solver:
                 f"{type(error).__name__}: {error}",
                 time.monotonic() - started,
             )
-        constraints = constraints_from_catalog(self.catalog)
         result: DecisionResult = decide_equivalence(
-            left_denotation, right_denotation, constraints, self.options
+            left_denotation, right_denotation, self._constraint_set(),
+            self.options,
         )
         return VerificationOutcome(
             result.verdict,
             result.reason,
             time.monotonic() - started,
             result.trace,
+        )
+
+    def check_denotations(
+        self, left: QueryDenotation, right: QueryDenotation
+    ) -> VerificationOutcome:
+        """Decide two already-compiled denotations under the catalog."""
+        result: DecisionResult = decide_equivalence(
+            left, right, self._constraint_set(), self.options
+        )
+        return VerificationOutcome(
+            result.verdict, result.reason, result.elapsed_seconds, result.trace
         )
 
     def run_program(self, text: str) -> List[VerificationOutcome]:

@@ -60,6 +60,7 @@ class CongruenceClosure:
     def __init__(self) -> None:
         self._uf = UnionFind()
         self._nodes: Set[ValueExpr] = set()
+        self._groups: Optional[Dict[ValueExpr, List[ValueExpr]]] = None
 
     # -- construction ------------------------------------------------------
 
@@ -67,6 +68,7 @@ class CongruenceClosure:
         """Register ``value`` and all its subterms."""
         if value in self._nodes:
             return
+        self._groups = None
         self._nodes.add(value)
         self._uf.add(value)
         parts = decompose(value)
@@ -80,7 +82,29 @@ class CongruenceClosure:
         """Assert ``left = right`` and restore congruence."""
         self.add_term(left)
         self.add_term(right)
+        self._groups = None
         self._uf.union(left, right)
+        self._rebuild()
+
+    def merge_many(self, pairs: Iterable[Tuple[ValueExpr, ValueExpr]]) -> None:
+        """Assert several equalities with a single congruence rebuild.
+
+        Congruence closure is confluent — the final partition depends only
+        on the set of asserted equalities, not their order — so batching
+        the unions and rehashing signatures once is equivalent to (and far
+        cheaper than) a full :meth:`_rebuild` fixpoint per ``merge``.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            # No equalities: every class is a singleton, so two signatures
+            # can only coincide for structurally identical (= same) nodes;
+            # the rehash fixpoint would be a no-op.
+            return
+        self._groups = None
+        for left, right in pairs:
+            self.add_term(left)
+            self.add_term(right)
+            self._uf.union(left, right)
         self._rebuild()
 
     def _rebuild(self) -> None:
@@ -92,6 +116,7 @@ class CongruenceClosure:
         changed = True
         while changed:
             changed = False
+            self._groups = None
             signatures: Dict[Tuple, ValueExpr] = {}
             for node in self._nodes:
                 if decompose(node) is None:
@@ -132,16 +157,21 @@ class CongruenceClosure:
         self.add_term(value)
         return self._uf.find(value)
 
+    def _grouped(self) -> Dict[ValueExpr, List[ValueExpr]]:
+        """Root → members partition, cached until the closure changes."""
+        if self._groups is None:
+            grouped: Dict[ValueExpr, List[ValueExpr]] = {}
+            for node in self._nodes:
+                grouped.setdefault(self._uf.find(node), []).append(node)
+            self._groups = grouped
+        return self._groups
+
     def class_members(self, value: ValueExpr) -> List[ValueExpr]:
         self.add_term(value)
-        root = self._uf.find(value)
-        return [node for node in self._nodes if self._uf.same(node, root)]
+        return self._grouped()[self._uf.find(value)]
 
     def classes(self) -> List[List[ValueExpr]]:
-        grouped: Dict[ValueExpr, List[ValueExpr]] = {}
-        for node in self._nodes:
-            grouped.setdefault(self._uf.find(node), []).append(node)
-        return list(grouped.values())
+        return list(self._grouped().values())
 
     def constants_in_class(self, value: ValueExpr) -> List[ConstVal]:
         return [m for m in self.class_members(value) if isinstance(m, ConstVal)]

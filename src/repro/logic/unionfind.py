@@ -23,13 +23,26 @@ class UnionFind:
 
     def find(self, element: Hashable) -> Hashable:
         """The canonical representative of ``element``'s class."""
-        self.add(element)
-        root = element
-        while self._parent[root] != root:
-            root = self._parent[root]
+        parent = self._parent
+        root = parent.get(element)
+        if root is None:
+            parent[element] = element
+            self._rank[element] = 0
+            return element
+        if root is element:  # interned/identical fast path
+            return root
+        while True:
+            above = parent[root]
+            if above == root:
+                break
+            root = above
         # Path compression.
-        while self._parent[element] != root:
-            self._parent[element], element = root, self._parent[element]
+        while True:
+            above = parent[element]
+            if above == root:
+                break
+            parent[element] = root
+            element = above
         return root
 
     def union(self, left: Hashable, right: Hashable) -> bool:

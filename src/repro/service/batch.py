@@ -1,0 +1,278 @@
+"""Batch verification: fan query pairs out over worker processes.
+
+The :class:`BatchVerifier` takes a list of :class:`BatchPair` (program
+declarations plus two SQL queries) and decides every pair, either
+in-process (``workers <= 1``) or across a ``multiprocessing`` pool.
+Guarantees, regardless of worker count:
+
+* **Deterministic ordering** — results come back sorted by input index,
+  so ``run()`` with 1 worker and with N workers produce identical lists.
+* **Per-pair isolation** — a pair that times out (the decision budget is
+  cooperative, enforced by :class:`~repro.udp.decide.DecisionOptions`)
+  or raises yields a ``timeout`` / ``error`` record without affecting
+  sibling pairs.
+* **Worker-local caching** — each worker keeps one
+  :class:`~repro.frontend.solver.Solver` per distinct program text, so a
+  corpus whose rules share a catalog (the Calcite EMP/DEPT rules, say)
+  parses it once per worker; beneath that, the normalize/canonize memo
+  layers (see :mod:`repro.service`) deduplicate repeated subexpressions.
+
+Results can be streamed to a JSON-lines sink (:func:`write_jsonl`), one
+object per line — the interchange format of the ``udp-prove batch``
+subcommand and the corpus benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, replace
+from typing import Dict, IO, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.frontend.solver import Solver
+from repro.udp.decide import DecisionOptions
+
+#: Verdict strings a record can carry: the four
+#: :class:`~repro.udp.trace.Verdict` values plus ``"error"`` for pairs
+#: whose check raised an unexpected exception.
+ERROR_VERDICT = "error"
+
+
+@dataclass(frozen=True)
+class BatchPair:
+    """One unit of batch work: declarations plus a query pair.
+
+    ``timeout_seconds`` overrides the verifier-wide decision budget for
+    this pair only (the corpus uses this for known-expensive rules).
+    """
+
+    pair_id: str
+    left: str
+    right: str
+    program: str = ""
+    timeout_seconds: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """The outcome of one pair, in input order (``index``)."""
+
+    index: int
+    pair_id: str
+    verdict: str
+    reason: str = ""
+    elapsed_seconds: float = 0.0
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "id": self.pair_id,
+            "verdict": self.verdict,
+            "reason": self.reason,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+#: Per-process solver cache, keyed by program text.  Lives at module level
+#: so pool workers (which fork or re-import this module) reuse solvers
+#: across the pairs they are handed.
+_WORKER_SOLVERS: Dict[Tuple[str, Tuple], Solver] = {}
+
+
+def _options_key(options: DecisionOptions) -> Tuple:
+    return (
+        options.timeout_seconds,
+        options.use_constraints,
+        options.sdp_strategy,
+        options.require_same_schema,
+        options.collect_trace,
+    )
+
+
+def _solver_for(program: str, options: DecisionOptions) -> Solver:
+    key = (program, _options_key(options))
+    solver = _WORKER_SOLVERS.get(key)
+    if solver is None:
+        if program:
+            solver = Solver.from_program_text(program, options)
+        else:
+            solver = Solver(options=options)
+        if len(_WORKER_SOLVERS) < 512:
+            _WORKER_SOLVERS[key] = solver
+    return solver
+
+
+def _check_pair(payload: Tuple[int, BatchPair, DecisionOptions]) -> BatchRecord:
+    """Decide one pair; never raises (errors become ``error`` records)."""
+    index, pair, options = payload
+    if pair.timeout_seconds is not None:
+        options = replace(options, timeout_seconds=pair.timeout_seconds)
+    try:
+        solver = _solver_for(pair.program, options)
+        outcome = solver.check(pair.left, pair.right)
+        return BatchRecord(
+            index=index,
+            pair_id=pair.pair_id,
+            verdict=outcome.verdict.value,
+            reason=outcome.reason,
+            elapsed_seconds=outcome.elapsed_seconds,
+        )
+    except Exception as error:  # noqa: BLE001 - isolation is the contract
+        return BatchRecord(
+            index=index,
+            pair_id=pair.pair_id,
+            verdict=ERROR_VERDICT,
+            reason=f"{type(error).__name__}: {error}",
+        )
+
+
+# ---------------------------------------------------------------------------
+# The verifier
+# ---------------------------------------------------------------------------
+
+
+class BatchVerifier:
+    """Decide many query pairs, optionally across worker processes.
+
+    Attributes:
+        workers: process count; ``<= 1`` runs in-process (no pool).
+        options: decision options shared by all pairs (per-pair
+            ``timeout_seconds`` overrides the budget).
+        chunk_size: pairs handed to a worker per dispatch; higher
+            amortizes IPC, lower balances better when pair costs vary.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        options: Optional[DecisionOptions] = None,
+        chunk_size: int = 4,
+        clamp_to_cores: bool = True,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        # Bulk verification consumes verdicts, not proof replays: unless the
+        # caller provides explicit options, skip trace collection.
+        self.options = options or DecisionOptions(collect_trace=False)
+        self.chunk_size = max(1, int(chunk_size))
+        self.clamp_to_cores = clamp_to_cores
+
+    @property
+    def effective_workers(self) -> int:
+        """Worker count actually used: clamped to the machine's cores.
+
+        Oversubscribing processes past ``os.cpu_count()`` only adds fork
+        and IPC overhead (and forked workers start with cold caches); a
+        single-core host therefore always runs in-process, where the
+        memo layers stay warm across batches.  ``clamp_to_cores=False``
+        forces the requested count (tests use it to exercise the pool on
+        any machine).
+        """
+        if not self.clamp_to_cores:
+            return self.workers
+        return min(self.workers, os.cpu_count() or 1)
+
+    def run(
+        self,
+        pairs: Sequence[BatchPair],
+        sink: Optional[IO[str]] = None,
+    ) -> List[BatchRecord]:
+        """Decide every pair; results are sorted by input index.
+
+        When ``sink`` is given, each record is also written to it as one
+        JSON line (in result order, i.e. input order).
+        """
+        payloads = [
+            (index, pair, self.options) for index, pair in enumerate(pairs)
+        ]
+        workers = self.effective_workers
+        if workers <= 1 or len(payloads) <= 1:
+            records = [_check_pair(payload) for payload in payloads]
+        else:
+            records = self._run_pool(payloads, workers)
+        records.sort(key=lambda record: record.index)
+        if sink is not None:
+            write_jsonl(records, sink)
+        return records
+
+    def run_to_path(
+        self, pairs: Sequence[BatchPair], path: Union[str, os.PathLike]
+    ) -> List[BatchRecord]:
+        """:meth:`run` with a JSONL file sink at ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            return self.run(pairs, sink=handle)
+
+    def _run_pool(self, payloads, workers: int) -> List[BatchRecord]:
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context("spawn")
+        try:
+            with context.Pool(processes=workers) as pool:
+                return pool.map(_check_pair, payloads, chunksize=self.chunk_size)
+        except (OSError, PermissionError):  # pragma: no cover - sandboxes
+            # Process creation unavailable: degrade to serial execution
+            # rather than failing the batch.
+            return [_check_pair(payload) for payload in payloads]
+
+
+# ---------------------------------------------------------------------------
+# Input adapters and the JSONL sink
+# ---------------------------------------------------------------------------
+
+
+def write_jsonl(records: Iterable[BatchRecord], sink: IO[str]) -> None:
+    """Write records as JSON lines (stable key order, one object/line)."""
+    for record in records:
+        sink.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
+
+
+def pairs_from_jsonl(lines: Iterable[str]) -> List[BatchPair]:
+    """Parse pairs from JSONL: ``{"id", "left", "right", "program"?}``.
+
+    Blank lines are skipped; a missing ``id`` defaults to the line's
+    position.  ``timeout_seconds`` is honoured when present.
+    """
+    pairs: List[BatchPair] = []
+    for position, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        pairs.append(
+            BatchPair(
+                pair_id=str(obj.get("id", position)),
+                left=obj["left"],
+                right=obj["right"],
+                program=obj.get("program", ""),
+                timeout_seconds=obj.get("timeout_seconds"),
+            )
+        )
+    return pairs
+
+
+def pairs_from_program(text: str) -> List[BatchPair]:
+    """Turn a ``.cos`` program's ``verify`` goals into batch pairs.
+
+    Every pair shares the program text (the declarations); goals are
+    numbered ``goal-1``, ``goal-2``, ... in order of appearance.
+    """
+    from repro.sql.parser import parse_program
+
+    program = parse_program(text)
+    pairs: List[BatchPair] = []
+    for number, goal in enumerate(program.verify_goals(), start=1):
+        pairs.append(
+            BatchPair(
+                pair_id=f"goal-{number}",
+                left=str(goal.left),
+                right=str(goal.right),
+                program=text,
+            )
+        )
+    return pairs

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Tuple
 
 from repro.errors import SchemaError
+from repro.hashcons import cached_structural_hash
 
 #: Types accepted by ``schema`` declarations.  The list mirrors Fig. 8's
 #: ``Type ::= int | bool | string | ...``; unknown names are accepted and kept
@@ -23,6 +24,7 @@ from repro.errors import SchemaError
 KNOWN_TYPES = ("int", "bool", "string", "float", "date")
 
 
+@cached_structural_hash
 @dataclass(frozen=True)
 class Attribute:
     """A named, typed attribute of a schema."""
@@ -34,6 +36,7 @@ class Attribute:
         return f"{self.name}:{self.type}"
 
 
+@cached_structural_hash
 @dataclass(frozen=True)
 class Schema:
     """An ordered collection of attributes, possibly generic.

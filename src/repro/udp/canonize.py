@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.constraints.model import ConstraintSet
+from repro.hashcons import LRUCache, memoization_enabled
 from repro.logic.congruence import CongruenceClosure
 from repro.sql.schema import Schema
 from repro.udp.trace import ProofTrace
@@ -59,6 +60,13 @@ SchemaEnv = Dict[str, Schema]
 _MAX_ROUNDS = 100
 
 
+#: Memo table for :func:`canonize_form`.  The key is
+#: ``(form fingerprint, constraint digest, env digest, squash-invariance
+#: flag)`` — everything the canonical form depends on.  Values carry the
+#: cold run's proof steps for replay, exactly like the normalize memo.
+_CANONIZE_CACHE = LRUCache("canonize", maxsize=4096)
+
+
 def canonize_form(
     form: NormalForm,
     constraints: ConstraintSet,
@@ -66,8 +74,54 @@ def canonize_form(
     trace: Optional[ProofTrace] = None,
     apply_squash_invariance: bool = True,
 ) -> NormalForm:
-    """Canonize every term of ``form``; contradictory terms drop out."""
+    """Canonize every term of ``form``; contradictory terms drop out.
+
+    Memoized on (fingerprint × constraint digest × schema-env digest ×
+    squash-invariance flag).  The memo also catches the internal
+    recursion into squash and negation parts, so shared subforms — e.g.
+    an aggregate body appearing in both queries of a pair — canonize
+    once per process.  Callers that mutate a catalog in place after
+    solving must call :func:`repro.hashcons.clear_caches`; constraint
+    *sets* built freshly per decision key themselves via
+    :meth:`~repro.constraints.model.ConstraintSet.digest`.
+    """
     var_schemas = var_schemas or {}
+    if not memoization_enabled() or not form:
+        return _canonize_form_impl(
+            form, constraints, var_schemas, trace, apply_squash_invariance
+        )
+    # Structural-object key (cached hashes make it near-free in-process);
+    # the constraint set enters through its run-stable digest so catalogs
+    # declaring the same keys/fks share entries.
+    key = (
+        form,
+        constraints.digest(),
+        tuple(sorted(var_schemas.items())),
+        apply_squash_invariance,
+    )
+    hit = _CANONIZE_CACHE.get(key)
+    if hit is not None:
+        canonized, steps = hit
+        if trace is not None:
+            trace.steps.extend(steps)
+        return canonized
+    sub_trace = ProofTrace()
+    canonized = _canonize_form_impl(
+        form, constraints, var_schemas, sub_trace, apply_squash_invariance
+    )
+    _CANONIZE_CACHE.put(key, (canonized, tuple(sub_trace.steps)))
+    if trace is not None:
+        trace.steps.extend(sub_trace.steps)
+    return canonized
+
+
+def _canonize_form_impl(
+    form: NormalForm,
+    constraints: ConstraintSet,
+    var_schemas: SchemaEnv,
+    trace: Optional[ProofTrace],
+    apply_squash_invariance: bool,
+) -> NormalForm:
     out: List[NormalTerm] = []
     for term in form:
         canonized = canonize_term(
@@ -94,7 +148,7 @@ def canonize_term(
                 trace.record("mul-zero", "term reduced to 0")
             return None
         current = simplified
-        closure = build_closure(current)
+        closure = build_closure(current, constraints)
         if _contradictory(current, closure, trace):
             return None
         changed, current = _eliminate_bound_var(
@@ -157,7 +211,15 @@ def canonical_rename_form(form: NormalForm) -> NormalForm:
     variable numbers) become syntactically identical, which is what lets the
     congruence procedure compare aggregates as uninterpreted functions of
     their (canonized) subqueries.
+
+    The predicate and relation factor lists were sorted by their rendered
+    strings at :func:`~repro.usr.spnf.make_term` time — i.e. under the
+    *pre-rename* variable names, whose ordering depends on fresh-name
+    numbering.  They are re-sorted here under the canonical ``κi`` names
+    so alpha-variant terms really do become byte-identical.
     """
+    from repro.usr.spnf import _pred_sort_key, _rel_sort_key
+
     renamed: List[NormalTerm] = []
     for term in form:
         mapping: Dict[str, ValueExpr] = {}
@@ -181,8 +243,8 @@ def canonical_rename_form(form: NormalForm) -> NormalForm:
         renamed.append(
             NormalTerm(
                 renamed_term.vars,
-                renamed_term.preds,
-                renamed_term.rels,
+                tuple(sorted(renamed_term.preds, key=_pred_sort_key)),
+                tuple(sorted(renamed_term.rels, key=_rel_sort_key)),
                 squash_part,
                 neg_part,
             )
@@ -260,10 +322,40 @@ def _contains_agg(value: ValueExpr) -> bool:
     return False
 
 
+def _term_has_agg(term: NormalTerm) -> bool:
+    """Whether any value anywhere in the term contains an aggregate.
+
+    Cached on the (immutable) term: the canonizer re-enters
+    :func:`_canonicalize_aggregates` on every fixpoint round, and most
+    corpus terms are aggregate-free.
+    """
+    cached = term.__dict__.get("_has_agg")
+    if cached is not None:
+        return cached
+    has = False
+    for pred in term.preds:
+        if isinstance(pred, (EqPred, NePred)):
+            has = _contains_agg(pred.left) or _contains_agg(pred.right)
+        elif isinstance(pred, AtomPred):
+            has = any(_contains_agg(a) for a in pred.args)
+        if has:
+            break
+    if not has:
+        has = any(_contains_agg(arg) for _, arg in term.rels)
+    if not has and term.squash_part is not None:
+        has = any(_term_has_agg(sub) for sub in term.squash_part)
+    if not has and term.neg_part is not None:
+        has = any(_term_has_agg(sub) for sub in term.neg_part)
+    object.__setattr__(term, "_has_agg", has)
+    return has
+
+
 def _canonicalize_aggregates(
     term: NormalTerm, constraints: ConstraintSet, var_schemas: SchemaEnv
 ) -> NormalTerm:
     """Replace every aggregate value in the term by its canonical form."""
+    if not _term_has_agg(term):
+        return term
     inner_env = dict(var_schemas)
     inner_env.update(dict(term.vars))
 
@@ -319,12 +411,28 @@ def _canonicalize_aggregates(
 # ---------------------------------------------------------------------------
 
 
-def build_closure(term: NormalTerm) -> CongruenceClosure:
-    """Closure of the term's equality predicates over all its values."""
+def build_closure(
+    term: NormalTerm, constraints: Optional[ConstraintSet] = None
+) -> CongruenceClosure:
+    """Closure of the term's equality predicates over all its values.
+
+    All equalities are asserted in one batch (single signature-rehash
+    fixpoint) — the closure is confluent, and this is the hottest
+    constructor in the canonizer's fixpoint loop.
+
+    When ``constraints`` are given, the key/foreign-key attribute
+    projections of every relation atom are pre-registered, so the
+    later :meth:`~repro.logic.congruence.CongruenceClosure.equal`
+    queries issued by key unification and FK elimination find their
+    operands already in the universe instead of each triggering a
+    fresh congruence rebuild.  Confluence makes this equivalent to
+    adding them lazily.
+    """
     closure = CongruenceClosure()
+    equalities = []
     for pred in term.preds:
         if isinstance(pred, EqPred):
-            closure.merge(pred.left, pred.right)
+            equalities.append((pred.left, pred.right))
         elif isinstance(pred, NePred):
             closure.add_term(pred.left)
             closure.add_term(pred.right)
@@ -333,6 +441,19 @@ def build_closure(term: NormalTerm) -> CongruenceClosure:
                 closure.add_term(arg)
     for _, arg in term.rels:
         closure.add_term(arg)
+    if constraints is not None:
+        for rel_name, arg in term.rels:
+            for key_attrs in constraints.keys_of(rel_name):
+                for attr in key_attrs:
+                    closure.add_term(project_attr(arg, attr))
+            for fk in constraints.foreign_keys:
+                if fk.table == rel_name:
+                    for attr in fk.attributes:
+                        closure.add_term(project_attr(arg, attr))
+                if fk.ref_table == rel_name:
+                    for attr in fk.ref_attributes:
+                        closure.add_term(project_attr(arg, attr))
+    closure.merge_many(equalities)
     return closure
 
 
@@ -373,7 +494,13 @@ def _contradictory(
 
 
 def _candidate_priority(value: ValueExpr) -> Tuple[int, str]:
-    """Prefer plain variables over constructed values for substitution."""
+    """Prefer plain variables over constructed values for substitution.
+
+    ``repr`` (injective, unlike the pretty-printed form) keeps the
+    tie-break total, so candidate choice never falls back to set
+    iteration order; the candidate lists here are tiny, so the cost is
+    irrelevant.
+    """
     if isinstance(value, TupleVar):
         return (0, value.name)
     if isinstance(value, (TupleCons, ConcatTuple)):

@@ -50,12 +50,17 @@ class DecisionOptions:
             formulation) — both are complete for set-semantics UCQ.
         require_same_schema: reject query pairs whose output schemas disagree
             on attribute names before doing any work.
+        collect_trace: record the axiom-application trace.  Disabled by the
+            batch service: bulk verification only consumes verdicts, and
+            skipping trace bookkeeping (plus memo-hit replay) measurably
+            speeds corpus passes.
     """
 
     timeout_seconds: float = 30.0
     use_constraints: bool = True
     sdp_strategy: str = "homomorphism"
     require_same_schema: bool = True
+    collect_trace: bool = True
 
 
 class _Engine:
@@ -65,7 +70,7 @@ class _Engine:
         self,
         constraints: ConstraintSet,
         options: DecisionOptions,
-        trace: ProofTrace,
+        trace: Optional[ProofTrace],
     ) -> None:
         self._constraints = (
             constraints if options.use_constraints else ConstraintSet()
@@ -193,7 +198,7 @@ def decide_equivalence(
     """Decide ``⟦q1⟧ = ⟦q2⟧`` under the given integrity constraints."""
     options = options or DecisionOptions()
     constraints = constraints or ConstraintSet()
-    trace = ProofTrace()
+    trace = ProofTrace() if options.collect_trace else None
     started = time.monotonic()
 
     if options.require_same_schema:
@@ -209,10 +214,15 @@ def decide_equivalence(
                 elapsed_seconds=time.monotonic() - started,
             )
 
-    # Identify the two output variables.
-    right_body = substitute_tuple_var(
-        right.body, right.var, TupleVar(left.var)
-    )
+    # Identify the two output variables.  Compilers number binders per
+    # compile call, so both sides usually already share the same output
+    # variable name and the tree-wide substitution can be skipped.
+    if right.var == left.var:
+        right_body = right.body
+    else:
+        right_body = substitute_tuple_var(
+            right.body, right.var, TupleVar(left.var)
+        )
     env: Dict[str, Schema] = {left.var: left.schema}
 
     try:

@@ -12,10 +12,29 @@ from typing import List, Union
 
 from repro.constraints.model import constraints_from_catalog
 from repro.frontend.solver import Solver
+from repro.hashcons import cache_stats
 from repro.udp.canonize import canonize_form
 from repro.usr.axioms import AXIOMS
 from repro.usr.pretty import pretty_form
 from repro.usr.spnf import normalize
+
+
+def render_cache_stats() -> str:
+    """Markdown block of the memoization-cache counters.
+
+    Hits/misses/entries per registered cache (``normalize``,
+    ``canonize``; see :mod:`repro.hashcons`).  Surfaced in every proof
+    report — and asserted non-zero by the cluster tests — so a
+    regression that silently disables memoization shows up in CI rather
+    than as a quiet slowdown.
+    """
+    lines = ["## Cache statistics", ""]
+    for name, stats in cache_stats().items():
+        lines.append(
+            f"* `{name}`: hits={stats['hits']}, misses={stats['misses']}, "
+            f"entries={stats['entries']}/{stats['maxsize']}"
+        )
+    return "\n".join(lines)
 
 
 def render_proof_report(solver: Solver, left: str, right: str) -> str:
@@ -83,4 +102,6 @@ def render_proof_report(solver: Solver, left: str, right: str) -> str:
                 lines.append(f"* `{key}`")
         lines.append("")
         lines.append(f"Total rewrite steps recorded: {len(outcome.trace)}")
+        lines.append("")
+    lines.append(render_cache_stats())
     return "\n".join(lines)

@@ -19,6 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from repro.hashcons import (
+    cached_free_vars,
+    cached_str,
+    cached_structural_hash,
+    fingerprint as _structural_fingerprint,
+)
 from repro.usr.values import ValueExpr
 
 
@@ -30,14 +36,34 @@ class Predicate:
     def free_tuple_vars(self) -> frozenset:
         raise NotImplementedError
 
+    def fingerprint(self) -> str:
+        """Structural digest, stable across runs and processes."""
+        return _structural_fingerprint(self)
+
 
 def _ordered_pair(left: ValueExpr, right: ValueExpr) -> Tuple[ValueExpr, ValueExpr]:
-    """Order a symmetric pair deterministically for structural equality."""
-    if repr(left) <= repr(right):
+    """Order a symmetric pair deterministically for structural equality.
+
+    Primarily keyed on the rendered form (cached per node, an order of
+    magnitude cheaper than ``repr``'s uncached recursive rendering);
+    the rare render ties between *distinct* values — e.g.
+    ``TupleVar("x.a")`` vs ``Attr(TupleVar("x"), "a")`` — fall back to
+    the injective ``repr`` so the stored orientation never depends on
+    argument order.
+    """
+    left_str, right_str = str(left), str(right)
+    if left_str < right_str:
+        return left, right
+    if right_str < left_str:
+        return right, left
+    if left == right or repr(left) <= repr(right):
         return left, right
     return right, left
 
 
+@cached_structural_hash
+@cached_str
+@cached_free_vars
 @dataclass(frozen=True, init=False)
 class EqPred(Predicate):
     """Interpreted equality ``[e1 = e2]`` (stored in canonical order)."""
@@ -57,6 +83,9 @@ class EqPred(Predicate):
         return f"[{self.left} = {self.right}]"
 
 
+@cached_structural_hash
+@cached_str
+@cached_free_vars
 @dataclass(frozen=True, init=False)
 class NePred(Predicate):
     """Inequality ``[e1 ≠ e2]`` — arises from excluded middle (Eq. (12))."""
@@ -76,6 +105,9 @@ class NePred(Predicate):
         return f"[{self.left} ≠ {self.right}]"
 
 
+@cached_structural_hash
+@cached_str
+@cached_free_vars
 @dataclass(frozen=True)
 class AtomPred(Predicate):
     """An uninterpreted predicate atom ``[β(e1, ..., en)]``.

@@ -14,6 +14,16 @@ normal forms (tuples of terms), and squash parts are kept *flattened*
 applying the nine rewrite rules in the proof of Theorem 3.4; each rule is an
 axiom instance, and an optional :class:`~repro.udp.trace.ProofTrace` records
 the applications.
+
+Normalization is memoized: results are cached in an LRU keyed by the
+expression's structural identity (cached hashes make in-process lookups
+near-free; the run-stable :func:`~repro.hashcons.fingerprint` is the
+equivalent key for anything that must cross process or run boundaries),
+together with the proof steps the cold run recorded, which are replayed
+into the caller's trace on a hit.  The memo applies at every recursion
+level, so a repeated subexpression — ubiquitous in clustering workloads,
+where each incoming query is re-normalized against every group
+representative — is normalized once per process.
 """
 
 from __future__ import annotations
@@ -22,6 +32,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import CompileError
+from repro.hashcons import (
+    LRUCache,
+    cached_free_vars,
+    cached_str,
+    cached_structural_hash,
+    memoization_enabled,
+)
 from repro.sql.schema import Schema
 from repro.udp.trace import ProofTrace
 from repro.usr.predicates import AtomPred, EqPred, NePred, Predicate
@@ -51,6 +68,9 @@ from repro.usr.values import ConstVal, TupleVar, ValueExpr
 NormalForm = Tuple["NormalTerm", ...]
 
 
+@cached_structural_hash
+@cached_str
+@cached_free_vars
 @dataclass(frozen=True)
 class NormalTerm:
     """One SPNF term.
@@ -349,8 +369,43 @@ def flatten_squash(form: NormalForm) -> NormalForm:
 # ---------------------------------------------------------------------------
 
 
+#: Memo table for :func:`normalize`.  Keyed by the expression itself
+#: (structural equality); the value is ``(form, proof_steps)`` so a hit
+#: can replay the recorded axiom applications into the caller's trace.
+_NORMALIZE_CACHE = LRUCache("normalize", maxsize=4096)
+
+
 def normalize(expr: UExpr, trace: Optional[ProofTrace] = None) -> NormalForm:
-    """Rewrite ``expr`` into SPNF.
+    """Rewrite ``expr`` into SPNF, memoized by structural identity.
+
+    A cache hit returns the previously computed normal form (an
+    alpha-variant is semantically interchangeable, and the key is the
+    exact structure including binder names, so hits are only ever replays
+    of the identical input) and appends the cold run's recorded proof
+    steps to ``trace``.
+    """
+    if not memoization_enabled() or isinstance(expr, (_Zero, _One, Pred, Rel)):
+        return _normalize_impl(expr, trace)
+    # The key is the expression itself: structural equality with cached
+    # hashes is cheaper than a digest, and the memo is per-process (the
+    # run-stable `fingerprint()` exists for keys that cross processes).
+    key = expr
+    hit = _NORMALIZE_CACHE.get(key)
+    if hit is not None:
+        form, steps = hit
+        if trace is not None:
+            trace.steps.extend(steps)
+        return form
+    sub_trace = ProofTrace()
+    form = _normalize_impl(expr, sub_trace)
+    _NORMALIZE_CACHE.put(key, (form, tuple(sub_trace.steps)))
+    if trace is not None:
+        trace.steps.extend(sub_trace.steps)
+    return form
+
+
+def _normalize_impl(expr: UExpr, trace: Optional[ProofTrace]) -> NormalForm:
+    """One level of the Theorem 3.4 rewriting (recurses via the memo).
 
     The recursion applies the Theorem 3.4 rules: distributivity (rules 1-2),
     associativity/commutativity bookkeeping (3-4), sum extrusion (5-7), squash

@@ -21,6 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Tuple
 
+from repro.hashcons import (
+    cached_free_vars,
+    cached_str,
+    cached_structural_hash,
+    fingerprint as _structural_fingerprint,
+)
 from repro.sql.schema import Schema
 from repro.usr.predicates import Predicate
 from repro.usr.values import ValueExpr
@@ -34,6 +40,15 @@ class UExpr:
     def free_tuple_vars(self) -> frozenset:
         raise NotImplementedError
 
+    def fingerprint(self) -> str:
+        """Structural digest of the expression, stable across runs.
+
+        Used as the memo key for :func:`repro.usr.spnf.normalize`; unlike
+        ``hash()`` it is independent of ``PYTHONHASHSEED``, so worker
+        processes of the batch service compute identical keys.
+        """
+        return _structural_fingerprint(self)
+
     def __add__(self, other: "UExpr") -> "UExpr":
         return add(self, other)
 
@@ -41,6 +56,7 @@ class UExpr:
         return mul(self, other)
 
 
+@cached_structural_hash
 @dataclass(frozen=True)
 class _Zero(UExpr):
     def free_tuple_vars(self) -> frozenset:
@@ -50,6 +66,7 @@ class _Zero(UExpr):
         return "0"
 
 
+@cached_structural_hash
 @dataclass(frozen=True)
 class _One(UExpr):
     def free_tuple_vars(self) -> frozenset:
@@ -64,6 +81,9 @@ Zero = _Zero()
 One = _One()
 
 
+@cached_structural_hash
+@cached_str
+@cached_free_vars
 @dataclass(frozen=True)
 class Add(UExpr):
     """n-ary sum; always has ≥ 2 operands after smart construction."""
@@ -80,6 +100,9 @@ class Add(UExpr):
         return " + ".join(str(a) for a in self.args)
 
 
+@cached_structural_hash
+@cached_str
+@cached_free_vars
 @dataclass(frozen=True)
 class Mul(UExpr):
     """n-ary product; always has ≥ 2 operands after smart construction."""
@@ -102,6 +125,9 @@ class Mul(UExpr):
         return " × ".join(parts)
 
 
+@cached_structural_hash
+@cached_str
+@cached_free_vars
 @dataclass(frozen=True)
 class Sum(UExpr):
     """Unbounded summation ``Σ_{var ∈ Tuple(schema)} body``."""
@@ -117,6 +143,9 @@ class Sum(UExpr):
         return f"Σ_{self.var}({self.body})"
 
 
+@cached_structural_hash
+@cached_str
+@cached_free_vars
 @dataclass(frozen=True)
 class Squash(UExpr):
     """The squash operator ``‖body‖`` (DISTINCT / EXISTS)."""
@@ -130,6 +159,9 @@ class Squash(UExpr):
         return f"‖{self.body}‖"
 
 
+@cached_structural_hash
+@cached_str
+@cached_free_vars
 @dataclass(frozen=True)
 class Not(UExpr):
     """The negation operator ``not(body)`` (NOT EXISTS / EXCEPT)."""
@@ -143,6 +175,9 @@ class Not(UExpr):
         return f"not({self.body})"
 
 
+@cached_structural_hash
+@cached_str
+@cached_free_vars
 @dataclass(frozen=True)
 class Pred(UExpr):
     """A predicate atom ``[b]``."""
@@ -156,6 +191,9 @@ class Pred(UExpr):
         return str(self.pred)
 
 
+@cached_structural_hash
+@cached_str
+@cached_free_vars
 @dataclass(frozen=True)
 class Rel(UExpr):
     """A relation atom ``R(t)`` — the multiplicity of ``t`` in ``R``."""

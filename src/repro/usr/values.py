@@ -5,7 +5,11 @@ projections, uninterpreted function applications, aggregates over query
 denotations, constants, and (for the Eq. (15) elimination machinery) explicit
 tuple constructors.
 
-All nodes are immutable, hashable, and compare structurally.
+All nodes are immutable, hashable, and compare structurally.  Hashes are
+cached per instance and the hot leaves (:class:`TupleVar`, small
+:class:`ConstVal`) are interned (see :mod:`repro.hashcons`); every node also
+carries a run-stable structural :meth:`~ValueExpr.fingerprint` used as a
+memoization key by the normalize/canonize caches and the batch service.
 """
 
 from __future__ import annotations
@@ -13,10 +17,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple, TYPE_CHECKING
 
+from repro.hashcons import (
+    INTERN_CAP,
+    cached_free_vars,
+    cached_str,
+    cached_structural_hash,
+    fingerprint as _structural_fingerprint,
+)
 from repro.sql.schema import Schema
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.usr.terms import UExpr
+
+#: Sentinel default for ``__new__`` so pickle/copy reconstruction (which
+#: calls ``cls.__new__(cls)`` with no arguments) always allocates a fresh
+#: instance instead of handing out a shared interned one whose state would
+#: then be overwritten.
+_UNINTERNED = object()
 
 
 class ValueExpr:
@@ -28,12 +45,37 @@ class ValueExpr:
         """Names of tuple variables occurring free in this value."""
         raise NotImplementedError
 
+    def fingerprint(self) -> str:
+        """Structural digest, stable across runs and processes."""
+        return _structural_fingerprint(self)
 
+
+#: Intern pools for the leaf nodes (bounded; see :data:`INTERN_CAP`).
+_TUPLEVAR_POOL: dict = {}
+_CONSTVAL_POOL: dict = {}
+
+
+@cached_structural_hash
 @dataclass(frozen=True)
 class TupleVar(ValueExpr):
     """A tuple variable ``t`` ranging over ``Tuple(σ)``."""
 
     name: str
+
+    def __new__(cls, name=_UNINTERNED):
+        if (
+            cls is not TupleVar
+            or name is _UNINTERNED
+            or not isinstance(name, str)
+        ):
+            return super().__new__(cls)
+        cached = _TUPLEVAR_POOL.get(name)
+        if cached is not None:
+            return cached
+        instance = super().__new__(cls)
+        if len(_TUPLEVAR_POOL) < INTERN_CAP:
+            _TUPLEVAR_POOL[name] = instance
+        return instance
 
     def free_tuple_vars(self) -> frozenset:
         return frozenset({self.name})
@@ -42,6 +84,9 @@ class TupleVar(ValueExpr):
         return self.name
 
 
+@cached_structural_hash
+@cached_str
+@cached_free_vars
 @dataclass(frozen=True)
 class Attr(ValueExpr):
     """Attribute access ``base.name``."""
@@ -56,11 +101,28 @@ class Attr(ValueExpr):
         return f"{self.base}.{self.name}"
 
 
+@cached_structural_hash
 @dataclass(frozen=True)
 class ConstVal(ValueExpr):
     """A literal constant."""
 
     value: object
+
+    def __new__(cls, value=_UNINTERNED):
+        if (
+            cls is not ConstVal
+            or value is _UNINTERNED
+            or not isinstance(value, (str, int, float, bool))
+        ):
+            return super().__new__(cls)
+        key = (type(value).__name__, value)
+        cached = _CONSTVAL_POOL.get(key)
+        if cached is not None:
+            return cached
+        instance = super().__new__(cls)
+        if len(_CONSTVAL_POOL) < INTERN_CAP:
+            _CONSTVAL_POOL[key] = instance
+        return instance
 
     def free_tuple_vars(self) -> frozenset:
         return frozenset()
@@ -71,6 +133,9 @@ class ConstVal(ValueExpr):
         return str(self.value)
 
 
+@cached_structural_hash
+@cached_str
+@cached_free_vars
 @dataclass(frozen=True)
 class Func(ValueExpr):
     """Uninterpreted function application ``f(e1, ..., en)``."""
@@ -88,6 +153,9 @@ class Func(ValueExpr):
         return f"{self.name}({', '.join(str(a) for a in self.args)})"
 
 
+@cached_structural_hash
+@cached_str
+@cached_free_vars
 @dataclass(frozen=True)
 class Agg(ValueExpr):
     """An aggregate ``agg(λ var. body)`` over a query denotation.
@@ -110,6 +178,9 @@ class Agg(ValueExpr):
         return f"{self.name}(λ{self.var}. {self.body})"
 
 
+@cached_structural_hash
+@cached_str
+@cached_free_vars
 @dataclass(frozen=True)
 class TupleCons(ValueExpr):
     """An explicit tuple ``⟨a1: e1, ..., an: en⟩``.
@@ -138,6 +209,9 @@ class TupleCons(ValueExpr):
         return f"⟨{inner}⟩"
 
 
+@cached_structural_hash
+@cached_str
+@cached_free_vars
 @dataclass(frozen=True)
 class ConcatTuple(ValueExpr):
     """Concatenation of tuples ``t1 ⧺ t2 ⧺ ...`` (cross-product output).

@@ -1,0 +1,245 @@
+"""Batch-verification service tests.
+
+Covers the :class:`~repro.service.batch.BatchVerifier` contracts: worker
+counts never change results or their order, a timed-out pair cannot poison
+its siblings, errors are isolated per pair, the JSONL sink round-trips, and
+the ``udp-prove batch`` CLI frontend drives the whole path.
+"""
+
+import json
+
+import pytest
+
+from repro import BatchPair, BatchVerifier, Verdict
+from repro.frontend.cli import main
+from repro.service import pairs_from_jsonl, pairs_from_program
+from repro.udp.decide import DecisionOptions
+
+from tests.conftest import EMP_PROGRAM, KEYED_PROGRAM, RS_PROGRAM
+
+
+def sample_pairs():
+    """A mixed workload: proved, not proved, unsupported, multi-program."""
+    return [
+        BatchPair(
+            "eq-commute",
+            "SELECT * FROM r x WHERE x.a = 1 AND x.b = 2",
+            "SELECT * FROM r x WHERE x.b = 2 AND x.a = 1",
+            RS_PROGRAM,
+        ),
+        BatchPair(
+            "not-equal",
+            "SELECT * FROM r x WHERE x.a = 1",
+            "SELECT * FROM r x WHERE x.a = 2",
+            RS_PROGRAM,
+        ),
+        BatchPair(
+            "unsupported",
+            "SELECT * FROM r x WHERE x.a IS NULL",
+            "SELECT * FROM r x",
+            RS_PROGRAM,
+        ),
+        BatchPair(
+            "key-distinct",
+            "SELECT * FROM r0 x",
+            "SELECT DISTINCT * FROM r0 x",
+            KEYED_PROGRAM,
+        ),
+        BatchPair(
+            "emp-selfjoin",
+            "SELECT e.ename AS ename FROM emp e, emp e2 WHERE e.empno = e2.empno",
+            "SELECT e.ename AS ename FROM emp e",
+            EMP_PROGRAM,
+        ),
+    ]
+
+
+EXPECTED = {
+    "eq-commute": "proved",
+    "not-equal": "not_proved",
+    "unsupported": "unsupported",
+    "key-distinct": "proved",
+    "emp-selfjoin": "proved",
+}
+
+
+def test_serial_run_verdicts_and_order():
+    records = BatchVerifier(workers=1).run(sample_pairs())
+    assert [r.pair_id for r in records] == list(EXPECTED)
+    assert {r.pair_id: r.verdict for r in records} == EXPECTED
+    assert [r.index for r in records] == list(range(len(EXPECTED)))
+
+
+def test_one_vs_many_workers_identical_results():
+    pairs = sample_pairs()
+    serial = BatchVerifier(workers=1).run(pairs)
+    # clamp_to_cores=False forces a real multiprocessing pool even on a
+    # single-core machine — this must not change results or order.
+    pooled = BatchVerifier(workers=3, clamp_to_cores=False).run(pairs)
+    assert [(r.index, r.pair_id, r.verdict) for r in serial] == [
+        (r.index, r.pair_id, r.verdict) for r in pooled
+    ]
+
+
+def test_timeout_pair_does_not_poison_siblings():
+    pairs = sample_pairs()
+    # A zero budget trips the engine's first deadline check.
+    pairs.insert(
+        2,
+        BatchPair(
+            "doomed",
+            "SELECT * FROM r x WHERE x.a = 1",
+            "SELECT * FROM r x WHERE 1 = x.a",
+            RS_PROGRAM,
+            timeout_seconds=0.0,
+        ),
+    )
+    records = BatchVerifier(workers=1).run(pairs)
+    by_id = {r.pair_id: r for r in records}
+    assert by_id["doomed"].verdict == Verdict.TIMEOUT.value
+    for pair_id, expected in EXPECTED.items():
+        assert by_id[pair_id].verdict == expected
+
+
+def test_error_pair_is_isolated():
+    pairs = [
+        BatchPair("broken", "SELECT", "SELECT", program="not a program !!"),
+        *sample_pairs(),
+    ]
+    records = BatchVerifier(workers=1).run(pairs)
+    assert records[0].pair_id == "broken"
+    assert records[0].verdict == "error"
+    assert records[0].reason  # carries the exception text
+    assert {r.pair_id: r.verdict for r in records[1:]} == EXPECTED
+
+
+def test_jsonl_sink_round_trip(tmp_path):
+    out = tmp_path / "results.jsonl"
+    records = BatchVerifier(workers=1).run_to_path(sample_pairs(), out)
+    lines = out.read_text(encoding="utf-8").splitlines()
+    assert len(lines) == len(records)
+    parsed = [json.loads(line) for line in lines]
+    assert [p["id"] for p in parsed] == list(EXPECTED)
+    assert [p["verdict"] for p in parsed] == list(EXPECTED.values())
+    assert all(p["elapsed_seconds"] >= 0 for p in parsed)
+
+
+def test_per_pair_timeout_overrides_default():
+    verifier = BatchVerifier(
+        workers=1, options=DecisionOptions(timeout_seconds=0.0, collect_trace=False)
+    )
+    pairs = [
+        BatchPair(
+            "slow-ok",
+            "SELECT * FROM r x WHERE x.a = 1",
+            "SELECT * FROM r x WHERE 1 = x.a",
+            RS_PROGRAM,
+            timeout_seconds=30.0,
+        ),
+        BatchPair(
+            "budgetless",
+            "SELECT * FROM r x WHERE x.a = 1",
+            "SELECT * FROM r x WHERE 1 = x.a",
+            RS_PROGRAM,
+        ),
+    ]
+    records = verifier.run(pairs)
+    assert records[0].verdict == "proved"
+    assert records[1].verdict == Verdict.TIMEOUT.value
+
+
+def test_effective_workers_clamped_to_cores():
+    import os
+
+    verifier = BatchVerifier(workers=64)
+    assert verifier.effective_workers == min(64, os.cpu_count() or 1)
+    forced = BatchVerifier(workers=64, clamp_to_cores=False)
+    assert forced.effective_workers == 64
+
+
+# -- input adapters -----------------------------------------------------------
+
+
+def test_pairs_from_program_numbers_goals():
+    text = RS_PROGRAM + (
+        "verify SELECT * FROM r x == SELECT * FROM r y;\n"
+        "verify SELECT * FROM r x == SELECT * FROM s y;\n"
+    )
+    pairs = pairs_from_program(text)
+    assert [p.pair_id for p in pairs] == ["goal-1", "goal-2"]
+    assert all(p.program == text for p in pairs)
+    records = BatchVerifier(workers=1).run(pairs)
+    assert [r.verdict for r in records] == ["proved", "not_proved"]
+
+
+def test_pairs_from_jsonl_parses_fields():
+    lines = [
+        json.dumps(
+            {"id": "a", "left": "L", "right": "R", "program": "P"}
+        ),
+        "",
+        json.dumps({"left": "L2", "right": "R2", "timeout_seconds": 5.0}),
+    ]
+    pairs = pairs_from_jsonl(lines)
+    assert pairs[0] == BatchPair("a", "L", "R", "P")
+    assert pairs[1].pair_id == "2"  # positional default (line index)
+    assert pairs[1].timeout_seconds == 5.0
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_batch_jsonl_input(tmp_path, capsys):
+    source = tmp_path / "pairs.jsonl"
+    source.write_text(
+        json.dumps(
+            {
+                "id": "only",
+                "left": "SELECT * FROM r x",
+                "right": "SELECT * FROM r y",
+                "program": RS_PROGRAM,
+            }
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    out = tmp_path / "out.jsonl"
+    assert main(["batch", str(source), "--output", str(out)]) == 0
+    record = json.loads(out.read_text(encoding="utf-8"))
+    assert record["id"] == "only"
+    assert record["verdict"] == "proved"
+    assert "batch: 1 pairs" in capsys.readouterr().err
+
+
+def test_cli_batch_program_input(tmp_path, capsys):
+    source = tmp_path / "goals.cos"
+    source.write_text(
+        RS_PROGRAM + "verify SELECT * FROM r x == SELECT * FROM r y;",
+        encoding="utf-8",
+    )
+    assert main(["batch", str(source)]) == 0
+    captured = capsys.readouterr()
+    assert '"verdict": "proved"' in captured.out
+
+
+def test_cli_batch_corpus_smoke(capsys):
+    assert main(["batch", "--corpus"]) == 0
+    captured = capsys.readouterr()
+    assert "batch: 91 pairs" in captured.err
+
+
+def test_cli_batch_requires_input():
+    assert main(["batch"]) == 2
+
+
+def test_cli_batch_error_exit_code(tmp_path):
+    source = tmp_path / "pairs.jsonl"
+    source.write_text(
+        json.dumps(
+            {"id": "bad", "left": "SELECT", "right": "SELECT", "program": "zzz"}
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    out = tmp_path / "out.jsonl"
+    assert main(["batch", str(source), "--output", str(out)]) == 1

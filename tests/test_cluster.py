@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.frontend.cluster import cluster_queries
+from repro.frontend.cluster import ClusterStats, cluster_queries
+from repro.hashcons import cache_stats, clear_caches, set_memoization
 
 from tests.conftest import RS_PROGRAM
 from repro import Solver
@@ -48,3 +49,86 @@ def test_representative_is_first_member(solver):
     first = "SELECT * FROM r x"
     groups = cluster_queries(solver, [first, "SELECT * FROM r y"])
     assert groups[0].representative == first
+
+
+# -- transitivity shortcut + cache instrumentation ---------------------------
+
+EQUIVALENT_TRIO = [
+    "SELECT * FROM r x WHERE x.a = 1 AND x.b = 2",
+    "SELECT * FROM r x WHERE x.b = 2 AND x.a = 1",
+    "SELECT * FROM (SELECT * FROM r y WHERE y.a = 1) x WHERE x.b = 2",
+]
+
+
+def test_each_query_decided_against_at_most_one_rep_per_group(solver):
+    stats = ClusterStats()
+    groups = cluster_queries(solver, EQUIVALENT_TRIO, stats=stats)
+    assert len(groups) == 1
+    # Transitivity shortcut: queries 2 and 3 each decided once, against
+    # the single group's representative only — never against members.
+    assert stats.decisions == [(1, 0), (2, 0)]
+    assert stats.max_decisions_per_query_group() == 1
+
+
+def test_mixed_groups_compare_once_per_group(solver):
+    stats = ClusterStats()
+    queries = [
+        "SELECT * FROM r x WHERE x.a = 1",
+        "SELECT * FROM r x WHERE x.a = 2",
+        "SELECT * FROM r x WHERE 1 = x.a",
+        "SELECT * FROM r x WHERE 2 = x.a",
+    ]
+    groups = cluster_queries(solver, queries, stats=stats)
+    assert sorted(len(g) for g in groups) == [2, 2]
+    # Every (query, group) pair decided at most once.
+    assert stats.max_decisions_per_query_group() == 1
+    # Query 3 matches group 0 (short-circuit), query 4 tries group 0 then 1.
+    assert stats.decisions == [(1, 0), (2, 0), (3, 0), (3, 1)]
+
+
+def test_unsupported_queries_never_decided(solver):
+    stats = ClusterStats()
+    groups = cluster_queries(solver, [
+        "SELECT * FROM r x WHERE x.a IS NULL",
+        "SELECT * FROM r x",
+    ], stats=stats)
+    assert len(groups) == 2
+    assert stats.unsupported == 1
+    # The unsupported singleton is never a comparison target or subject.
+    assert stats.decisions == []
+
+
+def test_clustering_hits_memoization_caches(solver):
+    """A silent memoization regression must fail here, not just slow down."""
+    set_memoization(True)
+    clear_caches()
+    try:
+        stats = ClusterStats()
+        groups = cluster_queries(solver, EQUIVALENT_TRIO, stats=stats)
+        assert len(groups) == 1
+        counters = cache_stats()
+        # The representative's denotation is re-normalized/canonized per
+        # comparison; from the second comparison on those are cache hits.
+        assert counters["normalize"]["hits"] > 0
+        assert counters["normalize"]["entries"] > 0
+        assert counters["canonize"]["hits"] > 0
+        total_hits = sum(c["hits"] for c in counters.values())
+        assert total_hits > 0
+    finally:
+        clear_caches()
+
+
+def test_cluster_report_surfaces_cache_stats(solver):
+    from repro.udp.report import render_cache_stats
+
+    set_memoization(True)
+    clear_caches()
+    try:
+        cluster_queries(solver, EQUIVALENT_TRIO)
+        block = render_cache_stats()
+        assert "## Cache statistics" in block
+        assert "`normalize`" in block and "`canonize`" in block
+        assert f"hits={cache_stats()['normalize']['hits']}" in block
+        assert cache_stats()["normalize"]["hits"] > 0
+    finally:
+        clear_caches()
