@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke batch-corpus
+.PHONY: test bench bench-smoke bench-gate batch-corpus
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,6 +20,11 @@ bench:
 ## CI smoke: the quick corpus-pass mode only.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_fig7_runtime.py --quick
+
+## CI perf-regression gate: fail when the memoized corpus pass regresses
+## more than 2x against the committed baseline.
+bench-gate:
+	$(PYTHON) benchmarks/bench_fig7_runtime.py --gate benchmarks/fig7_baseline.json --workers 4
 
 ## One batch-service pass over the built-in corpus, results to stdout.
 batch-corpus:

@@ -165,6 +165,57 @@ def _batch_pass(rules, workers):
     return {record.pair_id: Verdict(record.verdict) for record in records}, elapsed
 
 
+def run_gate(baseline_path, workers, factor=2.0):
+    """CI perf-regression gate: memoized corpus pass vs committed baseline.
+
+    Runs the batch service twice (the first pass warms the memo layers,
+    the second is the steady-state measurement the baseline records) and
+    fails — exit code 1 — when the measured pass is more than ``factor``×
+    the committed ``memoized_ms``.  Verdicts are also re-checked against
+    the expected corpus outcomes so a "fast because broken" pass cannot
+    sneak through the gate.
+    """
+    import json
+
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    budget_ms = float(baseline["memoized_ms"]) * factor
+
+    rules = list(all_rules())
+    _batch_pass(rules, workers)  # warm the memo layers
+    best = None
+    verdicts = None
+    for _ in range(3):  # steady state: best of three, robust to CI jitter
+        run_verdicts, elapsed = _batch_pass(rules, workers)
+        if best is None or elapsed < best:
+            best, verdicts = elapsed, run_verdicts
+    measured_ms = best * 1000
+
+    expected = {
+        rule.rule_id: rule.expectation.value
+        for rule in rules
+        if rule.expectation is not Expectation.UNSUPPORTED
+    }
+    wrong = [
+        rule_id
+        for rule_id, want in expected.items()
+        if verdicts[rule_id].value != want
+    ]
+    status = "PASS" if measured_ms <= budget_ms and not wrong else "FAIL"
+    lines = [
+        f"Fig. 7 perf gate ({len(rules)} rules, {workers} workers requested)",
+        f"baseline memoized pass : {baseline['memoized_ms']:8.1f} ms"
+        f"  (recorded {baseline.get('recorded', 'unknown')})",
+        f"budget ({factor:.1f}x)          : {budget_ms:8.1f} ms",
+        f"measured memoized pass : {measured_ms:8.1f} ms",
+        f"verdict check          : "
+        + ("ok" if not wrong else f"MISMATCH {wrong}"),
+        f"gate                   : {status}",
+    ]
+    write_report("fig7_perf_gate.txt", "\n".join(lines))
+    return 0 if status == "PASS" else 1
+
+
 def main(argv=None):
     import argparse
 
@@ -175,8 +226,18 @@ def main(argv=None):
         "--quick", action="store_true",
         help="smoke mode: Calcite UCQ subset only, single worker",
     )
+    parser.add_argument(
+        "--gate", metavar="BASELINE_JSON",
+        help=(
+            "perf-regression gate: fail (exit 1) when the memoized corpus "
+            "pass exceeds 2x the committed baseline's memoized_ms"
+        ),
+    )
     parser.add_argument("--workers", type=int, default=4)
     args = parser.parse_args(argv)
+
+    if args.gate:
+        return run_gate(args.gate, args.workers)
 
     rules = list(all_rules())
     workers = args.workers

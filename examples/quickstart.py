@@ -1,13 +1,21 @@
 """Quickstart: prove SQL query equivalences in a few lines.
 
+The unified :class:`repro.Session` API takes SQL text in and hands back
+structured results — a verdict, a stable machine-readable reason code,
+the tactic that concluded, and (for refuted pairs) a counterexample.
+
+Migration note: the legacy ``Solver``/``prove`` API keeps working as a
+thin shim (``Solver.check(l, r)`` ≡ ``Session.verify(l, r)`` restricted
+to the ``udp-prove`` tactic), but new code should prefer ``Session``.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import Solver
+from repro import Session
 
 # Declare the database: schemas, tables, and integrity constraints, using the
 # paper's input language (Fig. 2).
-solver = Solver.from_program_text(
+session = Session.from_program_text(
     """
     schema emp_s(empno:int, ename:string, deptno:int, sal:int);
     schema dept_s(deptno:int, dname:string);
@@ -45,14 +53,22 @@ PAIRS = [
 
 def main() -> None:
     for name, left, right in PAIRS:
-        outcome = solver.check(left, right)
-        status = "EQUIVALENT" if outcome.proved else "NOT PROVED"
-        print(f"[{status:10s}] {name}  ({outcome.elapsed_seconds * 1000:.1f} ms)")
+        result = session.verify(left, right)
+        status = "EQUIVALENT" if result.proved else "NOT PROVED"
+        print(
+            f"[{status:10s}] {name}  "
+            f"({result.reason_code.value} via {result.tactic}, "
+            f"{result.elapsed_seconds * 1000:.1f} ms)"
+        )
         print(f"    Q1: {left.strip()}")
         print(f"    Q2: {right.strip()}")
-        if outcome.proved:
-            print(f"    axioms used: {', '.join(outcome.trace.axioms_used())}")
+        if result.proved and result.trace is not None:
+            print(f"    axioms used: {', '.join(result.trace.axioms_used())}")
+        if result.counterexample:
+            first_line = result.counterexample.splitlines()[0]
+            print(f"    refuted: {first_line}")
         print()
+    print(f"session stats: {session.stats}")
 
 
 if __name__ == "__main__":

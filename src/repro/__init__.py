@@ -6,37 +6,68 @@ A from-scratch Python reproduction of
     "Axiomatic Foundations and Algorithms for Deciding Semantic
     Equivalences of SQL Queries", VLDB 2018 (the UDP system).
 
-Quick start::
+Quick start — the unified :class:`~repro.session.Session` API::
 
-    from repro import Solver
+    from repro import Session
 
-    solver = Solver.from_program_text('''
+    session = Session.from_program_text('''
         schema s(k:int, a:int);
         table r(s);
         key r(k);
     ''')
-    outcome = solver.check(
+    result = session.verify(
         "SELECT * FROM r t WHERE t.a >= 12",
         "SELECT DISTINCT * FROM r t WHERE t.a >= 12",
     )
-    assert outcome.proved
+    assert result.proved
+    assert result.reason_code.value == "isomorphic-canonical-forms"
+    record = result.to_json()          # machine-readable, round-trips
+
+Results are structured :class:`~repro.session.VerifyResult` records: a
+:class:`~repro.udp.trace.Verdict`, a stable machine-readable
+:class:`~repro.udp.trace.ReasonCode`, the tactic that concluded, timing,
+and (for refuted pairs) a counterexample.  The decision pipeline is
+pluggable — tactics (``udp-prove``, ``cq-minimize``, ``model-check``)
+are sequenced and budgeted by :class:`~repro.session.PipelineConfig`::
+
+    from repro import PipelineConfig, Session
+
+    session = Session.from_program_text(DDL, PipelineConfig(
+        tactics=("udp-prove", "model-check"),
+        timeout_seconds=5.0,
+    ))
+    for result in session.verify_many(request_iterable):   # streaming
+        ...
+
+Migration note
+--------------
+
+:class:`~repro.frontend.solver.Solver`, :func:`~repro.frontend.solver.prove`,
+and :class:`~repro.service.batch.BatchVerifier` keep working unchanged as
+thin shims over ``Session`` — same verdicts, reasons, and traces.  New
+code should prefer ``Session``: ``Solver.check(l, r)`` becomes
+``Session.verify(l, r)`` (returning the structured result), and
+``Solver.from_program_text`` becomes ``Session.from_program_text``.
 
 Public surface:
 
+* :class:`~repro.session.Session` — the unified front end: structured
+  requests/results, the pluggable tactic pipeline, streaming
+  ``verify_many``;
 * :class:`~repro.frontend.solver.Solver` / :func:`~repro.frontend.solver.prove`
-  — SQL text in, verdict out;
+  — legacy SQL-text-in, verdict-out shims;
 * :func:`~repro.udp.decide.decide_equivalence` — the decision procedure on
   compiled denotations;
 * :mod:`repro.usr` — U-expressions, SPNF, the SQL→U-expression compiler;
 * :mod:`repro.semirings` — concrete U-semiring instances and the
   finite-model interpreter;
 * :mod:`repro.engine` / :mod:`repro.checker` — the executable bag-semantics
-  engine and the bounded counterexample finder;
+  engine and the bounded counterexample finder (the ``model-check`` tactic);
 * :mod:`repro.corpus` — the evaluation corpus (literature + Calcite + bugs);
 * :mod:`repro.service` — the batch-verification subsystem
   (:class:`~repro.service.batch.BatchVerifier`: multiprocessing fan-out,
-  per-pair timeouts, JSONL sinks) over the hash-consing/memoization layer
-  of :mod:`repro.hashcons`.
+  per-pair timeouts, streaming JSONL sinks) over ``Session`` and the
+  hash-consing/memoization layer of :mod:`repro.hashcons`.
 """
 
 from repro.errors import (
@@ -53,12 +84,21 @@ from repro.errors import (
 from repro.frontend.solver import Solver, VerificationOutcome, prove
 from repro.hashcons import cache_stats, clear_caches, set_memoization
 from repro.service import BatchPair, BatchRecord, BatchVerifier
+from repro.session import (
+    PipelineConfig,
+    Session,
+    SessionStats,
+    VerifyRequest,
+    VerifyResult,
+    available_tactics,
+    register_tactic,
+)
 from repro.sql.program import Catalog
 from repro.sql.schema import Attribute, Schema
 from repro.udp.decide import DecisionOptions, decide_equivalence
-from repro.udp.trace import ProofStep, ProofTrace, Verdict
+from repro.udp.trace import ProofStep, ProofTrace, ReasonCode, Verdict
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "Attribute",
@@ -72,20 +112,28 @@ __all__ = [
     "EvaluationError",
     "LexError",
     "ParseError",
+    "PipelineConfig",
     "ProofStep",
     "ProofTrace",
+    "ReasonCode",
     "ReproError",
     "ResolutionError",
     "Schema",
     "SchemaError",
+    "Session",
+    "SessionStats",
     "Solver",
     "UnsupportedFeatureError",
     "Verdict",
     "VerificationOutcome",
+    "VerifyRequest",
+    "VerifyResult",
+    "available_tactics",
     "cache_stats",
     "clear_caches",
     "decide_equivalence",
     "prove",
+    "register_tactic",
     "set_memoization",
     "__version__",
 ]

@@ -18,6 +18,7 @@ from repro.corpus.rules import (
     RewriteRule,
     all_rules,
     as_batch_pairs,
+    as_verify_requests,
     rules_by_dataset,
 )
 import repro.corpus.literature  # noqa: F401  (registers rules)
@@ -31,5 +32,6 @@ __all__ = [
     "RewriteRule",
     "all_rules",
     "as_batch_pairs",
+    "as_verify_requests",
     "rules_by_dataset",
 ]

@@ -99,6 +99,27 @@ def as_batch_pairs(dataset: Optional[str] = None):
     ]
 
 
+def as_verify_requests(dataset: Optional[str] = None):
+    """The corpus as :class:`~repro.session.VerifyRequest` units.
+
+    Same ordering contract as :func:`as_batch_pairs` (rule-id order);
+    request ids are the rule ids, so session results line up with
+    :func:`all_rules`.
+    """
+    from repro.session import VerifyRequest
+
+    rules = all_rules() if dataset is None else rules_by_dataset(dataset)
+    return [
+        VerifyRequest(
+            left=rule.left,
+            right=rule.right,
+            program=rule.program,
+            request_id=rule.rule_id,
+        )
+        for rule in rules
+    ]
+
+
 # Shared declaration snippets -------------------------------------------------
 
 #: Two generic-purpose concrete tables (used by algebraic rules).

@@ -1,5 +1,10 @@
-"""End-to-end front end: input programs → verdicts."""
+"""End-to-end front ends: input programs → verdicts.
+
+:class:`~repro.session.Session` is the primary API (structured results,
+pluggable pipeline); :class:`Solver` remains as the legacy shim.
+"""
 
 from repro.frontend.solver import Solver, VerificationOutcome
+from repro.session import Session
 
-__all__ = ["Solver", "VerificationOutcome"]
+__all__ = ["Session", "Solver", "VerificationOutcome"]

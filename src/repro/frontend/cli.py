@@ -4,6 +4,14 @@ An input file contains declarations and ``verify q1 == q2;`` goals (the
 Fig. 2 statement language).  Exit status is 0 when every goal is proved,
 1 otherwise.
 
+Two flags expose the unified-session pipeline:
+
+* ``--pipeline udp-prove,cq-minimize,model-check`` picks the tactic order
+  (any comma-separated subset of the registry);
+* ``--json`` emits one structured :class:`~repro.session.VerifyResult`
+  record per goal as a JSON line — machine-readable verdicts, reason
+  codes, tactic attribution, and counterexamples.
+
 The ``batch`` subcommand routes bulk workloads through the
 :mod:`repro.service` subsystem::
 
@@ -20,11 +28,18 @@ line in deterministic input order.  Batch exit status is 0 unless a pair
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.errors import ReproError
 from repro.frontend.solver import Solver
+from repro.session import (
+    PipelineConfig,
+    Session,
+    available_tactics,
+    parse_pipeline_spec,
+)
 from repro.udp.decide import DecisionOptions
 from repro.udp.trace import Verdict
 
@@ -54,6 +69,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
         choices=("homomorphism", "minimize"),
         default="homomorphism",
         help="strategy for squashed-expression equivalence",
+    )
+    parser.add_argument(
+        "--pipeline",
+        help=(
+            "comma-separated tactic order for the decision pipeline "
+            f"(available: {', '.join(available_tactics())}; "
+            "default: the single udp-prove tactic)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one structured JSON result per goal instead of text",
     )
     parser.add_argument(
         "--show-trace",
@@ -95,14 +123,44 @@ def build_batch_parser() -> argparse.ArgumentParser:
         "--output", help="write results as JSON lines to this path"
     )
     parser.add_argument(
+        "--pipeline",
+        help=(
+            "comma-separated tactic order for the decision pipeline "
+            f"(available: {', '.join(available_tactics())})"
+        ),
+    )
+    parser.add_argument(
         "--no-constraints", action="store_true",
         help="ignore key/foreign-key constraints (ablation)",
     )
     return parser
 
 
+def _pipeline_config(
+    spec: Optional[str],
+    timeout: float,
+    use_constraints: bool,
+    sdp_strategy: str = "homomorphism",
+    collect_trace: bool = True,
+) -> PipelineConfig:
+    """Build the session configuration a CLI invocation asked for."""
+    tactics = (
+        tuple(parse_pipeline_spec(spec))
+        if spec
+        else PipelineConfig.legacy().tactics
+    )
+    return PipelineConfig(
+        tactics=tactics,
+        timeout_seconds=timeout,
+        use_constraints=use_constraints,
+        sdp_strategy=sdp_strategy,
+        collect_trace=collect_trace,
+    )
+
+
 def run_batch(argv: List[str]) -> int:
     from repro.service import BatchVerifier, pairs_from_jsonl, pairs_from_program
+    from repro.service.batch import ERROR_VERDICT
 
     args = build_batch_parser().parse_args(argv)
     if args.corpus:
@@ -130,12 +188,17 @@ def run_batch(argv: List[str]) -> int:
                 file=sys.stderr,
             )
             return 2
-    options = DecisionOptions(
-        timeout_seconds=args.timeout,
-        use_constraints=not args.no_constraints,
-        collect_trace=False,
-    )
-    verifier = BatchVerifier(workers=args.workers, options=options)
+    try:
+        pipeline = _pipeline_config(
+            args.pipeline,
+            args.timeout,
+            not args.no_constraints,
+            collect_trace=False,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    verifier = BatchVerifier(workers=args.workers, pipeline=pipeline)
     if args.output:
         records = verifier.run_to_path(pairs, args.output)
     else:
@@ -145,7 +208,50 @@ def run_batch(argv: List[str]) -> int:
         counts[record.verdict] = counts.get(record.verdict, 0) + 1
     summary = ", ".join(f"{v}={counts[v]}" for v in sorted(counts))
     print(f"batch: {len(records)} pairs ({summary})", file=sys.stderr)
-    return 1 if counts.get("error") else 0
+    return 1 if counts.get(ERROR_VERDICT) else 0
+
+
+def _run_session_mode(args, text: str) -> int:
+    """Program mode through the unified session (--pipeline / --json)."""
+    try:
+        pipeline = _pipeline_config(
+            args.pipeline, args.timeout, not args.no_constraints, args.sdp
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        session = Session.from_program_text(text, pipeline)
+    except ReproError as error:
+        print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+        return 2
+    goals = list(session._program.verify_goals())
+    failures = 0
+    for index, goal in enumerate(goals, start=1):
+        result = session.verify(
+            goal.left, goal.right, request_id=f"goal-{index}"
+        )
+        if result.verdict is not Verdict.PROVED:
+            failures += 1
+        if args.json:
+            print(json.dumps(result.to_json(), sort_keys=True))
+            continue
+        status = result.verdict.value.upper()
+        print(
+            f"goal {index}: {status}  [{result.reason_code.value}; "
+            f"{result.tactic}; {result.elapsed_seconds * 1000:.1f} ms]"
+        )
+        if result.reason:
+            print(f"  reason: {result.reason}")
+        if result.counterexample:
+            for line in result.counterexample.splitlines():
+                print(f"    {line}")
+        if args.show_trace and result.trace is not None and result.proved:
+            for step in result.trace.steps:
+                print(f"    {step}")
+    if not goals:
+        print("no verify goals in program")
+    return 0 if failures == 0 else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -156,6 +262,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
     with open(args.program, "r", encoding="utf-8") as handle:
         text = handle.read()
+    if args.pipeline or args.json:
+        return _run_session_mode(args, text)
     options = DecisionOptions(
         timeout_seconds=args.timeout,
         use_constraints=not args.no_constraints,

@@ -9,21 +9,31 @@ queries in different groups are merely not proven equal.
 
 Proved equivalence is transitive (it is semantic equality), so each new query
 is decided against **at most one representative per existing group** — never
-against the other members.  The whole pass reuses one
-:class:`~repro.frontend.solver.Solver`: every query is compiled exactly once
-(the solver's compile cache persists representatives across comparisons), and
-each comparison runs on the cached denotations, where the normalize/canonize
-memo layers (:mod:`repro.service`) make the representative's side of every
-decision a cache hit after its first comparison.
+against the other members.  Two layers make the common cases cheap:
+
+* **Fingerprint pre-bucketing** — every placed denotation's run-stable
+  :func:`~repro.hashcons.fingerprint` maps to its group, so a query whose
+  compiled denotation is structurally identical to one already placed
+  (the dominant case in dedup workloads: the *same* rewrite arriving
+  again) joins its group in O(1) with **zero** decision-procedure calls.
+* **Session caches** — the whole pass reuses one
+  :class:`~repro.session.Session`: every distinct query is compiled
+  exactly once (the session's LRU compile cache persists representatives
+  across comparisons), and each comparison runs on cached denotations,
+  where the normalize/canonize memo layers (:mod:`repro.service`) make
+  the representative's side of every decision a cache hit after its
+  first comparison.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ReproError
 from repro.frontend.solver import Solver
+from repro.hashcons import fingerprint
+from repro.session import Session
 from repro.sql.ast import Query
 from repro.udp.trace import Verdict
 from repro.usr.terms import QueryDenotation
@@ -50,11 +60,13 @@ class ClusterStats:
     ``decisions`` records every (query index, group index) pair that was
     actually decided — the cluster tests assert each query is compared
     against at most one representative per group, i.e. the transitivity
-    shortcut really is exercised.
+    shortcut really is exercised.  ``bucket_hits`` counts queries placed
+    by the O(1) fingerprint bucket without any decision at all.
     """
 
     compiled: int = 0
     unsupported: int = 0
+    bucket_hits: int = 0
     decisions: List[Tuple[int, int]] = field(default_factory=list)
 
     @property
@@ -70,20 +82,30 @@ class ClusterStats:
 
 
 def cluster_queries(
-    solver: Solver,
+    frontend: Union[Solver, Session],
     queries: Sequence[Union[str, Query]],
     stats: Optional[ClusterStats] = None,
 ) -> List[QueryGroup]:
-    """Group ``queries`` by proved equivalence under the solver's catalog.
+    """Group ``queries`` by proved equivalence under the frontend's catalog.
 
+    Accepts either a legacy :class:`Solver` (decisions run its exact
+    historical configuration) or a :class:`~repro.session.Session`.
     Unsupported queries land in singleton groups (nothing can be proved
     about them).  Pass a :class:`ClusterStats` to observe how many
-    decisions the pass actually ran.
+    decisions the pass actually ran and how many queries the fingerprint
+    buckets short-circuited.
     """
+    if isinstance(frontend, Solver):
+        session = frontend.session
+        decide = frontend.check_denotations
+    else:
+        session = frontend
+        decide = frontend.decide_compiled
     groups: List[QueryGroup] = []
+    buckets: Dict[str, int] = {}
     for query_index, query in enumerate(queries):
         try:
-            denotation = solver.compile(query)
+            denotation = session.compile(query)
         except ReproError:
             denotation = None
         if stats is not None:
@@ -92,16 +114,28 @@ def cluster_queries(
                 stats.unsupported += 1
         placed = False
         if denotation is not None:
+            # O(1) exact-match short-circuit: a structurally identical
+            # denotation was already placed — same group, no decision.
+            digest = fingerprint(denotation)
+            bucket = buckets.get(digest)
+            if bucket is not None:
+                groups[bucket].members.append(query)
+                if stats is not None:
+                    stats.bucket_hits += 1
+                continue
             for group_index, group in enumerate(groups):
                 if group.denotation is None:
                     continue  # unsupported representative: nothing provable
                 if stats is not None:
                     stats.decisions.append((query_index, group_index))
-                outcome = solver.check_denotations(group.denotation, denotation)
+                outcome = decide(group.denotation, denotation)
                 if outcome.verdict is Verdict.PROVED:
                     group.members.append(query)
+                    buckets[digest] = group_index
                     placed = True
                     break
         if not placed:
             groups.append(QueryGroup(query, [query], denotation))
+            if denotation is not None:
+                buckets[digest] = len(groups) - 1
     return groups

@@ -1,36 +1,37 @@
-"""The Solver: parse → resolve → desugar → compile → decide.
+"""The legacy ``Solver`` front end, now a thin shim over :class:`repro.Session`.
 
-This is the top of the Fig. 4 architecture: it accepts either a full input
-program (declarations plus ``verify`` goals) or a pair of SQL query strings
-with a prebuilt catalog, and runs the UDP decision procedure on each goal.
+This is the original top of the Fig. 4 architecture: SQL text in, verdict
+out.  Since the unified-session redesign all the actual work — compilation
+caching, constraint building, the decision pipeline — lives in
+:class:`repro.session.Session`; ``Solver`` and :func:`prove` remain as
+stable compatibility surfaces that run the single ``udp-prove`` tactic
+(exactly the historical behavior, including reason strings and proof
+traces).  New code should use :class:`~repro.session.Session` directly —
+it adds structured results, machine-readable reason codes, pluggable
+tactics, and streaming verification.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Union
 
-from repro.constraints.model import ConstraintSet, constraints_from_catalog
-from repro.errors import (
-    CompileError,
-    ReproError,
-    UnsupportedFeatureError,
-)
 from repro.sql.ast import Query
-from repro.sql.desugar import desugar_query
-from repro.sql.parser import parse_program, parse_query
-from repro.sql.program import Catalog, Program
-from repro.sql.scope import resolve_query
-from repro.udp.decide import DecisionOptions, decide_equivalence
-from repro.udp.trace import DecisionResult, ProofTrace, Verdict
-from repro.usr.compile import Compiler
+from repro.sql.parser import parse_program
+from repro.sql.program import Catalog
+from repro.session import PipelineConfig, Session, VerifyResult
+from repro.udp.decide import DecisionOptions
+from repro.udp.trace import ProofTrace, Verdict
 from repro.usr.terms import QueryDenotation
 
 
 @dataclass
 class VerificationOutcome:
-    """The result of one ``verify`` goal."""
+    """The result of one ``verify`` goal (legacy result shape).
+
+    :class:`~repro.session.VerifyResult` is the structured superset; this
+    dataclass keeps the historical fields for existing callers.
+    """
 
     verdict: Verdict
     reason: str = ""
@@ -44,16 +45,22 @@ class VerificationOutcome:
     def __str__(self) -> str:
         return f"{self.verdict.value}" + (f" ({self.reason})" if self.reason else "")
 
+    @classmethod
+    def from_result(cls, result: VerifyResult) -> "VerificationOutcome":
+        return cls(
+            result.verdict, result.reason, result.elapsed_seconds, result.trace
+        )
+
 
 class Solver:
     """Checks SQL query equivalences under a catalog of declarations.
 
-    The solver caches per catalog: compiled denotations (keyed by the
-    query's SQL text — the compiler numbers binders deterministically per
-    ``compile`` call, so a cached denotation is byte-identical to a
-    recompile) and the :class:`~repro.constraints.model.ConstraintSet`.
-    Both caches are dropped automatically whenever ``self.catalog`` is
-    *rebound*; mutating a catalog object in place after checks started is
+    A compatibility shim over :class:`~repro.session.Session`: the session
+    owns the per-catalog caches (an LRU of compiled denotations and the
+    :class:`~repro.constraints.model.ConstraintSet`), and ``check`` runs
+    the single ``udp-prove`` tactic so verdicts, reasons, and traces match
+    the historical behavior exactly.  Rebinding ``self.catalog`` drops the
+    caches; mutating a catalog object in place after checks started is
     unsupported (see :mod:`repro.service` on cache invalidation).
     """
 
@@ -62,7 +69,7 @@ class Solver:
         catalog: Optional[Catalog] = None,
         options: Optional[DecisionOptions] = None,
     ) -> None:
-        self.catalog = catalog or Catalog()
+        self.__dict__["session"] = Session(catalog)
         self.options = options or DecisionOptions()
 
     # -- construction ------------------------------------------------------
@@ -76,50 +83,25 @@ class Solver:
         solver._program = program
         return solver
 
-    # -- per-catalog caches -------------------------------------------------
+    # -- delegation to the session -----------------------------------------
 
-    _COMPILE_CACHE_CAP = 512
+    @property
+    def catalog(self) -> Catalog:
+        return self.session.catalog
 
-    def __setattr__(self, name: str, value) -> None:
-        if name == "catalog":
-            self.__dict__["_compile_cache"] = {}
-            self.__dict__["_constraints"] = None
-        super().__setattr__(name, value)
+    @catalog.setter
+    def catalog(self, value: Catalog) -> None:
+        self.session.catalog = value
 
-    def _constraint_set(self) -> ConstraintSet:
-        constraints = self.__dict__.get("_constraints")
-        if constraints is None:
-            constraints = constraints_from_catalog(self.catalog)
-            self.__dict__["_constraints"] = constraints
-        return constraints
+    def _legacy_config(self) -> PipelineConfig:
+        """Recomputed per call: callers may rebind ``self.options``."""
+        return PipelineConfig.legacy(self.options)
 
     # -- compilation -------------------------------------------------------
 
     def compile(self, query: Union[str, Query]) -> QueryDenotation:
-        """Parse/resolve/desugar/compile one query to its denotation.
-
-        Results are cached per query (by SQL text, or by the AST node
-        itself for ``Query`` inputs — the pretty-printer is not
-        injective, so rendered text cannot key an AST), so re-checking
-        the same query — the clustering front end compares every
-        incoming query against group representatives — compiles it once.
-        """
-        key = query
-        cache = self.__dict__.setdefault("_compile_cache", {})
-        try:
-            cached = cache.get(key)
-        except TypeError:  # unhashable AST payload: skip caching
-            cache = None
-            cached = None
-        if cached is not None:
-            return cached
-        parsed = parse_query(query) if isinstance(query, str) else query
-        resolved, _ = resolve_query(parsed, self.catalog)
-        desugared = desugar_query(resolved)
-        denotation = Compiler(self.catalog).compile_query(desugared)
-        if cache is not None and len(cache) < self._COMPILE_CACHE_CAP:
-            cache[key] = denotation
-        return denotation
+        """Compile one query to its denotation (session LRU-cached)."""
+        return self.session.compile(query)
 
     # -- decision -----------------------------------------------------------
 
@@ -127,42 +109,19 @@ class Solver:
         self, left: Union[str, Query], right: Union[str, Query]
     ) -> VerificationOutcome:
         """Decide whether two queries are equivalent under the catalog."""
-        started = time.monotonic()
-        try:
-            left_denotation = self.compile(left)
-            right_denotation = self.compile(right)
-        except UnsupportedFeatureError as unsupported:
-            return VerificationOutcome(
-                Verdict.UNSUPPORTED, str(unsupported),
-                time.monotonic() - started,
-            )
-        except ReproError as error:
-            return VerificationOutcome(
-                Verdict.UNSUPPORTED,
-                f"{type(error).__name__}: {error}",
-                time.monotonic() - started,
-            )
-        result: DecisionResult = decide_equivalence(
-            left_denotation, right_denotation, self._constraint_set(),
-            self.options,
+        result = self.session.verify(
+            left, right, config=self._legacy_config()
         )
-        return VerificationOutcome(
-            result.verdict,
-            result.reason,
-            time.monotonic() - started,
-            result.trace,
-        )
+        return VerificationOutcome.from_result(result)
 
     def check_denotations(
         self, left: QueryDenotation, right: QueryDenotation
     ) -> VerificationOutcome:
         """Decide two already-compiled denotations under the catalog."""
-        result: DecisionResult = decide_equivalence(
-            left, right, self._constraint_set(), self.options
+        result = self.session.decide_compiled(
+            left, right, config=self._legacy_config()
         )
-        return VerificationOutcome(
-            result.verdict, result.reason, result.elapsed_seconds, result.trace
-        )
+        return VerificationOutcome.from_result(result)
 
     def run_program(self, text: str) -> List[VerificationOutcome]:
         """Parse a program and check every ``verify`` goal in it."""

@@ -3,13 +3,18 @@
 The paper's evaluation (Sec. 6) is fundamentally a *batch* workload:
 hundreds of (program, query, query) triples decided in bulk, with
 per-pair budgets and aggregate statistics.  This package turns that
-pattern into a first-class subsystem:
+pattern into a first-class subsystem, built on the unified
+:class:`~repro.session.Session` API (each worker owns one session; the
+in-process path is :meth:`~repro.session.Session.verify_many`):
 
-* :class:`~repro.service.batch.BatchVerifier` — fan a list of
+* :class:`~repro.service.batch.BatchVerifier` — fan any *iterable* of
   :class:`~repro.service.batch.BatchPair` out over ``multiprocessing``
-  workers, with per-pair timeouts, deterministic result ordering, and an
-  optional JSON-lines result sink;
+  workers, with per-pair timeouts, deterministic result ordering,
+  bounded in-flight windows, and an incrementally-flushed JSON-lines
+  result sink; records carry machine-readable reason codes, and a
+  :class:`~repro.session.PipelineConfig` can reorder the tactics;
 * :func:`~repro.service.batch.pairs_from_jsonl` /
+  :func:`~repro.service.batch.iter_pairs_from_jsonl` /
   :func:`~repro.service.batch.pairs_from_program` — input adapters;
 * :func:`~repro.service.batch.write_jsonl` — the sink.
 
@@ -44,6 +49,7 @@ from repro.service.batch import (
     BatchPair,
     BatchRecord,
     BatchVerifier,
+    iter_pairs_from_jsonl,
     pairs_from_jsonl,
     pairs_from_program,
     write_jsonl,
@@ -53,6 +59,7 @@ __all__ = [
     "BatchPair",
     "BatchRecord",
     "BatchVerifier",
+    "iter_pairs_from_jsonl",
     "pairs_from_jsonl",
     "pairs_from_program",
     "write_jsonl",

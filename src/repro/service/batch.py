@@ -1,41 +1,49 @@
 """Batch verification: fan query pairs out over worker processes.
 
-The :class:`BatchVerifier` takes a list of :class:`BatchPair` (program
-declarations plus two SQL queries) and decides every pair, either
+The :class:`BatchVerifier` takes an **iterable** of :class:`BatchPair`
+(program declarations plus two SQL queries) — a list, a generator over a
+million-line corpus file, anything — and decides every pair, either
 in-process (``workers <= 1``) or across a ``multiprocessing`` pool.
 Guarantees, regardless of worker count:
 
-* **Deterministic ordering** — results come back sorted by input index,
-  so ``run()`` with 1 worker and with N workers produce identical lists.
+* **Deterministic ordering** — results stream back in input order, so
+  ``run()`` with 1 worker and with N workers produce identical lists.
+* **Streaming** — input is consumed through a bounded in-flight window
+  (:meth:`~repro.session.Session.verify_many` in-process, ``imap`` over a
+  lazy payload stream for pools) and each record is flushed to the JSONL
+  sink the moment it is decided, so corpus-scale inputs never
+  materialize and partial output survives a crash.
 * **Per-pair isolation** — a pair that times out (the decision budget is
-  cooperative, enforced by :class:`~repro.udp.decide.DecisionOptions`)
-  or raises yields a ``timeout`` / ``error`` record without affecting
-  sibling pairs.
+  cooperative, enforced by the pipeline's budgets) or raises yields a
+  ``timeout`` / ``error`` record without affecting sibling pairs.
 * **Worker-local caching** — each worker keeps one
-  :class:`~repro.frontend.solver.Solver` per distinct program text, so a
-  corpus whose rules share a catalog (the Calcite EMP/DEPT rules, say)
-  parses it once per worker; beneath that, the normalize/canonize memo
-  layers (see :mod:`repro.service`) deduplicate repeated subexpressions.
+  :class:`~repro.session.Session`, whose program-text sub-session cache
+  means a corpus whose rules share a catalog (the Calcite EMP/DEPT
+  rules, say) parses it once per worker; beneath that, the
+  normalize/canonize memo layers (see :mod:`repro.service`) deduplicate
+  repeated subexpressions.
 
-Results can be streamed to a JSON-lines sink (:func:`write_jsonl`), one
-object per line — the interchange format of the ``udp-prove batch``
-subcommand and the corpus benchmarks.
+Since the unified-session redesign every record carries the
+machine-readable ``reason_code`` next to the free-text reason, and a
+custom :class:`~repro.session.PipelineConfig` can swap the bulk pipeline
+(e.g. add ``model-check`` refutation to tag definitive non-equivalences).
 """
 
 from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass, replace
-from typing import Dict, IO, Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, IO, Iterable, Iterator, List, Optional, Tuple, Union
 
-from repro.frontend.solver import Solver
+from repro.session import PipelineConfig, Session, VerifyRequest, VerifyResult
 from repro.udp.decide import DecisionOptions
+from repro.udp.trace import Verdict
 
-#: Verdict strings a record can carry: the four
-#: :class:`~repro.udp.trace.Verdict` values plus ``"error"`` for pairs
-#: whose check raised an unexpected exception.
-ERROR_VERDICT = "error"
+#: Verdict strings a record can carry: the
+#: :class:`~repro.udp.trace.Verdict` values; ``"error"`` marks pairs
+#: whose check failed outside the decision procedure proper.
+ERROR_VERDICT = Verdict.ERROR.value
 
 
 @dataclass(frozen=True)
@@ -52,6 +60,15 @@ class BatchPair:
     program: str = ""
     timeout_seconds: Optional[float] = None
 
+    def to_request(self) -> VerifyRequest:
+        return VerifyRequest(
+            left=self.left,
+            right=self.right,
+            program=self.program,
+            request_id=self.pair_id,
+            timeout_seconds=self.timeout_seconds,
+        )
+
 
 @dataclass(frozen=True)
 class BatchRecord:
@@ -62,6 +79,7 @@ class BatchRecord:
     verdict: str
     reason: str = ""
     elapsed_seconds: float = 0.0
+    reason_code: str = ""
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -69,65 +87,47 @@ class BatchRecord:
             "id": self.pair_id,
             "verdict": self.verdict,
             "reason": self.reason,
+            "reason_code": self.reason_code,
             "elapsed_seconds": round(self.elapsed_seconds, 6),
         }
+
+    @classmethod
+    def from_result(cls, index: int, result: VerifyResult) -> "BatchRecord":
+        return cls(
+            index=index,
+            pair_id=result.request_id,
+            verdict=result.verdict.value,
+            reason=result.reason,
+            elapsed_seconds=result.elapsed_seconds,
+            reason_code=result.reason_code.value,
+        )
 
 
 # ---------------------------------------------------------------------------
 # Worker side
 # ---------------------------------------------------------------------------
 
-#: Per-process solver cache, keyed by program text.  Lives at module level
-#: so pool workers (which fork or re-import this module) reuse solvers
-#: across the pairs they are handed.
-_WORKER_SOLVERS: Dict[Tuple[str, Tuple], Solver] = {}
+#: Per-process session cache, keyed by pipeline configuration.  Lives at
+#: module level so pool workers (which fork or re-import this module)
+#: reuse one session — and its program-text sub-sessions and compile
+#: caches — across the pairs they are handed.
+_WORKER_SESSIONS: Dict[PipelineConfig, Session] = {}
 
 
-def _options_key(options: DecisionOptions) -> Tuple:
-    return (
-        options.timeout_seconds,
-        options.use_constraints,
-        options.sdp_strategy,
-        options.require_same_schema,
-        options.collect_trace,
-    )
+def _session_for(config: PipelineConfig) -> Session:
+    session = _WORKER_SESSIONS.get(config)
+    if session is None:
+        session = Session(config=config)
+        if len(_WORKER_SESSIONS) < 64:
+            _WORKER_SESSIONS[config] = session
+    return session
 
 
-def _solver_for(program: str, options: DecisionOptions) -> Solver:
-    key = (program, _options_key(options))
-    solver = _WORKER_SOLVERS.get(key)
-    if solver is None:
-        if program:
-            solver = Solver.from_program_text(program, options)
-        else:
-            solver = Solver(options=options)
-        if len(_WORKER_SOLVERS) < 512:
-            _WORKER_SOLVERS[key] = solver
-    return solver
-
-
-def _check_pair(payload: Tuple[int, BatchPair, DecisionOptions]) -> BatchRecord:
+def _check_pair(payload: Tuple[int, BatchPair, PipelineConfig]) -> BatchRecord:
     """Decide one pair; never raises (errors become ``error`` records)."""
-    index, pair, options = payload
-    if pair.timeout_seconds is not None:
-        options = replace(options, timeout_seconds=pair.timeout_seconds)
-    try:
-        solver = _solver_for(pair.program, options)
-        outcome = solver.check(pair.left, pair.right)
-        return BatchRecord(
-            index=index,
-            pair_id=pair.pair_id,
-            verdict=outcome.verdict.value,
-            reason=outcome.reason,
-            elapsed_seconds=outcome.elapsed_seconds,
-        )
-    except Exception as error:  # noqa: BLE001 - isolation is the contract
-        return BatchRecord(
-            index=index,
-            pair_id=pair.pair_id,
-            verdict=ERROR_VERDICT,
-            reason=f"{type(error).__name__}: {error}",
-        )
+    index, pair, config = payload
+    session = _session_for(config)
+    return BatchRecord.from_result(index, session.verify(pair.to_request()))
 
 
 # ---------------------------------------------------------------------------
@@ -140,8 +140,13 @@ class BatchVerifier:
 
     Attributes:
         workers: process count; ``<= 1`` runs in-process (no pool).
-        options: decision options shared by all pairs (per-pair
-            ``timeout_seconds`` overrides the budget).
+        options: legacy decision options shared by all pairs (per-pair
+            ``timeout_seconds`` overrides the budget); folded into the
+            pipeline configuration.
+        pipeline: full :class:`~repro.session.PipelineConfig` control of
+            tactic order and budgets.  The default is the single
+            ``udp-prove`` tactic with traces off — bulk verification
+            consumes verdicts, not proof replays.
         chunk_size: pairs handed to a worker per dispatch; higher
             amortizes IPC, lower balances better when pair costs vary.
     """
@@ -152,13 +157,27 @@ class BatchVerifier:
         options: Optional[DecisionOptions] = None,
         chunk_size: int = 4,
         clamp_to_cores: bool = True,
+        pipeline: Optional[PipelineConfig] = None,
     ) -> None:
         self.workers = max(1, int(workers))
-        # Bulk verification consumes verdicts, not proof replays: unless the
-        # caller provides explicit options, skip trace collection.
-        self.options = options or DecisionOptions(collect_trace=False)
+        if pipeline is not None and options is not None:
+            raise ValueError(
+                "pass either options (legacy) or pipeline, not both — "
+                "fold the DecisionOptions fields into the PipelineConfig"
+            )
+        if pipeline is not None:
+            self.pipeline = pipeline
+        else:
+            self.pipeline = PipelineConfig.legacy(
+                options or DecisionOptions(collect_trace=False)
+            )
         self.chunk_size = max(1, int(chunk_size))
         self.clamp_to_cores = clamp_to_cores
+
+    @property
+    def options(self) -> DecisionOptions:
+        """Legacy view of the effective per-pair decision options."""
+        return self.pipeline.options_for(self.pipeline.tactics[0])
 
     @property
     def effective_workers(self) -> int:
@@ -177,48 +196,78 @@ class BatchVerifier:
 
     def run(
         self,
-        pairs: Sequence[BatchPair],
+        pairs: Iterable[BatchPair],
         sink: Optional[IO[str]] = None,
     ) -> List[BatchRecord]:
-        """Decide every pair; results are sorted by input index.
+        """Decide every pair; the returned list is in input order.
 
-        When ``sink`` is given, each record is also written to it as one
-        JSON line (in result order, i.e. input order).
+        ``pairs`` may be any iterable — generators are consumed through a
+        bounded window, never materialized.  When ``sink`` is given, each
+        record is written to it as one JSON line *as soon as it is
+        decided* (in input order), so long runs stream partial results.
         """
-        payloads = [
-            (index, pair, self.options) for index, pair in enumerate(pairs)
-        ]
+        return list(self.run_iter(pairs, sink=sink))
+
+    def run_iter(
+        self,
+        pairs: Iterable[BatchPair],
+        sink: Optional[IO[str]] = None,
+    ) -> Iterator[BatchRecord]:
+        """Streaming form of :meth:`run`: yields records in input order."""
         workers = self.effective_workers
-        if workers <= 1 or len(payloads) <= 1:
-            records = [_check_pair(payload) for payload in payloads]
+        if workers <= 1:
+            stream = self._run_serial(pairs)
         else:
-            records = self._run_pool(payloads, workers)
-        records.sort(key=lambda record: record.index)
-        if sink is not None:
-            write_jsonl(records, sink)
-        return records
+            stream = self._run_pool(pairs, workers)
+        flush = getattr(sink, "flush", None)
+        for record in stream:
+            if sink is not None:
+                sink.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
+                if flush is not None:  # survive a mid-run crash
+                    flush()
+            yield record
 
     def run_to_path(
-        self, pairs: Sequence[BatchPair], path: Union[str, os.PathLike]
+        self, pairs: Iterable[BatchPair], path: Union[str, os.PathLike]
     ) -> List[BatchRecord]:
         """:meth:`run` with a JSONL file sink at ``path``."""
         with open(path, "w", encoding="utf-8") as handle:
             return self.run(pairs, sink=handle)
 
-    def _run_pool(self, payloads, workers: int) -> List[BatchRecord]:
+    def _run_serial(self, pairs: Iterable[BatchPair]) -> Iterator[BatchRecord]:
+        """In-process path: the worker session's streaming generator."""
+        session = _session_for(self.pipeline)
+        requests = (pair.to_request() for pair in pairs)
+        for index, result in enumerate(session.verify_many(requests)):
+            yield BatchRecord.from_result(index, result)
+
+    def _run_pool(
+        self, pairs: Iterable[BatchPair], workers: int
+    ) -> Iterator[BatchRecord]:
         import multiprocessing
 
+        payloads = (
+            (index, pair, self.pipeline) for index, pair in enumerate(pairs)
+        )
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             context = multiprocessing.get_context("spawn")
         try:
-            with context.Pool(processes=workers) as pool:
-                return pool.map(_check_pair, payloads, chunksize=self.chunk_size)
+            pool = context.Pool(processes=workers)
         except (OSError, PermissionError):  # pragma: no cover - sandboxes
             # Process creation unavailable: degrade to serial execution
-            # rather than failing the batch.
-            return [_check_pair(payload) for payload in payloads]
+            # rather than failing the batch (nothing was dispatched yet).
+            for payload in payloads:
+                yield _check_pair(payload)
+            return
+        with pool:
+            # imap keeps input order and feeds the payload generator
+            # lazily, so the pair stream is pulled through a bounded
+            # window rather than materialized like map() would.
+            yield from pool.imap(
+                _check_pair, payloads, chunksize=self.chunk_size
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -238,22 +287,23 @@ def pairs_from_jsonl(lines: Iterable[str]) -> List[BatchPair]:
     Blank lines are skipped; a missing ``id`` defaults to the line's
     position.  ``timeout_seconds`` is honoured when present.
     """
-    pairs: List[BatchPair] = []
+    return list(iter_pairs_from_jsonl(lines))
+
+
+def iter_pairs_from_jsonl(lines: Iterable[str]) -> Iterator[BatchPair]:
+    """Streaming form of :func:`pairs_from_jsonl` for unbounded inputs."""
     for position, line in enumerate(lines):
         line = line.strip()
         if not line:
             continue
         obj = json.loads(line)
-        pairs.append(
-            BatchPair(
-                pair_id=str(obj.get("id", position)),
-                left=obj["left"],
-                right=obj["right"],
-                program=obj.get("program", ""),
-                timeout_seconds=obj.get("timeout_seconds"),
-            )
+        yield BatchPair(
+            pair_id=str(obj.get("id", position)),
+            left=obj["left"],
+            right=obj["right"],
+            program=obj.get("program", ""),
+            timeout_seconds=obj.get("timeout_seconds"),
         )
-    return pairs
 
 
 def pairs_from_program(text: str) -> List[BatchPair]:

@@ -1,0 +1,800 @@
+"""The unified verification session: one API over the Fig. 4 pipeline.
+
+Every front end in this repo — the interactive :class:`~repro.frontend.solver.Solver`,
+the :class:`~repro.service.batch.BatchVerifier`, the clustering pass, and the
+CLI — used to wire parse→compile→decide slightly differently and hand back
+free-text reasons.  :class:`Session` replaces those ad-hoc paths with one
+object:
+
+* **Structured requests and results.**  :class:`VerifyRequest` and
+  :class:`VerifyResult` are plain dataclasses with ``to_json``/``from_json``
+  round-trips; every result carries a machine-readable
+  :class:`~repro.udp.trace.ReasonCode` next to the human-readable reason.
+
+* **A pluggable decision pipeline.**  Tactics are registered by name
+  (:func:`register_tactic`) and sequenced by :class:`PipelineConfig`.  The
+  default order mirrors the paper's toolbox: ``udp-prove`` (Algorithms 1-4),
+  the ``cq-minimize`` fallback (the Sec. 5.2 core-computation formulation of
+  SDP), and ``model-check`` refutation (bounded counterexample search from
+  :mod:`repro.checker`).  A tactic either *concludes* the pipeline or passes
+  to the next one; refutation can never flip a sound ``PROVED``.
+
+* **Streaming.**  :meth:`Session.verify_many` is a generator over any
+  iterable of requests with a bounded in-flight window — million-pair
+  corpus files never materialize.  The batch service and the cluster
+  front end are built on it.
+
+Legacy surfaces (``Solver``, ``prove``, ``BatchVerifier``) remain as thin
+compatibility shims over a session.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.constraints.model import ConstraintSet, constraints_from_catalog
+from repro.errors import ReproError, UnsupportedFeatureError
+from repro.hashcons import LRUCache
+from repro.sql.ast import Query
+from repro.sql.desugar import desugar_query
+from repro.sql.parser import parse_program, parse_query
+from repro.sql.program import Catalog
+from repro.sql.scope import resolve_query
+from repro.udp.decide import DecisionOptions, decide_equivalence
+from repro.udp.trace import DecisionResult, ProofTrace, ReasonCode, Verdict
+from repro.usr.compile import Compiler
+from repro.usr.terms import QueryDenotation
+
+QueryLike = Union[str, Query]
+
+
+# ---------------------------------------------------------------------------
+# Requests and results
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VerifyRequest:
+    """One unit of verification work.
+
+    ``program`` carries declaration statements; when empty the session's
+    own catalog applies.  ``timeout_seconds`` overrides the pipeline's
+    per-tactic budget for this request only.
+    """
+
+    left: QueryLike
+    right: QueryLike
+    program: str = ""
+    request_id: str = ""
+    timeout_seconds: Optional[float] = None
+
+    def to_json(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "id": self.request_id,
+            "left": str(self.left),
+            "right": str(self.right),
+        }
+        if self.program:
+            out["program"] = self.program
+        if self.timeout_seconds is not None:
+            out["timeout_seconds"] = self.timeout_seconds
+        return out
+
+    @classmethod
+    def from_json(cls, obj: Mapping[str, object]) -> "VerifyRequest":
+        return cls(
+            left=str(obj["left"]),
+            right=str(obj["right"]),
+            program=str(obj.get("program", "")),
+            request_id=str(obj.get("id", "")),
+            timeout_seconds=(
+                float(obj["timeout_seconds"])  # type: ignore[arg-type]
+                if obj.get("timeout_seconds") is not None
+                else None
+            ),
+        )
+
+
+@dataclass
+class VerifyResult:
+    """The structured outcome of one request.
+
+    ``tactic`` names the registry entry that concluded the pipeline (empty
+    when the front end rejected the request before any tactic ran);
+    ``tactics_tried`` lists every tactic that executed, in order.  The
+    JSON form (:meth:`to_json`) round-trips exactly through
+    :meth:`from_json` — the axiom trace and counterexample are evidence
+    attachments, serialized as plain text.
+    """
+
+    request_id: str
+    verdict: Verdict
+    reason_code: ReasonCode
+    reason: str = ""
+    tactic: str = ""
+    tactics_tried: Tuple[str, ...] = ()
+    elapsed_seconds: float = 0.0
+    counterexample: Optional[str] = None
+    trace: Optional[ProofTrace] = None
+
+    @property
+    def proved(self) -> bool:
+        return self.verdict is Verdict.PROVED
+
+    def __str__(self) -> str:
+        head = f"{self.verdict.value} [{self.reason_code.value}]"
+        if self.reason:
+            head += f" ({self.reason})"
+        return head
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "id": self.request_id,
+            "verdict": self.verdict.value,
+            "reason_code": self.reason_code.value,
+            "reason": self.reason,
+            "tactic": self.tactic,
+            "tactics_tried": list(self.tactics_tried),
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "counterexample": self.counterexample,
+        }
+
+    @classmethod
+    def from_json(cls, obj: Mapping[str, object]) -> "VerifyResult":
+        return cls(
+            request_id=str(obj.get("id", "")),
+            verdict=Verdict(obj["verdict"]),
+            reason_code=ReasonCode(obj["reason_code"]),
+            reason=str(obj.get("reason", "")),
+            tactic=str(obj.get("tactic", "")),
+            tactics_tried=tuple(obj.get("tactics_tried", ())),  # type: ignore[arg-type]
+            elapsed_seconds=float(obj.get("elapsed_seconds", 0.0)),  # type: ignore[arg-type]
+            counterexample=(
+                str(obj["counterexample"])
+                if obj.get("counterexample") is not None
+                else None
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Pipeline configuration
+# ---------------------------------------------------------------------------
+
+#: The full default pipeline: prove, fall back to core computation, then
+#: try to refute what remains unproved.
+DEFAULT_TACTICS: Tuple[str, ...] = ("udp-prove", "cq-minimize", "model-check")
+
+#: What the legacy ``Solver.check`` ran: Algorithms 1-4 only.
+LEGACY_TACTICS: Tuple[str, ...] = ("udp-prove",)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Ordering and budgets of the decision pipeline.
+
+    ``tactics`` is the execution order (names from the registry);
+    ``tactic_budgets`` overrides the shared ``timeout_seconds`` budget per
+    tactic.  The remaining knobs mirror
+    :class:`~repro.udp.decide.DecisionOptions` plus the model checker's
+    search bounds.
+    """
+
+    tactics: Tuple[str, ...] = DEFAULT_TACTICS
+    timeout_seconds: float = 30.0
+    tactic_budgets: Tuple[Tuple[str, float], ...] = ()
+    use_constraints: bool = True
+    sdp_strategy: str = "homomorphism"
+    require_same_schema: bool = True
+    collect_trace: bool = True
+    model_check_attempts: int = 8
+    model_check_max_rows: int = 2
+    model_check_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.tactics, str):
+            object.__setattr__(
+                self, "tactics", tuple(parse_pipeline_spec(self.tactics))
+            )
+        else:
+            object.__setattr__(self, "tactics", tuple(self.tactics))
+        budgets = self.tactic_budgets
+        if isinstance(budgets, Mapping):
+            budgets = tuple(sorted(budgets.items()))
+        object.__setattr__(self, "tactic_budgets", tuple(budgets))
+        unknown = [name for name in self.tactics if name not in _TACTICS]
+        if unknown:
+            raise ValueError(
+                f"unknown tactic(s) {unknown!r}; "
+                f"available: {available_tactics()}"
+            )
+
+    # -- derived views -----------------------------------------------------
+
+    def budget_for(self, tactic: str) -> float:
+        for name, budget in self.tactic_budgets:
+            if name == tactic:
+                return budget
+        return self.timeout_seconds
+
+    def options_for(
+        self, tactic: str, timeout_override: Optional[float] = None
+    ) -> DecisionOptions:
+        """The :class:`DecisionOptions` a decide-style tactic runs under."""
+        budget = (
+            timeout_override
+            if timeout_override is not None
+            else self.budget_for(tactic)
+        )
+        return DecisionOptions(
+            timeout_seconds=budget,
+            use_constraints=self.use_constraints,
+            sdp_strategy=(
+                "minimize" if tactic == "cq-minimize" else self.sdp_strategy
+            ),
+            require_same_schema=self.require_same_schema,
+            collect_trace=self.collect_trace,
+        )
+
+    @classmethod
+    def legacy(
+        cls, options: Optional[DecisionOptions] = None
+    ) -> "PipelineConfig":
+        """The configuration equivalent to the historical ``Solver.check``."""
+        options = options or DecisionOptions()
+        return cls(
+            tactics=LEGACY_TACTICS,
+            timeout_seconds=options.timeout_seconds,
+            use_constraints=options.use_constraints,
+            sdp_strategy=options.sdp_strategy,
+            require_same_schema=options.require_same_schema,
+            collect_trace=options.collect_trace,
+        )
+
+
+def parse_pipeline_spec(spec: str) -> List[str]:
+    """Parse a CLI ``--pipeline`` spec: comma-separated tactic names."""
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    if not names:
+        raise ValueError("empty pipeline spec")
+    return names
+
+
+# ---------------------------------------------------------------------------
+# The tactic registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TacticOutcome:
+    """What one tactic concluded about one request.
+
+    ``conclusive`` ends the pipeline; an inconclusive outcome hands the
+    request to the next tactic, and its verdict/reason become the final
+    answer only if nothing downstream concludes.
+    """
+
+    verdict: Verdict
+    reason_code: ReasonCode
+    reason: str = ""
+    conclusive: bool = False
+    trace: Optional[ProofTrace] = None
+    counterexample: Optional[str] = None
+
+
+@dataclass
+class _Task:
+    """A compiled request as the tactics see it."""
+
+    left: QueryLike
+    right: QueryLike
+    left_denotation: QueryDenotation
+    right_denotation: QueryDenotation
+    catalog: Catalog
+    constraints: ConstraintSet
+    timeout_seconds: Optional[float] = None
+
+
+TacticFn = Callable[["Session", _Task, PipelineConfig], TacticOutcome]
+
+_TACTICS: Dict[str, TacticFn] = {}
+
+
+def register_tactic(name: str) -> Callable[[TacticFn], TacticFn]:
+    """Register a decision tactic under a stable name."""
+
+    def decorator(fn: TacticFn) -> TacticFn:
+        if name in _TACTICS:
+            raise ValueError(f"duplicate tactic name {name!r}")
+        _TACTICS[name] = fn
+        return fn
+
+    return decorator
+
+
+def available_tactics() -> List[str]:
+    """Registered tactic names, sorted."""
+    return sorted(_TACTICS)
+
+
+def _outcome_from_decision(result: DecisionResult) -> TacticOutcome:
+    code = result.reason_code or (
+        ReasonCode.ISOMORPHIC if result.proved else ReasonCode.NO_ISOMORPHISM
+    )
+    return TacticOutcome(
+        verdict=result.verdict,
+        reason_code=code,
+        reason=result.reason,
+        trace=result.trace,
+    )
+
+
+@register_tactic("udp-prove")
+def _tactic_udp_prove(
+    session: "Session", task: _Task, config: PipelineConfig
+) -> TacticOutcome:
+    """Algorithms 1-4: SPNF + canonization + UDP/TDP/SDP matching.
+
+    Conclusive on ``PROVED`` (soundness), on a blown budget, and on an
+    up-front schema mismatch (no downstream tactic can do better than the
+    trivial refutation); inconclusive on a plain ``NOT_PROVED``.
+    """
+    options = config.options_for("udp-prove", task.timeout_seconds)
+    result = decide_equivalence(
+        task.left_denotation, task.right_denotation, task.constraints, options
+    )
+    outcome = _outcome_from_decision(result)
+    outcome.conclusive = (
+        result.verdict in (Verdict.PROVED, Verdict.TIMEOUT)
+        or outcome.reason_code is ReasonCode.SCHEMA_MISMATCH
+    )
+    return outcome
+
+
+@register_tactic("cq-minimize")
+def _tactic_cq_minimize(
+    session: "Session", task: _Task, config: PipelineConfig
+) -> TacticOutcome:
+    """The Sec. 5.2 fallback: SDP by core computation instead of mutual
+    containment.  Only a proof concludes; failures (including budget
+    exhaustion inside the fallback) defer to the next tactic.
+    """
+    options = config.options_for("cq-minimize", task.timeout_seconds)
+    result = decide_equivalence(
+        task.left_denotation, task.right_denotation, task.constraints, options
+    )
+    if result.proved:
+        return TacticOutcome(
+            verdict=Verdict.PROVED,
+            reason_code=ReasonCode.MINIMIZED_ISOMORPHIC,
+            reason="minimized cores are isomorphic",
+            conclusive=True,
+            trace=result.trace,
+        )
+    return TacticOutcome(
+        verdict=Verdict.NOT_PROVED,
+        reason_code=ReasonCode.NO_ISOMORPHISM,
+        reason=result.reason,
+    )
+
+
+@register_tactic("model-check")
+def _tactic_model_check(
+    session: "Session", task: _Task, config: PipelineConfig
+) -> TacticOutcome:
+    """Bounded refutation: search small databases for a disagreement.
+
+    A counterexample is a definitive non-equivalence (conclusive
+    ``NOT_PROVED``); finding none only strengthens the reason code to
+    ``no-counterexample``.
+    """
+    from repro.checker.model_check import ModelChecker
+
+    checker = ModelChecker(task.catalog, seed=config.model_check_seed)
+    try:
+        witness = checker.find_counterexample(
+            task.left,
+            task.right,
+            random_attempts=config.model_check_attempts,
+            max_rows=config.model_check_max_rows,
+        )
+    except ReproError as error:
+        return TacticOutcome(
+            verdict=Verdict.NOT_PROVED,
+            reason_code=ReasonCode.NO_COUNTEREXAMPLE,
+            reason=f"model check inapplicable: {error}",
+        )
+    if witness is not None:
+        return TacticOutcome(
+            verdict=Verdict.NOT_PROVED,
+            reason_code=ReasonCode.COUNTEREXAMPLE,
+            reason="bounded model check found a distinguishing database",
+            conclusive=True,
+            counterexample=witness.describe(),
+        )
+    return TacticOutcome(
+        verdict=Verdict.NOT_PROVED,
+        reason_code=ReasonCode.NO_COUNTEREXAMPLE,
+        reason="no proof found; bounded model check found no counterexample",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Session statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SessionStats:
+    """Aggregate counters of one session's lifetime."""
+
+    requests: int = 0
+    verdicts: Dict[str, int] = field(default_factory=dict)
+    concluded_by: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, result: VerifyResult) -> None:
+        self.requests += 1
+        key = result.verdict.value
+        self.verdicts[key] = self.verdicts.get(key, 0) + 1
+        tactic = result.tactic or "<frontend>"
+        self.concluded_by[tactic] = self.concluded_by.get(tactic, 0) + 1
+
+
+# ---------------------------------------------------------------------------
+# The session
+# ---------------------------------------------------------------------------
+
+#: Default bound on the number of requests pulled ahead of consumption by
+#: :meth:`Session.verify_many` — streaming inputs never materialize.
+DEFAULT_WINDOW = 32
+
+_EXHAUSTED = object()
+
+
+class Session:
+    """A verification session: one catalog, one pipeline, warm caches.
+
+    Compiled denotations are cached per query in an LRU (so long-lived
+    sessions keep hot entries instead of refusing new ones), and the
+    catalog's :class:`~repro.constraints.model.ConstraintSet` is built
+    once.  Rebinding ``session.catalog`` drops both caches; mutating a
+    catalog in place is unsupported (see :mod:`repro.service` on cache
+    invalidation).  Requests that carry their own ``program`` text are
+    routed to cached sub-sessions, one per distinct program, so
+    heterogeneous streams (the batch corpus) parse each catalog once.
+    """
+
+    #: LRU capacity of the per-catalog compile cache.
+    COMPILE_CACHE_SIZE = 512
+    #: LRU capacity of the program-text → sub-session cache.
+    PROGRAM_CACHE_SIZE = 128
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        config: Optional[PipelineConfig] = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.stats = SessionStats()
+        self.catalog = catalog or Catalog()
+
+    def __setattr__(self, name: str, value) -> None:
+        if name == "catalog":
+            self.__dict__["_compile_cache"] = LRUCache(
+                "session-compile", self.COMPILE_CACHE_SIZE, register=False
+            )
+            self.__dict__["_constraints"] = None
+        super().__setattr__(name, value)
+
+    @classmethod
+    def from_program_text(
+        cls, text: str, config: Optional[PipelineConfig] = None
+    ) -> "Session":
+        program = parse_program(text)
+        session = cls(program.build_catalog(), config)
+        session._program = program
+        return session
+
+    # -- caches ------------------------------------------------------------
+
+    def constraint_set(self) -> ConstraintSet:
+        constraints = self.__dict__.get("_constraints")
+        if constraints is None:
+            constraints = constraints_from_catalog(self.catalog)
+            self.__dict__["_constraints"] = constraints
+        return constraints
+
+    def _subsessions(self) -> LRUCache:
+        cache = self.__dict__.get("_program_sessions")
+        if cache is None:
+            cache = LRUCache(
+                "session-programs", self.PROGRAM_CACHE_SIZE, register=False
+            )
+            self.__dict__["_program_sessions"] = cache
+        return cache
+
+    def _session_for_program(self, program: str) -> "Session":
+        """The (cached) sub-session owning ``program``'s catalog."""
+        if not program:
+            return self
+        cache = self._subsessions()
+        session = cache.get(program)
+        if session is None:
+            session = Session.from_program_text(program, self.config)
+            cache.put(program, session)
+        return session
+
+    # -- compilation -------------------------------------------------------
+
+    def compile(self, query: QueryLike) -> QueryDenotation:
+        """Parse/resolve/desugar/compile one query to its denotation.
+
+        Cached per query in an LRU (by SQL text, or by the AST node for
+        ``Query`` inputs — the pretty-printer is not injective, so
+        rendered text cannot key an AST).  The compiler numbers binders
+        deterministically per call, so a cached denotation is
+        byte-identical to a recompile.
+        """
+        cache: Optional[LRUCache] = self.__dict__.get("_compile_cache")
+        try:
+            cached = cache.get(query) if cache is not None else None
+        except TypeError:  # unhashable AST payload: skip caching
+            cache = None
+            cached = None
+        if cached is not None:
+            return cached
+        parsed = parse_query(query) if isinstance(query, str) else query
+        resolved, _ = resolve_query(parsed, self.catalog)
+        desugared = desugar_query(resolved)
+        denotation = Compiler(self.catalog).compile_query(desugared)
+        if cache is not None:
+            cache.put(query, denotation)
+        return denotation
+
+    # -- verification ------------------------------------------------------
+
+    def verify(
+        self,
+        left: Union[QueryLike, VerifyRequest],
+        right: Optional[QueryLike] = None,
+        *,
+        request_id: str = "",
+        timeout_seconds: Optional[float] = None,
+        config: Optional[PipelineConfig] = None,
+    ) -> VerifyResult:
+        """Decide one request (or an ad-hoc query pair) through the pipeline.
+
+        Never raises: front-end failures and internal errors come back as
+        structured results (``unsupported`` / ``error`` verdicts).
+        """
+        if isinstance(left, VerifyRequest):
+            if right is not None:
+                raise TypeError(
+                    "pass either a VerifyRequest or two queries, not both"
+                )
+            request = left
+        else:
+            if right is None:
+                raise TypeError("verify() needs a right-hand query")
+            request = VerifyRequest(
+                left=left,
+                right=right,
+                request_id=request_id,
+                timeout_seconds=timeout_seconds,
+            )
+        result = self._verify_request(request, config or self.config)
+        self.stats.record(result)
+        return result
+
+    def verify_many(
+        self,
+        requests: Iterable[Union[VerifyRequest, Tuple[QueryLike, QueryLike]]],
+        *,
+        window: int = DEFAULT_WINDOW,
+        config: Optional[PipelineConfig] = None,
+    ) -> Iterator[VerifyResult]:
+        """Stream results for an iterable of requests.
+
+        Lazily pulls at most ``window`` requests ahead of the consumer, so
+        generator inputs of unbounded size run in constant memory.  Plain
+        ``(left, right)`` tuples are accepted and wrapped on the fly;
+        results come back in input order.
+        """
+        window = max(1, int(window))
+        iterator = iter(requests)
+        pending: deque = deque(itertools.islice(iterator, window))
+        while pending:
+            item = pending.popleft()
+            if not isinstance(item, VerifyRequest):
+                item = VerifyRequest(left=item[0], right=item[1])
+            yield self.verify(item, config=config)
+            refill = next(iterator, _EXHAUSTED)
+            if refill is not _EXHAUSTED:
+                pending.append(refill)
+
+    def decide_compiled(
+        self,
+        left: QueryDenotation,
+        right: QueryDenotation,
+        *,
+        config: Optional[PipelineConfig] = None,
+    ) -> VerifyResult:
+        """Run the decide-style tactics on two already-compiled denotations.
+
+        The ``model-check`` tactic needs source queries and is skipped
+        here (the clustering front end compares cached denotations).
+        """
+        config = config or self.config
+        task = _Task(
+            left="",
+            right="",
+            left_denotation=left,
+            right_denotation=right,
+            catalog=self.catalog,
+            constraints=self.constraint_set(),
+        )
+        started = time.monotonic()
+        tactics = tuple(t for t in config.tactics if t != "model-check")
+        result = self._run_pipeline(task, config, tactics, started, "")
+        self.stats.record(result)
+        return result
+
+    # -- internals ---------------------------------------------------------
+
+    def _verify_request(
+        self, request: VerifyRequest, config: PipelineConfig
+    ) -> VerifyResult:
+        started = time.monotonic()
+        try:
+            owner = self._session_for_program(request.program)
+        except ReproError as error:
+            return VerifyResult(
+                request_id=request.request_id,
+                verdict=Verdict.ERROR,
+                reason_code=ReasonCode.FRONTEND_ERROR,
+                reason=f"{type(error).__name__}: {error}",
+                elapsed_seconds=time.monotonic() - started,
+            )
+        except Exception as error:  # noqa: BLE001 - never-raises contract
+            return VerifyResult(
+                request_id=request.request_id,
+                verdict=Verdict.ERROR,
+                reason_code=ReasonCode.INTERNAL_ERROR,
+                reason=f"{type(error).__name__}: {error}",
+                elapsed_seconds=time.monotonic() - started,
+            )
+        try:
+            left_denotation = owner.compile(request.left)
+            right_denotation = owner.compile(request.right)
+        except UnsupportedFeatureError as unsupported:
+            return VerifyResult(
+                request_id=request.request_id,
+                verdict=Verdict.UNSUPPORTED,
+                reason_code=ReasonCode.UNSUPPORTED_FEATURE,
+                reason=str(unsupported),
+                elapsed_seconds=time.monotonic() - started,
+            )
+        except ReproError as error:
+            return VerifyResult(
+                request_id=request.request_id,
+                verdict=Verdict.UNSUPPORTED,
+                reason_code=ReasonCode.FRONTEND_ERROR,
+                reason=f"{type(error).__name__}: {error}",
+                elapsed_seconds=time.monotonic() - started,
+            )
+        except Exception as error:  # noqa: BLE001 - never-raises contract
+            return VerifyResult(
+                request_id=request.request_id,
+                verdict=Verdict.ERROR,
+                reason_code=ReasonCode.INTERNAL_ERROR,
+                reason=f"{type(error).__name__}: {error}",
+                elapsed_seconds=time.monotonic() - started,
+            )
+        task = _Task(
+            left=request.left,
+            right=request.right,
+            left_denotation=left_denotation,
+            right_denotation=right_denotation,
+            catalog=owner.catalog,
+            constraints=owner.constraint_set(),
+            timeout_seconds=request.timeout_seconds,
+        )
+        return owner._run_pipeline(
+            task, config, config.tactics, started, request.request_id
+        )
+
+    def _run_pipeline(
+        self,
+        task: _Task,
+        config: PipelineConfig,
+        tactics: Tuple[str, ...],
+        started: float,
+        request_id: str,
+    ) -> VerifyResult:
+        tried: List[str] = []
+        last: Optional[TacticOutcome] = None
+        concluded_by = ""
+        for name in tactics:
+            tried.append(name)
+            try:
+                outcome = _TACTICS[name](self, task, config)
+            except Exception as error:  # noqa: BLE001 - isolation contract
+                return VerifyResult(
+                    request_id=request_id,
+                    verdict=Verdict.ERROR,
+                    reason_code=ReasonCode.INTERNAL_ERROR,
+                    reason=f"{name}: {type(error).__name__}: {error}",
+                    tactic=name,
+                    tactics_tried=tuple(tried),
+                    elapsed_seconds=time.monotonic() - started,
+                )
+            if outcome.conclusive:
+                last = outcome
+                concluded_by = name
+                break
+            # Keep the most informative inconclusive outcome: a later
+            # tactic only upgrades a plain ``no-isomorphism`` (e.g.
+            # model-check strengthening it to ``no-counterexample``); it
+            # never downgrades a more specific code or erases a trace.
+            if last is None:
+                last = outcome
+            else:
+                if (
+                    last.reason_code is ReasonCode.NO_ISOMORPHISM
+                    and outcome.reason_code is not ReasonCode.NO_ISOMORPHISM
+                ):
+                    last.reason_code = outcome.reason_code
+                    if outcome.reason:
+                        last.reason = outcome.reason
+                if outcome.counterexample is not None:
+                    last.counterexample = outcome.counterexample
+        if last is None:  # empty tactic tuple
+            return VerifyResult(
+                request_id=request_id,
+                verdict=Verdict.NOT_PROVED,
+                reason_code=ReasonCode.NO_ISOMORPHISM,
+                reason="no tactics configured",
+                tactics_tried=tuple(tried),
+                elapsed_seconds=time.monotonic() - started,
+            )
+        return VerifyResult(
+            request_id=request_id,
+            verdict=last.verdict,
+            reason_code=last.reason_code,
+            reason=last.reason,
+            tactic=concluded_by or tried[-1],
+            tactics_tried=tuple(tried),
+            elapsed_seconds=time.monotonic() - started,
+            counterexample=last.counterexample,
+            trace=last.trace,
+        )
+
+
+__all__ = [
+    "DEFAULT_TACTICS",
+    "DEFAULT_WINDOW",
+    "LEGACY_TACTICS",
+    "PipelineConfig",
+    "Session",
+    "SessionStats",
+    "TacticOutcome",
+    "VerifyRequest",
+    "VerifyResult",
+    "available_tactics",
+    "parse_pipeline_spec",
+    "register_tactic",
+]

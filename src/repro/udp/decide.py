@@ -30,7 +30,7 @@ from repro.cq.minimize import minimize_term
 from repro.errors import DecisionTimeout
 from repro.sql.schema import Schema
 from repro.udp.canonize import SchemaEnv, canonize_form
-from repro.udp.trace import DecisionResult, ProofTrace, Verdict
+from repro.udp.trace import DecisionResult, ProofTrace, ReasonCode, Verdict
 from repro.usr.spnf import NormalForm, normalize
 from repro.usr.substitute import substitute_tuple_var
 from repro.usr.terms import QueryDenotation
@@ -212,6 +212,7 @@ def decide_equivalence(
                     f"{right.schema.attribute_names()}"
                 ),
                 elapsed_seconds=time.monotonic() - started,
+                reason_code=ReasonCode.SCHEMA_MISMATCH,
             )
 
     # Identify the two output variables.  Compilers number binders per
@@ -236,16 +237,19 @@ def decide_equivalence(
             trace,
             reason=str(timeout),
             elapsed_seconds=time.monotonic() - started,
+            reason_code=ReasonCode.BUDGET_EXHAUSTED,
         )
     elapsed = time.monotonic() - started
     if equal:
         return DecisionResult(
             Verdict.PROVED, trace, reason="isomorphic canonical forms",
             elapsed_seconds=elapsed,
+            reason_code=ReasonCode.ISOMORPHIC,
         )
     return DecisionResult(
         Verdict.NOT_PROVED,
         trace,
         reason="no isomorphism between canonical forms",
         elapsed_seconds=elapsed,
+        reason_code=ReasonCode.NO_ISOMORPHISM,
     )

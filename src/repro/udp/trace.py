@@ -24,16 +24,54 @@ class Verdict(enum.Enum):
     no proof was found — the queries may still be equivalent unless they fall
     in a completeness fragment (Theorems 5.4/5.5), in which case it is a
     genuine non-equivalence.  ``UNSUPPORTED`` marks queries outside the Fig. 2
-    fragment, and ``TIMEOUT`` a blown search budget.
+    fragment, ``TIMEOUT`` a blown search budget, and ``ERROR`` an unexpected
+    failure outside the decision procedure proper (malformed declarations in a
+    batch pair, an internal exception) — service layers report it instead of
+    raising so one bad request cannot poison a stream.
     """
 
     PROVED = "proved"
     NOT_PROVED = "not_proved"
     UNSUPPORTED = "unsupported"
     TIMEOUT = "timeout"
+    ERROR = "error"
 
     def __bool__(self) -> bool:
         return self is Verdict.PROVED
+
+
+class ReasonCode(enum.Enum):
+    """Machine-readable explanation of a verdict.
+
+    Where :class:`Verdict` says *what* was decided, the reason code says
+    *why* — stably enough for programmatic consumers (result sinks, the
+    ``--json`` CLI mode, downstream dashboards) to branch on it.  The
+    string values are a compatibility surface: existing codes must never
+    be renamed, only new ones added.
+    """
+
+    #: Alg. 2 matched the canonical forms (the ``udp-prove`` tactic).
+    ISOMORPHIC = "isomorphic-canonical-forms"
+    #: The minimization fallback matched the minimized cores
+    #: (the ``cq-minimize`` tactic).
+    MINIMIZED_ISOMORPHIC = "minimized-cores-isomorphic"
+    #: No proof found and no refutation attempted or available.
+    NO_ISOMORPHISM = "no-isomorphism"
+    #: Rejected up front: the two output schemas disagree.
+    SCHEMA_MISMATCH = "schema-mismatch"
+    #: The model checker found a database where the outputs differ
+    #: (the ``model-check`` tactic; a definitive non-equivalence).
+    COUNTEREXAMPLE = "counterexample-found"
+    #: No proof, and bounded model checking found no disagreement either.
+    NO_COUNTEREXAMPLE = "no-counterexample"
+    #: The query pair falls outside the supported Fig. 2 fragment.
+    UNSUPPORTED_FEATURE = "unsupported-feature"
+    #: Parse/resolution/compilation failed before any tactic ran.
+    FRONTEND_ERROR = "frontend-error"
+    #: The decision budget was exhausted.
+    BUDGET_EXHAUSTED = "budget-exhausted"
+    #: An unexpected exception escaped a tactic or the front end.
+    INTERNAL_ERROR = "internal-error"
 
 
 @dataclass(frozen=True)
@@ -87,6 +125,7 @@ class DecisionResult:
     trace: ProofTrace = field(default_factory=ProofTrace)
     reason: str = ""
     elapsed_seconds: float = 0.0
+    reason_code: Optional[ReasonCode] = None
 
     @property
     def proved(self) -> bool:

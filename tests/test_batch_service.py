@@ -148,6 +148,19 @@ def test_per_pair_timeout_overrides_default():
     assert records[1].verdict == Verdict.TIMEOUT.value
 
 
+def test_options_and_pipeline_are_mutually_exclusive():
+    from repro.session import PipelineConfig
+
+    with pytest.raises(ValueError, match="not both"):
+        BatchVerifier(
+            options=DecisionOptions(timeout_seconds=5.0),
+            pipeline=PipelineConfig(),
+        )
+    # The legacy options view reflects whichever was given.
+    verifier = BatchVerifier(options=DecisionOptions(timeout_seconds=5.0))
+    assert verifier.options.timeout_seconds == 5.0
+
+
 def test_effective_workers_clamped_to_cores():
     import os
 
@@ -155,6 +168,83 @@ def test_effective_workers_clamped_to_cores():
     assert verifier.effective_workers == min(64, os.cpu_count() or 1)
     forced = BatchVerifier(workers=64, clamp_to_cores=False)
     assert forced.effective_workers == 64
+
+
+# -- streaming input and incremental flushing ---------------------------------
+
+
+def test_run_accepts_generator_input():
+    """Iterator inputs work end to end — nothing requires a Sequence."""
+    records = BatchVerifier(workers=1).run(pair for pair in sample_pairs())
+    assert {r.pair_id: r.verdict for r in records} == EXPECTED
+    assert [r.index for r in records] == list(range(len(EXPECTED)))
+
+
+def test_run_consumes_input_incrementally():
+    """The pair stream is pulled through a bounded window, not slurped."""
+    consumed = []
+
+    def stream():
+        for pair in sample_pairs():
+            consumed.append(pair.pair_id)
+            yield pair
+
+    iterator = BatchVerifier(workers=1).run_iter(stream())
+    assert consumed == []
+    first = next(iterator)
+    assert first.pair_id == "eq-commute"
+    # At most the window (default 32 > 5 pairs, so all 5 here), but the
+    # key property is nothing was consumed before iteration began.
+    rest = list(iterator)
+    assert [r.pair_id for r in rest] == list(EXPECTED)[1:]
+
+
+def test_sink_flushes_incrementally():
+    """Each record hits the sink as soon as it is decided."""
+
+    class CountingSink:
+        def __init__(self):
+            self.lines = []
+
+        def write(self, text):
+            self.lines.append(text)
+
+    sink = CountingSink()
+    iterator = BatchVerifier(workers=1).run_iter(sample_pairs(), sink=sink)
+    next(iterator)
+    assert len(sink.lines) == 1  # first record flushed before the second runs
+    list(iterator)
+    assert len(sink.lines) == len(EXPECTED)
+    parsed = [json.loads(line) for line in sink.lines]
+    assert [p["id"] for p in parsed] == list(EXPECTED)
+
+
+def test_records_carry_reason_codes():
+    records = BatchVerifier(workers=1).run(sample_pairs())
+    by_id = {r.pair_id: r for r in records}
+    assert by_id["eq-commute"].reason_code == "isomorphic-canonical-forms"
+    assert by_id["not-equal"].reason_code == "no-isomorphism"
+    for record in records:
+        assert record.reason_code  # never empty
+        assert json.loads(json.dumps(record.to_json()))["reason_code"] == (
+            record.reason_code
+        )
+
+
+def test_pipeline_override_adds_refutation():
+    from repro.session import PipelineConfig
+
+    verifier = BatchVerifier(
+        workers=1,
+        pipeline=PipelineConfig(
+            tactics=("udp-prove", "model-check"), collect_trace=False
+        ),
+    )
+    records = verifier.run(sample_pairs())
+    by_id = {r.pair_id: r.reason_code for r in records}
+    assert by_id["not-equal"] == "counterexample-found"
+    # Verdicts are unchanged by the extra tactic.
+    assert {r.pair_id: r.verdict for r in records} == EXPECTED
 
 
 # -- input adapters -----------------------------------------------------------

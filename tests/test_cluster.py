@@ -82,8 +82,12 @@ def test_mixed_groups_compare_once_per_group(solver):
     assert sorted(len(g) for g in groups) == [2, 2]
     # Every (query, group) pair decided at most once.
     assert stats.max_decisions_per_query_group() == 1
-    # Query 3 matches group 0 (short-circuit), query 4 tries group 0 then 1.
-    assert stats.decisions == [(1, 0), (2, 0), (3, 0), (3, 1)]
+    # Query 2 is decided against group 0 and splits off.  Queries 3 and 4
+    # compile to denotations structurally identical to queries 1 and 2
+    # (the compiler normalizes predicate orientation), so the fingerprint
+    # buckets place them in O(1) with no decision at all.
+    assert stats.decisions == [(1, 0)]
+    assert stats.bucket_hits == 2
 
 
 def test_unsupported_queries_never_decided(solver):
@@ -96,6 +100,34 @@ def test_unsupported_queries_never_decided(solver):
     assert stats.unsupported == 1
     # The unsupported singleton is never a comparison target or subject.
     assert stats.decisions == []
+
+
+def test_exact_duplicates_hit_fingerprint_bucket(solver):
+    """Re-submitted queries join their group in O(1), zero decisions."""
+    stats = ClusterStats()
+    queries = [
+        "SELECT * FROM r x WHERE x.a = 1",
+        "SELECT * FROM r x WHERE x.a = 2",   # one decision: splits off
+        "SELECT * FROM r x WHERE x.a = 1",   # exact duplicate of query 0
+        "SELECT * FROM r x WHERE x.a = 2",   # exact duplicate of query 1
+        "SELECT * FROM r x WHERE x.a = 1",
+    ]
+    groups = cluster_queries(solver, queries, stats=stats)
+    assert sorted(len(g) for g in groups) == [2, 3]
+    assert stats.bucket_hits == 3
+    assert stats.decisions == [(1, 0)]
+
+
+def test_session_frontend_clusters_like_solver(solver):
+    from repro import Session
+
+    from tests.conftest import RS_PROGRAM as _RS
+
+    session = Session.from_program_text(_RS)
+    for frontend in (solver, session):
+        stats = ClusterStats()
+        groups = cluster_queries(frontend, EQUIVALENT_TRIO, stats=stats)
+        assert len(groups) == 1 and len(groups[0]) == 3
 
 
 def test_clustering_hits_memoization_caches(solver):

@@ -107,3 +107,45 @@ def test_cli_empty_program(tmp_path, capsys):
     path = write_program(tmp_path, RS_PROGRAM)
     assert main([path]) == 0
     assert "no verify goals" in capsys.readouterr().out
+
+
+# -- session-mode flags (--pipeline / --json) ---------------------------------
+
+
+def test_cli_json_emits_structured_records(tmp_path, capsys):
+    import json
+
+    path = write_program(
+        tmp_path,
+        RS_PROGRAM
+        + "verify SELECT * FROM r x == SELECT * FROM r y;\n"
+        + "verify SELECT * FROM r x == SELECT * FROM s y;\n",
+    )
+    assert main([path, "--json"]) == 1  # second goal not proved
+    lines = capsys.readouterr().out.strip().splitlines()
+    records = [json.loads(line) for line in lines]
+    assert [r["id"] for r in records] == ["goal-1", "goal-2"]
+    assert [r["verdict"] for r in records] == ["proved", "not_proved"]
+    assert records[0]["reason_code"] == "isomorphic-canonical-forms"
+    assert records[0]["tactic"] == "udp-prove"
+
+
+def test_cli_pipeline_flag_enables_refutation(tmp_path, capsys):
+    path = write_program(
+        tmp_path,
+        RS_PROGRAM
+        + "verify SELECT * FROM r x WHERE x.a = 1 "
+        "== SELECT * FROM r x WHERE x.a = 2;",
+    )
+    assert main([path, "--pipeline", "udp-prove,model-check"]) == 1
+    out = capsys.readouterr().out
+    assert "counterexample-found" in out
+    assert "counterexample database" in out
+
+
+def test_cli_rejects_unknown_pipeline(tmp_path, capsys):
+    path = write_program(
+        tmp_path, RS_PROGRAM + "verify SELECT * FROM r x == SELECT * FROM r y;"
+    )
+    assert main([path, "--pipeline", "bogus-tactic"]) == 2
+    assert "unknown tactic" in capsys.readouterr().err
