@@ -1,10 +1,23 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-gate batch-corpus
+.PHONY: test test-server test-differential bench bench-smoke bench-gate batch-corpus serve
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Server end-to-end suite: boots the HTTP service on an ephemeral port.
+test-server:
+	$(PYTHON) -m pytest -x -q tests/test_server.py
+
+## Differential corpus check: Solver / Session / BatchVerifier / HTTP must
+## be verdict- and reason-code-identical on all 91 corpus rules.
+test-differential:
+	$(PYTHON) -m pytest -x -q tests/test_differential.py
+
+## Run the long-lived verification service locally.
+serve:
+	$(PYTHON) -m repro.frontend.cli serve --port 8642
 
 ## Full benchmark sweep (pytest-benchmark figures + corpus-pass timing).
 bench:

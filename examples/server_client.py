@@ -1,0 +1,104 @@
+"""Server mode: drive the HTTP verification service over the wire.
+
+Boots a :class:`repro.server.VerificationServer` on an ephemeral port in
+a background thread (exactly what ``udp-prove serve`` runs), then talks
+to it with plain ``urllib`` — single verifies, a per-request pipeline
+override, a streamed JSONL batch with a deliberately malformed line, and
+the ``/stats`` counters.  Against an already-running server
+(``udp-prove serve --port 8642``), the same requests work as curl::
+
+    curl -s localhost:8642/healthz
+    curl -s -d '{"left": "SELECT * FROM r t", "right": "SELECT DISTINCT * FROM r t"}' \
+         localhost:8642/verify
+    curl -s --data-binary @pairs.jsonl localhost:8642/verify/batch
+
+Run:  python examples/server_client.py
+"""
+
+import json
+import urllib.request
+
+from repro import Session
+from repro.server import VerificationServer
+
+DDL = """
+schema emp_s(empno:int, ename:string, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+key emp(empno);
+key dept(deptno);
+foreign key emp(deptno) references dept(deptno);
+"""
+
+
+def post(url: str, payload: bytes) -> str:
+    request = urllib.request.Request(
+        url, data=payload, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.read().decode("utf-8")
+
+
+def main() -> None:
+    session = Session.from_program_text(DDL)  # the server's warm catalog
+    with VerificationServer(session, port=0) as server:
+        print(f"server listening on {server.url}\n")
+
+        # -- one request, one structured result ---------------------------
+        record = json.loads(post(server.url + "/verify", json.dumps({
+            "id": "join-elim",
+            "left": "SELECT e.empno AS empno FROM emp e, dept d "
+                    "WHERE e.deptno = d.deptno",
+            "right": "SELECT e.empno AS empno FROM emp e",
+        }).encode("utf-8")))
+        print(f"POST /verify        -> {record['verdict']} "
+              f"[{record['reason_code']}] via {record['tactic']}")
+
+        # -- per-request pipeline override: add refutation ----------------
+        record = json.loads(post(server.url + "/verify", json.dumps({
+            "id": "self-join",
+            "left": "SELECT e.sal AS sal FROM emp e, emp f",
+            "right": "SELECT e.sal AS sal FROM emp e",
+            "pipeline": "udp-prove,model-check",
+        }).encode("utf-8")))
+        print(f"POST /verify        -> {record['verdict']} "
+              f"[{record['reason_code']}] via {record['tactic']}")
+        if record["counterexample"]:
+            print("  counterexample:", record["counterexample"].splitlines()[0])
+
+        # -- a streamed batch: JSONL in, JSONL out, errors isolated -------
+        lines = "\n".join([
+            json.dumps({"id": "distinct-free",
+                        "left": "SELECT * FROM emp e",
+                        "right": "SELECT DISTINCT * FROM emp e"}),
+            "this line is not JSON",
+            json.dumps({"id": "filter-merge",
+                        "left": "SELECT * FROM (SELECT * FROM emp e "
+                                "WHERE e.sal > 100) t WHERE t.deptno = 10",
+                        "right": "SELECT * FROM emp e "
+                                 "WHERE e.sal > 100 AND e.deptno = 10"}),
+        ]) + "\n"
+        print("\nPOST /verify/batch  (3 lines, one malformed):")
+        for line in post(
+            server.url + "/verify/batch", lines.encode("utf-8")
+        ).splitlines():
+            record = json.loads(line)
+            if "error" in record:
+                print(f"  line {record['error']['line']}: "
+                      f"{record['error']['code']}")
+            else:
+                print(f"  {record['id']}: {record['verdict']} "
+                      f"[{record['reason_code']}]")
+
+        # -- the service knows how warm it is -----------------------------
+        with urllib.request.urlopen(server.url + "/stats", timeout=10) as r:
+            stats = json.loads(r.read())
+        print(f"\nGET /stats          -> {stats['results']} results, "
+              f"verdicts {stats['verdicts']}, "
+              f"{stats['bad_requests']} bad request(s), "
+              f"uptime {stats['uptime_seconds']}s")
+
+
+if __name__ == "__main__":
+    main()

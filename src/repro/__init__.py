@@ -67,7 +67,10 @@ Public surface:
 * :mod:`repro.service` — the batch-verification subsystem
   (:class:`~repro.service.batch.BatchVerifier`: multiprocessing fan-out,
   per-pair timeouts, streaming JSONL sinks) over ``Session`` and the
-  hash-consing/memoization layer of :mod:`repro.hashcons`.
+  hash-consing/memoization layer of :mod:`repro.hashcons`;
+* :mod:`repro.server` — the long-lived HTTP verification service
+  (``udp-prove serve``: ``POST /verify``, streamed ``POST /verify/batch``,
+  ``GET /healthz``/``/stats``) over one warm session, stdlib-only.
 """
 
 from repro.errors import (

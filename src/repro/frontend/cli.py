@@ -1,4 +1,4 @@
-"""Command-line interface: ``udp-prove program.cos`` and ``udp-prove batch``.
+"""Command-line interface: ``udp-prove program.cos``, ``batch``, ``serve``.
 
 An input file contains declarations and ``verify q1 == q2;`` goals (the
 Fig. 2 statement language).  Exit status is 0 when every goal is proved,
@@ -23,6 +23,15 @@ Input JSONL lines look like ``{"id": ..., "left": ..., "right": ...,
 "program": "schema ...;"}``; results are emitted one JSON object per
 line in deterministic input order.  Batch exit status is 0 unless a pair
 *errored* (``not_proved`` is a normal bulk outcome, not a failure).
+
+The ``serve`` subcommand boots the long-lived HTTP verification service
+(:mod:`repro.server`) on one warm session::
+
+    udp-prove serve --port 8642 --pipeline udp-prove,model-check
+    udp-prove serve --program schema.cos     # preload a catalog
+
+It answers ``POST /verify``, ``POST /verify/batch`` (streamed JSONL),
+``GET /healthz``, and ``GET /stats`` until interrupted.
 """
 
 from __future__ import annotations
@@ -134,6 +143,122 @@ def build_batch_parser() -> argparse.ArgumentParser:
         help="ignore key/foreign-key constraints (ablation)",
     )
     return parser
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    from repro.server import DEFAULT_HOST, DEFAULT_PORT
+    from repro.session import DEFAULT_WINDOW
+
+    parser = argparse.ArgumentParser(
+        prog="udp-prove serve",
+        description=(
+            "Run the long-lived HTTP verification service (POST /verify, "
+            "POST /verify/batch, GET /healthz, GET /stats)."
+        ),
+    )
+    parser.add_argument(
+        "--host", default=DEFAULT_HOST,
+        help=f"bind address (default {DEFAULT_HOST})",
+    )
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"bind port; 0 picks an ephemeral one (default {DEFAULT_PORT})",
+    )
+    parser.add_argument(
+        "--program",
+        help="preload this declaration file as the server's catalog",
+    )
+    parser.add_argument(
+        "--pipeline",
+        help=(
+            "comma-separated tactic order for the decision pipeline "
+            f"(available: {', '.join(available_tactics())}; "
+            "default: udp-prove, cq-minimize, model-check)"
+        ),
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request decision budget in seconds (default 30)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=DEFAULT_WINDOW,
+        help=(
+            "bounded in-flight window for /verify/batch streaming "
+            f"(default {DEFAULT_WINDOW})"
+        ),
+    )
+    parser.add_argument(
+        "--no-constraints", action="store_true",
+        help="ignore key/foreign-key constraints (ablation)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-request access logging",
+    )
+    return parser
+
+
+def run_serve(argv: List[str]) -> int:
+    from repro.server import VerificationServer
+
+    args = build_serve_parser().parse_args(argv)
+    try:
+        tactics = (
+            tuple(parse_pipeline_spec(args.pipeline))
+            if args.pipeline
+            else PipelineConfig().tactics
+        )
+        pipeline = PipelineConfig(
+            tactics=tactics,
+            timeout_seconds=args.timeout,
+            use_constraints=not args.no_constraints,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.program:
+        try:
+            with open(args.program, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            print(
+                f"error: cannot read {args.program}: {error}", file=sys.stderr
+            )
+            return 2
+        try:
+            session = Session.from_program_text(text, pipeline)
+        except ReproError as error:
+            print(
+                f"error: {type(error).__name__}: {error}", file=sys.stderr
+            )
+            return 2
+    else:
+        session = Session(config=pipeline)
+    try:
+        server = VerificationServer(
+            session,
+            host=args.host,
+            port=args.port,
+            window=args.window,
+            quiet=args.quiet,
+        )
+    except OSError as error:
+        print(
+            f"error: cannot bind {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"udp-prove serve: listening on {server.url} "
+        f"(pipeline: {', '.join(pipeline.tactics)})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("udp-prove serve: interrupted, shutting down", file=sys.stderr)
+    return 0
 
 
 def _pipeline_config(
@@ -259,6 +384,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "batch":
         return run_batch(argv[1:])
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:])
     args = build_arg_parser().parse_args(argv)
     with open(args.program, "r", encoding="utf-8") as handle:
         text = handle.read()

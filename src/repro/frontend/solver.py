@@ -21,7 +21,7 @@ from repro.sql.parser import parse_program
 from repro.sql.program import Catalog
 from repro.session import PipelineConfig, Session, VerifyResult
 from repro.udp.decide import DecisionOptions
-from repro.udp.trace import ProofTrace, Verdict
+from repro.udp.trace import ProofTrace, ReasonCode, Verdict
 from repro.usr.terms import QueryDenotation
 
 
@@ -31,12 +31,16 @@ class VerificationOutcome:
 
     :class:`~repro.session.VerifyResult` is the structured superset; this
     dataclass keeps the historical fields for existing callers.
+    ``reason_code`` carries the session's machine-readable code so the
+    shim stays comparable against the structured entry points (the
+    differential suite asserts code identity across all of them).
     """
 
     verdict: Verdict
     reason: str = ""
     elapsed_seconds: float = 0.0
     trace: Optional[ProofTrace] = None
+    reason_code: Optional[ReasonCode] = None
 
     @property
     def proved(self) -> bool:
@@ -48,7 +52,11 @@ class VerificationOutcome:
     @classmethod
     def from_result(cls, result: VerifyResult) -> "VerificationOutcome":
         return cls(
-            result.verdict, result.reason, result.elapsed_seconds, result.trace
+            result.verdict,
+            result.reason,
+            result.elapsed_seconds,
+            result.trace,
+            result.reason_code,
         )
 
 

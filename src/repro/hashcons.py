@@ -43,7 +43,7 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from dataclasses import fields as _dataclass_fields, is_dataclass
-from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 # ---------------------------------------------------------------------------
 # Cached structural hashing
@@ -295,6 +295,10 @@ class LRUCache:
 
     def __len__(self) -> int:
         return len(self._data)
+
+    def values(self) -> List[Any]:
+        """The cached values, least- to most-recently used."""
+        return list(self._data.values())
 
     def stats(self) -> Dict[str, int]:
         return {

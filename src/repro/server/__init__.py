@@ -1,0 +1,47 @@
+"""repro.server — the long-lived HTTP verification service.
+
+The batch subsystem (:mod:`repro.service`) answers "decide this corpus
+once"; this package answers "keep deciding, indefinitely": a
+stdlib-only threaded HTTP server that owns one warm
+:class:`~repro.session.Session` — hot compile caches, program-text
+sub-sessions, and the normalize/canonize memo layers — and exposes the
+structured request/result wire format over four routes:
+
+========================  ===================================================
+``POST /verify``          one JSON :class:`~repro.session.VerifyRequest`
+``POST /verify/batch``    JSONL in → JSONL out, streamed in input order
+``GET /healthz``          liveness + uptime
+``GET /stats``            verdict/reason-code counters, cache occupancy
+========================  ===================================================
+
+Start it from the CLI (``udp-prove serve --port 8642``), or embed it::
+
+    from repro.server import VerificationServer
+
+    with VerificationServer(port=0) as server:   # ephemeral port
+        ...  # POST to server.url
+
+Errors are always structured records, never traceback bodies; see
+:mod:`repro.server.http` for the wire schema, the error-isolation
+guarantees, and the thread-safety contract of the shared session.
+"""
+
+from repro.server.http import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    MAX_LINE_BYTES,
+    MAX_REQUEST_BYTES,
+    VerificationServer,
+    error_record,
+)
+from repro.server.stats import ServerStats
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "MAX_LINE_BYTES",
+    "MAX_REQUEST_BYTES",
+    "ServerStats",
+    "VerificationServer",
+    "error_record",
+]

@@ -1,0 +1,545 @@
+"""The long-lived verification server: HTTP over a warm :class:`Session`.
+
+A stdlib-only front end (``http.server`` threading, no third-party
+dependencies) that turns the library into a deployable network service::
+
+    udp-prove serve --port 8642 --pipeline udp-prove,model-check
+
+Routes
+------
+
+``POST /verify``
+    One :class:`~repro.session.VerifyRequest` as a JSON object
+    (``{"left", "right", "program"?, "id"?, "timeout_seconds"?,
+    "pipeline"?}``); responds with the
+    :class:`~repro.session.VerifyResult` JSON record.  ``pipeline`` is a
+    per-request override: a comma-separated tactic spec applied on top of
+    the server's configuration.
+
+``POST /verify/batch``
+    JSON lines in (one request object per line), JSON lines out — each
+    input line answered by a result record *in input order*, streamed
+    through :meth:`~repro.session.Session.verify_many`'s bounded
+    in-flight window and flushed per record, so arbitrarily long batches
+    run in constant memory on both ends.  ``?pipeline=`` and ``?window=``
+    query parameters override per batch.
+
+``GET /healthz`` / ``GET /stats``
+    Liveness, and the full counter snapshot (verdicts and reason codes,
+    memo-cache hit/miss from :func:`repro.cache_stats`, compile-cache
+    occupancy, uptime).
+
+Error isolation
+---------------
+
+A malformed request never takes the server down and never produces a
+bare traceback body: envelope problems (invalid JSON, missing fields,
+unknown tactics) come back as HTTP 400 with a structured
+``{"error": {"code", "reason", ...}}`` record; a malformed *line* inside
+a batch becomes an in-stream error record while its siblings proceed;
+verification-level failures are already structured
+``unsupported``/``error`` verdicts (the session's never-raises
+contract); anything unexpected is a structured ``internal-error``
+record, counted in ``/stats``.
+
+Thread-safety contract
+----------------------
+
+Each connection is served on its own thread, but all of them share one
+:class:`~repro.session.Session` (per catalog, plus its program-text
+sub-sessions) whose caches are plain LRU dicts — so the server
+serializes pipeline execution behind a single lock.  Concurrent clients
+overlap on I/O and get consistent caches; they do not get parallel
+proving.  Run one process per core (e.g. behind any HTTP load balancer)
+for CPU parallelism — sessions share nothing across processes, and the
+run-stable fingerprints keep their verdicts identical.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import uuid
+from dataclasses import replace
+from http import HTTPStatus
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Iterable, Iterator, Mapping, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro import __version__
+from repro.server.stats import ServerStats
+from repro.session import (
+    DEFAULT_WINDOW,
+    PipelineConfig,
+    Session,
+    VerifyRequest,
+    VerifyResult,
+    parse_pipeline_spec,
+)
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+#: Upper bound on a single ``POST /verify`` body.
+MAX_REQUEST_BYTES = 16 * 1024 * 1024
+#: Upper bound on one batch line before it is force-split (and fails JSON
+#: parsing as a structured bad-line record instead of exhausting memory).
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: Reserved request-id prefix marking a malformed batch line's placeholder.
+#: The NUL byte keeps it out of any sane client's id space; each batch adds
+#: a random nonce on top (see ``_verify_stream``) so even a hostile id
+#: cannot collide with a placeholder and swap records.
+_BAD_LINE_PREFIX = "\x00bad-line:"
+
+
+def error_record(code: str, reason: str, **fields: object) -> Dict[str, object]:
+    """The structured error envelope every non-result answer uses."""
+    record: Dict[str, object] = {"code": code, "reason": reason}
+    record.update(fields)
+    return {"error": record}
+
+
+class VerificationServer:
+    """One warm session behind a threaded stdlib HTTP server.
+
+    Construct with an existing :class:`~repro.session.Session` (to
+    preload a catalog) or a :class:`~repro.session.PipelineConfig` (a
+    fresh session is created), then either :meth:`serve_forever` on the
+    calling thread (the CLI) or :meth:`start`/:meth:`close` a background
+    thread (tests, embedding).  ``port=0`` binds an ephemeral port;
+    :attr:`url` reports the bound address either way.
+    """
+
+    def __init__(
+        self,
+        session: Optional[Session] = None,
+        *,
+        pipeline: Optional[PipelineConfig] = None,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        window: int = DEFAULT_WINDOW,
+        quiet: bool = True,
+    ) -> None:
+        if session is not None and pipeline is not None:
+            raise ValueError(
+                "pass either a session or a pipeline config, not both — "
+                "the pipeline is the session's config"
+            )
+        self.session = session or Session(config=pipeline)
+        self.window = max(1, int(window))
+        self.quiet = quiet
+        self.stats = ServerStats()
+        self._lock = threading.RLock()
+        self._configs: Dict[str, PipelineConfig] = {}
+        self._httpd = _ThreadingServer((host, port), _Handler)
+        self._httpd.owner = self
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._httpd.server_close()
+
+    def start(self) -> "VerificationServer":
+        """Serve on a daemon thread; pair with :meth:`close`."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"udp-prove-serve:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            self._httpd.shutdown()
+            self._thread.join(timeout=10)
+        self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "VerificationServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- request handling (transport-independent) --------------------------
+
+    def health(self) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "uptime_seconds": round(self.stats.uptime_seconds, 3),
+            "version": __version__,
+        }
+
+    def config_for(self, spec: Optional[str]) -> PipelineConfig:
+        """The effective pipeline: the session's, overridden by ``spec``.
+
+        Raises ``ValueError`` on a malformed spec or unknown tactic —
+        callers turn that into a structured 400.  Parsed overrides are
+        cached so request streams pay the validation once per spec.
+        """
+        if spec is None or spec == "":
+            return self.session.config
+        if not isinstance(spec, str):
+            raise ValueError(
+                "'pipeline' must be a comma-separated string of tactic names"
+            )
+        config = self._configs.get(spec)
+        if config is None:
+            config = replace(
+                self.session.config, tactics=tuple(parse_pipeline_spec(spec))
+            )
+            if len(self._configs) < 64:
+                self._configs[spec] = config
+        return config
+
+    def verify_one(self, obj: Mapping[str, object]) -> VerifyResult:
+        """Decide one ``POST /verify`` payload (already JSON-decoded).
+
+        Envelope errors raise ``ValueError`` (→ 400); everything past the
+        envelope is the session's never-raises contract, so the result —
+        including ``unsupported`` and ``error`` verdicts — is a normal
+        200 record.
+        """
+        for key in ("left", "right"):
+            if key not in obj:
+                raise ValueError(f"missing required field {key!r}")
+        request = VerifyRequest.from_json(obj)
+        config = self.config_for(obj.get("pipeline"))  # type: ignore[arg-type]
+        with self._lock:
+            result = self.session.verify(request, config=config)
+        self.stats.record_result(result)
+        return result
+
+    def verify_stream(
+        self,
+        lines: Iterable[str],
+        *,
+        pipeline: Optional[str] = None,
+        window: Optional[int] = None,
+    ) -> Iterator[Dict[str, object]]:
+        """Decide a JSONL batch: one output record per input line, in order.
+
+        Good lines flow through :meth:`Session.verify_many`'s bounded
+        window; a malformed line is swapped for a cheap placeholder
+        request (reserved nonce-carrying id, fails the front end
+        immediately) whose result is rewritten into a structured
+        bad-line error record on the way out — ordering stays exact and
+        sibling lines are untouched.  Placeholders do traverse the
+        session, so ``/stats``'s *session-level* request count includes
+        malformed lines while the server-level result counters do not.
+        The session lock is taken per result, not for the whole batch,
+        so single verifies interleave with long batches.
+        """
+        # Validate eagerly (this wrapper is not a generator) so a bad
+        # pipeline spec raises before the caller commits to a 200 stream.
+        config = self.config_for(pipeline)
+        window = self.window if window is None else max(1, int(window))
+        return self._verify_stream(lines, config, window)
+
+    def _verify_stream(
+        self, lines: Iterable[str], config: PipelineConfig, window: int
+    ) -> Iterator[Dict[str, object]]:
+        bad: Dict[str, Dict[str, object]] = {}
+        # Per-batch nonce: a client id can contain the NUL prefix, but it
+        # cannot guess this, so placeholders never collide with real ids.
+        marker_prefix = f"{_BAD_LINE_PREFIX}{uuid.uuid4().hex}:"
+
+        def requests() -> Iterator[VerifyRequest]:
+            for lineno, raw in enumerate(lines, start=1):
+                text = raw.strip()
+                if not text:
+                    continue
+                try:
+                    obj = json.loads(text)
+                    if not isinstance(obj, dict):
+                        raise ValueError("each line must be a JSON object")
+                    for key in ("left", "right"):
+                        if key not in obj:
+                            raise ValueError(f"missing required field {key!r}")
+                    yield VerifyRequest.from_json(obj)
+                except (KeyError, TypeError, ValueError) as err:
+                    marker = f"{marker_prefix}{lineno}"
+                    bad[marker] = error_record(
+                        "bad-request", str(err), line=lineno
+                    )
+                    yield VerifyRequest(left="", right="", request_id=marker)
+
+        iterator = self.session.verify_many(
+            requests(), window=window, config=config
+        )
+        while True:
+            with self._lock:
+                try:
+                    result = next(iterator)
+                except StopIteration:
+                    break
+            record = (
+                bad.pop(result.request_id, None)
+                if result.request_id.startswith(marker_prefix)
+                else None
+            )
+            if record is not None:
+                self.stats.record_bad_request()
+                yield record
+            else:
+                self.stats.record_result(result)
+                yield result.to_json()
+
+
+class _ThreadingServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    owner: VerificationServer
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = f"udp-prove/{__version__}"
+    #: Per-socket-operation timeout: a client that stalls mid-headers or
+    #: mid-body gets disconnected instead of pinning a handler thread
+    #: forever in the long-lived service.
+    timeout = 60.0
+    server: _ThreadingServer
+
+    # -- logging -----------------------------------------------------------
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        if self.server.owner.quiet:
+            return
+        super().log_message(format, *args)
+
+    # -- routing -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        owner = self.server.owner
+        path = urlsplit(self.path).path
+        try:
+            if path == "/healthz":
+                owner.stats.record_endpoint("healthz")
+                self._send_json(HTTPStatus.OK, owner.health())
+            elif path == "/stats":
+                owner.stats.record_endpoint("stats")
+                self._send_json(
+                    HTTPStatus.OK, owner.stats.snapshot(owner.session)
+                )
+            elif path in ("/verify", "/verify/batch"):
+                self._send_error(
+                    HTTPStatus.METHOD_NOT_ALLOWED,
+                    "method-not-allowed",
+                    f"{path} requires POST",
+                )
+            else:
+                self._send_error(
+                    HTTPStatus.NOT_FOUND, "not-found", f"no route for {path}"
+                )
+        except Exception as err:  # noqa: BLE001 - no traceback bodies
+            self._internal_error(err)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlsplit(self.path)
+        try:
+            if parsed.path == "/verify":
+                self._post_verify()
+            elif parsed.path == "/verify/batch":
+                self._post_batch(parse_qs(parsed.query))
+            else:
+                self._send_error(
+                    HTTPStatus.NOT_FOUND,
+                    "not-found",
+                    f"no route for {parsed.path}",
+                )
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+        except Exception as err:  # noqa: BLE001 - no traceback bodies
+            self._internal_error(err)
+
+    def _method_not_allowed(self) -> None:
+        self._send_error(
+            HTTPStatus.METHOD_NOT_ALLOWED,
+            "method-not-allowed",
+            f"{self.command} is not supported",
+        )
+
+    do_PUT = do_DELETE = do_PATCH = _method_not_allowed  # noqa: N815
+
+    # -- endpoints ---------------------------------------------------------
+
+    def _post_verify(self) -> None:
+        owner = self.server.owner
+        owner.stats.record_endpoint("verify")
+        body = self._read_body(MAX_REQUEST_BYTES)
+        if body is None:
+            return
+        try:
+            obj = json.loads(body)
+            if not isinstance(obj, dict):
+                raise ValueError("request body must be a JSON object")
+        except ValueError as err:
+            self._bad_request(f"invalid JSON body: {err}")
+            return
+        try:
+            result = owner.verify_one(obj)
+        except (KeyError, TypeError, ValueError) as err:
+            self._bad_request(str(err))
+            return
+        self._send_json(HTTPStatus.OK, result.to_json())
+
+    def _post_batch(self, query: Dict[str, list]) -> None:
+        owner = self.server.owner
+        owner.stats.record_endpoint("verify_batch")
+        length = self._content_length()
+        if length is None:
+            return
+        try:
+            spec = (query.get("pipeline") or [None])[0]
+            window = (query.get("window") or [None])[0]
+            stream = owner.verify_stream(
+                self._iter_body_lines(length),
+                pipeline=spec,
+                window=int(window) if window is not None else None,
+            )
+        except ValueError as err:
+            self._bad_request(str(err))
+            return
+        self.send_response(HTTPStatus.OK)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        try:
+            for record in stream:
+                self.wfile.write(
+                    json.dumps(record, sort_keys=True).encode("utf-8") + b"\n"
+                )
+                self.wfile.flush()  # each record leaves as it is decided
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream; nothing to answer
+        except Exception as err:  # noqa: BLE001 - headers already sent
+            owner.stats.record_internal_error()
+            line = error_record(
+                "internal-error", f"{type(err).__name__}: {err}"
+            )
+            try:
+                self.wfile.write(
+                    json.dumps(line, sort_keys=True).encode("utf-8") + b"\n"
+                )
+            except OSError:
+                pass
+
+    # -- body reading ------------------------------------------------------
+
+    def _content_length(self) -> Optional[int]:
+        raw = self.headers.get("Content-Length")
+        if raw is None:
+            self._bad_request(
+                "missing Content-Length (chunked bodies are not supported)"
+            )
+            return None
+        try:
+            length = int(raw)
+            if length < 0:
+                raise ValueError(raw)
+        except ValueError:
+            self._bad_request(f"invalid Content-Length {raw!r}")
+            return None
+        return length
+
+    def _read_body(self, limit: int) -> Optional[bytes]:
+        length = self._content_length()
+        if length is None:
+            return None
+        if length > limit:
+            self._send_error(
+                HTTPStatus.REQUEST_ENTITY_TOO_LARGE,
+                "payload-too-large",
+                f"body of {length} bytes exceeds the {limit}-byte limit",
+            )
+            return None
+        return self.rfile.read(length)
+
+    def _iter_body_lines(self, remaining: int) -> Iterator[str]:
+        """Stream the request body line by line, bounded by Content-Length.
+
+        A line longer than :data:`MAX_LINE_BYTES` is truncated (the rest
+        is read and discarded up to its newline) rather than split, so it
+        still yields exactly one string — which fails JSON parsing into
+        one bad-line record — and line numbering stays aligned with the
+        client's input.
+        """
+        buffer = b""
+        overflowing = False
+        while remaining > 0:
+            chunk = self.rfile.readline(min(remaining, MAX_LINE_BYTES))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+            ended = chunk.endswith(b"\n")
+            if not overflowing:
+                buffer += chunk
+                if len(buffer) > MAX_LINE_BYTES:
+                    buffer = buffer[:MAX_LINE_BYTES]
+                    overflowing = not ended
+            if ended:
+                yield buffer.decode("utf-8", "replace")
+                buffer = b""
+                overflowing = False
+        if buffer:
+            yield buffer.decode("utf-8", "replace")
+
+    # -- responses ---------------------------------------------------------
+
+    def _send_json(self, status: HTTPStatus, payload: Mapping[str, object]) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(int(status))
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: HTTPStatus, code: str, reason: str) -> None:
+        self._send_json(status, error_record(code, reason))
+
+    def _bad_request(self, reason: str) -> None:
+        self.server.owner.stats.record_bad_request()
+        self._send_error(HTTPStatus.BAD_REQUEST, "bad-request", reason)
+
+    def _internal_error(self, err: Exception) -> None:
+        self.server.owner.stats.record_internal_error()
+        try:
+            self._send_error(
+                HTTPStatus.INTERNAL_SERVER_ERROR,
+                "internal-error",
+                f"{type(err).__name__}: {err}",
+            )
+        except OSError:
+            self.close_connection = True
+
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "MAX_LINE_BYTES",
+    "MAX_REQUEST_BYTES",
+    "VerificationServer",
+    "error_record",
+]

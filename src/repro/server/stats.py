@@ -1,0 +1,87 @@
+"""Server-side statistics: thread-safe counters behind ``GET /stats``.
+
+The HTTP front end serves each request on its own thread
+(:class:`http.server.ThreadingHTTPServer`), so every counter here must
+tolerate concurrent increments.  Verdict and reason-code tallies reuse
+:class:`~repro.udp.trace.ReasonTally`; endpoint and error counts keep
+their own lock.  A snapshot combines the server-level counters with the
+process-wide memo caches (:func:`repro.cache_stats`) and the owning
+session's compile-cache occupancy (:meth:`repro.session.Session.cache_info`),
+so one ``GET /stats`` answers "how warm is this service" end to end.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.hashcons import cache_stats
+from repro.session import Session, VerifyResult
+from repro.udp.trace import ReasonTally
+
+
+class ServerStats:
+    """Aggregate counters of one server's lifetime."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started_monotonic = time.monotonic()
+        self._started_unix = time.time()
+        self.tally = ReasonTally()
+        self._endpoints: Dict[str, int] = {}
+        self._bad_requests = 0
+        self._internal_errors = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record_endpoint(self, name: str) -> None:
+        with self._lock:
+            self._endpoints[name] = self._endpoints.get(name, 0) + 1
+
+    def record_result(self, result: VerifyResult) -> None:
+        self.tally.record(result.verdict, result.reason_code)
+
+    def record_bad_request(self) -> None:
+        with self._lock:
+            self._bad_requests += 1
+
+    def record_internal_error(self) -> None:
+        with self._lock:
+            self._internal_errors += 1
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
+    def snapshot(self, session: Optional[Session] = None) -> Dict[str, object]:
+        """The ``GET /stats`` payload (plain JSON-serializable dicts)."""
+        with self._lock:
+            endpoints = dict(sorted(self._endpoints.items()))
+            bad_requests = self._bad_requests
+            internal_errors = self._internal_errors
+        verdicts = self.tally.snapshot()
+        out: Dict[str, object] = {
+            "uptime_seconds": round(self.uptime_seconds, 3),
+            "started_unix": round(self._started_unix, 3),
+            "endpoints": endpoints,
+            "bad_requests": bad_requests,
+            "internal_errors": internal_errors,
+            # Derived from the one snapshot so 'results' always equals the
+            # sum of 'verdicts' even while other threads keep recording.
+            "results": sum(verdicts["verdicts"].values()),
+            "verdicts": verdicts["verdicts"],
+            "reason_codes": verdicts["reason_codes"],
+            "caches": cache_stats(),
+        }
+        if session is not None:
+            out["session"] = {
+                "requests": session.stats.requests,
+                **session.cache_info(),
+            }
+        return out
+
+
+__all__ = ["ServerStats"]

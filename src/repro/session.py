@@ -109,6 +109,24 @@ class VerifyRequest:
         )
 
 
+#: The JSON keys :meth:`VerifyResult.to_json` owns.  Anything else on an
+#: incoming record is a field from a newer writer; :meth:`VerifyResult.from_json`
+#: keeps those in ``extras`` so a round-trip through an older reader never
+#: drops them (forward compatibility).
+_RESULT_JSON_FIELDS = frozenset(
+    {
+        "id",
+        "verdict",
+        "reason_code",
+        "reason",
+        "tactic",
+        "tactics_tried",
+        "elapsed_seconds",
+        "counterexample",
+    }
+)
+
+
 @dataclass
 class VerifyResult:
     """The structured outcome of one request.
@@ -118,7 +136,10 @@ class VerifyResult:
     ``tactics_tried`` lists every tactic that executed, in order.  The
     JSON form (:meth:`to_json`) round-trips exactly through
     :meth:`from_json` — the axiom trace and counterexample are evidence
-    attachments, serialized as plain text.
+    attachments, serialized as plain text.  Unknown keys on an incoming
+    record are preserved in ``extras`` and re-emitted by :meth:`to_json`
+    (known fields always win), so records written by a future version
+    survive a round-trip through this one.
     """
 
     request_id: str
@@ -130,6 +151,7 @@ class VerifyResult:
     elapsed_seconds: float = 0.0
     counterexample: Optional[str] = None
     trace: Optional[ProofTrace] = None
+    extras: Dict[str, object] = field(default_factory=dict)
 
     @property
     def proved(self) -> bool:
@@ -142,16 +164,24 @@ class VerifyResult:
         return head
 
     def to_json(self) -> Dict[str, object]:
-        return {
-            "id": self.request_id,
-            "verdict": self.verdict.value,
-            "reason_code": self.reason_code.value,
-            "reason": self.reason,
-            "tactic": self.tactic,
-            "tactics_tried": list(self.tactics_tried),
-            "elapsed_seconds": round(self.elapsed_seconds, 6),
-            "counterexample": self.counterexample,
+        out: Dict[str, object] = {
+            key: value
+            for key, value in self.extras.items()
+            if key not in _RESULT_JSON_FIELDS
         }
+        out.update(
+            {
+                "id": self.request_id,
+                "verdict": self.verdict.value,
+                "reason_code": self.reason_code.value,
+                "reason": self.reason,
+                "tactic": self.tactic,
+                "tactics_tried": list(self.tactics_tried),
+                "elapsed_seconds": round(self.elapsed_seconds, 6),
+                "counterexample": self.counterexample,
+            }
+        )
+        return out
 
     @classmethod
     def from_json(cls, obj: Mapping[str, object]) -> "VerifyResult":
@@ -168,6 +198,11 @@ class VerifyResult:
                 if obj.get("counterexample") is not None
                 else None
             ),
+            extras={
+                key: value
+                for key, value in obj.items()
+                if key not in _RESULT_JSON_FIELDS
+            },
         )
 
 
@@ -444,12 +479,15 @@ class SessionStats:
 
     requests: int = 0
     verdicts: Dict[str, int] = field(default_factory=dict)
+    reason_codes: Dict[str, int] = field(default_factory=dict)
     concluded_by: Dict[str, int] = field(default_factory=dict)
 
     def record(self, result: VerifyResult) -> None:
         self.requests += 1
         key = result.verdict.value
         self.verdicts[key] = self.verdicts.get(key, 0) + 1
+        reason = result.reason_code.value
+        self.reason_codes[reason] = self.reason_codes.get(reason, 0) + 1
         tactic = result.tactic or "<frontend>"
         self.concluded_by[tactic] = self.concluded_by.get(tactic, 0) + 1
 
@@ -537,6 +575,32 @@ class Session:
             session = Session.from_program_text(program, self.config)
             cache.put(program, session)
         return session
+
+    def cache_info(self) -> Dict[str, object]:
+        """Occupancy of this session's caches (the server's ``/stats``).
+
+        ``compile_cache`` is the root catalog's denotation LRU;
+        ``programs`` counts cached program-text sub-sessions and
+        ``program_compile_entries`` sums their compiled denotations, so a
+        long-lived service can see how warm it actually is.
+        """
+        compile_cache: Optional[LRUCache] = self.__dict__.get("_compile_cache")
+        info: Dict[str, object] = {
+            "compile_cache": (
+                compile_cache.stats() if compile_cache is not None else {}
+            ),
+            "programs": 0,
+            "program_compile_entries": 0,
+        }
+        programs: Optional[LRUCache] = self.__dict__.get("_program_sessions")
+        if programs is not None:
+            info["programs"] = len(programs)
+            entries = 0
+            for sub in programs.values():
+                sub_cache = sub.__dict__.get("_compile_cache")
+                entries += len(sub_cache) if sub_cache is not None else 0
+            info["program_compile_entries"] = entries
+        return info
 
     # -- compilation -------------------------------------------------------
 

@@ -11,8 +11,9 @@ identities that rewrites one query's U-expression into the other's.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.usr.axioms import AXIOMS
 
@@ -72,6 +73,45 @@ class ReasonCode(enum.Enum):
     BUDGET_EXHAUSTED = "budget-exhausted"
     #: An unexpected exception escaped a tactic or the front end.
     INTERNAL_ERROR = "internal-error"
+
+
+class ReasonTally:
+    """Thread-safe verdict × reason-code counters.
+
+    Long-lived front ends (the HTTP server's ``/stats`` endpoint, result
+    sinks, dashboards) aggregate verdicts from many concurrent request
+    threads; a plain dict increment is not atomic under free threading,
+    so the tally guards its counters with a lock.  Keys in the snapshot
+    are the stable ``Verdict`` / ``ReasonCode`` string values — the same
+    compatibility surface as the JSON records.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._verdicts: Dict[str, int] = {}
+        self._reasons: Dict[str, int] = {}
+
+    def record(
+        self, verdict: Verdict, reason_code: Optional[ReasonCode] = None
+    ) -> None:
+        with self._lock:
+            key = verdict.value
+            self._verdicts[key] = self._verdicts.get(key, 0) + 1
+            if reason_code is not None:
+                reason = reason_code.value
+                self._reasons[reason] = self._reasons.get(reason, 0) + 1
+
+    def total(self) -> int:
+        with self._lock:
+            return sum(self._verdicts.values())
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """A point-in-time copy: ``{"verdicts": ..., "reason_codes": ...}``."""
+        with self._lock:
+            return {
+                "verdicts": dict(sorted(self._verdicts.items())),
+                "reason_codes": dict(sorted(self._reasons.items())),
+            }
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,148 @@
+"""Differential harness: four entry points, one truth.
+
+The repo now has four parallel ways to decide a query pair — the legacy
+``Solver.check`` shim, ``Session.verify``, ``BatchVerifier.run``, and
+the HTTP server — and nothing but discipline keeps them agreeing.  This
+suite makes the discipline executable: every entry point is driven over
+the full evaluation corpus (all 91 rules: literature, Calcite,
+extensions, and the ``corpus/bugs.py`` negative cases) under the same
+legacy pipeline, and the verdict *and* machine-readable ``reason_code``
+must be identical for every rule.  A drift in any one path fails with
+the rule id and the disagreeing records named.
+
+The shared baseline is the per-rule ``Solver`` result (its own catalog
+per rule, exactly how ``test_corpus.py`` established the Fig. 5
+expectations); the other three paths run program-routed sessions, so
+this also exercises sub-session catalog caching against fresh-catalog
+behavior.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro import BatchVerifier, PipelineConfig, Session, Solver
+from repro.corpus import all_rules, as_batch_pairs, as_verify_requests, rules_by_dataset
+from repro.corpus.rules import Expectation
+from repro.server import VerificationServer
+
+RULES = all_rules()
+RULE_IDS = [rule.rule_id for rule in RULES]
+
+
+def outcome_map_solver():
+    """rule_id -> (verdict, reason_code) via the legacy shim, fresh catalogs."""
+    out = {}
+    for rule in RULES:
+        solver = Solver.from_program_text(rule.program)
+        outcome = solver.check(rule.left, rule.right)
+        out[rule.rule_id] = (outcome.verdict.value, outcome.reason_code.value)
+    return out
+
+
+def outcome_map_session():
+    """rule_id -> (verdict, reason_code) via one Session, program routing."""
+    session = Session(config=PipelineConfig.legacy())
+    return {
+        result.request_id: (result.verdict.value, result.reason_code.value)
+        for result in session.verify_many(as_verify_requests())
+    }
+
+
+def outcome_map_batch():
+    """rule_id -> (verdict, reason_code) via the batch service (in-process)."""
+    records = BatchVerifier(workers=1).run(as_batch_pairs())
+    return {
+        record.pair_id: (record.verdict, record.reason_code)
+        for record in records
+    }
+
+
+def outcome_map_http():
+    """rule_id -> (verdict, reason_code) via one streamed HTTP batch."""
+    payload = "\n".join(
+        json.dumps(request.to_json()) for request in as_verify_requests()
+    ) + "\n"
+    with VerificationServer(pipeline=PipelineConfig.legacy()) as server:
+        http_request = urllib.request.Request(
+            server.url + "/verify/batch",
+            data=payload.encode("utf-8"),
+            headers={"Content-Type": "application/x-ndjson"},
+        )
+        with urllib.request.urlopen(http_request, timeout=300) as response:
+            assert response.status == 200
+            lines = response.read().decode("utf-8").splitlines()
+    records = [json.loads(line) for line in lines]
+    assert not any("error" in record for record in records)
+    return {
+        record["id"]: (record["verdict"], record["reason_code"])
+        for record in records
+    }
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return {
+        "solver": outcome_map_solver(),
+        "session": outcome_map_session(),
+        "batch": outcome_map_batch(),
+        "http": outcome_map_http(),
+    }
+
+
+def test_corpus_is_the_full_91_rules(outcomes):
+    assert len(RULES) == 91
+    for name, mapping in outcomes.items():
+        assert sorted(mapping) == sorted(RULE_IDS), f"{name} missed rules"
+
+
+@pytest.mark.parametrize("path", ["session", "batch", "http"])
+def test_entry_point_matches_solver_verdict_and_reason_code(outcomes, path):
+    baseline, candidate = outcomes["solver"], outcomes[path]
+    drift = {
+        rule_id: (baseline[rule_id], candidate[rule_id])
+        for rule_id in RULE_IDS
+        if candidate[rule_id] != baseline[rule_id]
+    }
+    assert not drift, (
+        f"{path} drifted from Solver.check on {len(drift)} rule(s): {drift}"
+    )
+
+
+def test_all_four_entry_points_pairwise_identical(outcomes):
+    names = sorted(outcomes)
+    for rule_id in RULE_IDS:
+        answers = {name: outcomes[name][rule_id] for name in names}
+        assert len(set(answers.values())) == 1, (
+            f"{rule_id}: entry points disagree: {answers}"
+        )
+
+
+def test_negative_cases_stay_negative_everywhere(outcomes):
+    """The bugs dataset must never be 'proved' by any entry point."""
+    for rule in rules_by_dataset("bugs"):
+        for name, mapping in outcomes.items():
+            verdict, _ = mapping[rule.rule_id]
+            assert verdict == rule.expectation.value, (
+                f"{name} gave {verdict} for {rule.rule_id} "
+                f"(expected {rule.expectation.value})"
+            )
+
+
+def test_every_entry_point_meets_the_corpus_expectations(outcomes):
+    """Identity is not enough — all four must also be *right* (Fig. 5)."""
+    expected = {
+        rule.rule_id: rule.expectation.value
+        for rule in RULES
+        if rule.expectation is not Expectation.UNSUPPORTED
+    }
+    for name, mapping in outcomes.items():
+        wrong = {
+            rule_id: mapping[rule_id][0]
+            for rule_id, verdict in expected.items()
+            if mapping[rule_id][0] != verdict
+        }
+        assert not wrong, f"{name} missed expectations: {wrong}"

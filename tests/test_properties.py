@@ -284,3 +284,81 @@ def test_decision_soundness(left, right, database):
     assert left_bag == right_bag, (
         f"UNSOUND: proved but engine disagrees\n{left}\n{right}"
     )
+
+
+# ---------------------------------------------------------------------------
+# Pipeline-order invariance: tactic permutations agree on the verdict.
+# ---------------------------------------------------------------------------
+
+from itertools import permutations
+
+from repro.corpus import all_rules
+from repro.corpus.rules import Expectation
+from repro.session import DEFAULT_TACTICS, PipelineConfig, Session, VerifyRequest
+
+#: Rules with a definite expected answer (the unsupported ones are rejected
+#: by the front end before any tactic runs, so ordering cannot matter).
+_DECIDABLE_RULES = [
+    rule for rule in all_rules()
+    if rule.expectation is not Expectation.UNSUPPORTED
+]
+_TACTIC_PERMUTATIONS = sorted(permutations(DEFAULT_TACTICS))
+
+#: One warm session per tactic order, shared across examples — permutation
+#: invariance is about the pipeline, not about cold caches.
+_PERMUTATION_SESSIONS = {}
+
+
+def _session_for_order(order):
+    session = _PERMUTATION_SESSIONS.get(order)
+    if session is None:
+        session = Session(config=PipelineConfig(tactics=order))
+        _PERMUTATION_SESSIONS[order] = session
+    return session
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_pipeline_permutations_agree_on_the_verdict(data):
+    """Reordering the tactic pipeline never flips EQUIVALENT/NOT_EQUIVALENT.
+
+    Soundness makes every ``proved`` definitive and refutation can never
+    flip one, so for corpus rules any permutation of the full tactic set
+    must land on the same final verdict — only the *reason* (which tactic
+    concluded, and with which code) may differ.
+    """
+    rule = data.draw(st.sampled_from(_DECIDABLE_RULES))
+    order = data.draw(st.sampled_from(_TACTIC_PERMUTATIONS))
+    session = _session_for_order(order)
+    result = session.verify(VerifyRequest(
+        left=rule.left,
+        right=rule.right,
+        program=rule.program,
+        request_id=rule.rule_id,
+    ))
+    expected_proved = rule.expectation is Expectation.PROVED
+    assert result.proved == expected_proved, (
+        f"{rule.rule_id} under pipeline {order}: got {result.verdict.value} "
+        f"[{result.reason_code.value}], expected "
+        f"{'proved' if expected_proved else 'not proved'}"
+    )
+
+
+def test_pipeline_permutations_cover_a_fixed_spot_check():
+    """Deterministic companion to the property: every one of the 6 orders
+    on one known-equivalent and one known-inequivalent rule."""
+    proved = next(r for r in _DECIDABLE_RULES
+                  if r.expectation is Expectation.PROVED)
+    refuted = next(r for r in _DECIDABLE_RULES
+                   if r.expectation is Expectation.NOT_PROVED)
+    for rule, expected in ((proved, True), (refuted, False)):
+        verdicts = set()
+        for order in _TACTIC_PERMUTATIONS:
+            result = _session_for_order(order).verify(VerifyRequest(
+                left=rule.left, right=rule.right, program=rule.program,
+            ))
+            verdicts.add(result.proved)
+        assert verdicts == {expected}, (
+            f"{rule.rule_id}: orders disagree: {verdicts}"
+        )

@@ -138,6 +138,27 @@ def test_verify_result_json_round_trip(session):
         assert decoded.tactics_tried == result.tactics_tried
 
 
+def test_verify_result_from_json_tolerates_unknown_future_fields(session):
+    """Forward compatibility: a record written by a newer version (extra
+    keys this reader does not know) must parse, keep its known fields,
+    and carry the unknown ones through an unchanged round-trip."""
+    record = session.verify(*EQ_PAIR, request_id="fwd").to_json()
+    record["confidence"] = 0.93          # fields a future writer might add
+    record["provenance"] = {"node": "worker-7"}
+    restored = VerifyResult.from_json(record)
+    assert restored.proved
+    assert restored.request_id == "fwd"
+    assert restored.extras == {
+        "confidence": 0.93,
+        "provenance": {"node": "worker-7"},
+    }
+    assert restored.to_json() == record  # unknown fields survive the trip
+    # Known fields always win over a stale extra with a colliding key.
+    shadowed = VerifyResult.from_json(record)
+    shadowed.extras["verdict"] = "tampered"
+    assert shadowed.to_json()["verdict"] == "proved"
+
+
 def test_verify_request_json_round_trip():
     request = VerifyRequest(
         left="SELECT * FROM r x",
