@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-server test-differential bench bench-smoke bench-gate batch-corpus serve
+.PHONY: test test-server test-differential server-stress bench bench-smoke bench-gate batch-corpus serve
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -10,12 +10,17 @@ test:
 test-server:
 	$(PYTHON) -m pytest -x -q tests/test_server.py
 
-## Differential corpus check: Solver / Session / BatchVerifier / HTTP must
-## be verdict- and reason-code-identical on all 91 corpus rules.
+## Differential corpus check: Solver / Session / BatchVerifier / HTTP /
+## pooled HTTP must be verdict- and reason-code-identical on all 91 rules.
 test-differential:
 	$(PYTHON) -m pytest -x -q tests/test_differential.py
 
-## Run the long-lived verification service locally.
+## Pool concurrency stress + JSONL/chunked framing fuzz suites, with the
+## stress scenarios pinned to a 4-member pool.
+server-stress:
+	UDP_POOL_TEST_SIZE=4 $(PYTHON) -m pytest -x -q tests/test_pool.py tests/test_server_fuzz.py
+
+## Run the long-lived verification service locally (one member per core).
 serve:
 	$(PYTHON) -m repro.frontend.cli serve --port 8642
 
@@ -35,9 +40,11 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_fig7_runtime.py --quick
 
 ## CI perf-regression gate: fail when the memoized corpus pass regresses
-## more than 2x against the committed baseline.
+## more than 2x against the committed baseline, then record pooled-vs-
+## single-member server throughput (>= 1.5x enforced on >= 2 cores).
 bench-gate:
 	$(PYTHON) benchmarks/bench_fig7_runtime.py --gate benchmarks/fig7_baseline.json --workers 4
+	$(PYTHON) benchmarks/bench_pool_server.py --gate
 
 ## One batch-service pass over the built-in corpus, results to stdout.
 batch-corpus:

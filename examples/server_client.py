@@ -41,9 +41,12 @@ def post(url: str, payload: bytes) -> str:
 
 
 def main() -> None:
-    session = Session.from_program_text(DDL)  # the server's warm catalog
-    with VerificationServer(session, port=0) as server:
-        print(f"server listening on {server.url}\n")
+    session = Session.from_program_text(DDL)  # the pool's warm prototype
+    with VerificationServer(session, port=0, pool_size=2) as server:
+        print(
+            f"server listening on {server.url} "
+            f"(pool: {server.pool.size} x {server.pool.mode})\n"
+        )
 
         # -- one request, one structured result ---------------------------
         record = json.loads(post(server.url + "/verify", json.dumps({
@@ -91,12 +94,21 @@ def main() -> None:
                 print(f"  {record['id']}: {record['verdict']} "
                       f"[{record['reason_code']}]")
 
-        # -- the service knows how warm it is -----------------------------
+        # -- replay the built-in corpus as a health benchmark -------------
+        summary = json.loads(post(server.url + "/corpus?dataset=bugs", b""))
+        print(f"\nPOST /corpus        -> {summary['rules']} rules in "
+              f"{summary['elapsed_seconds'] * 1000:.0f} ms, "
+              f"verdicts {summary['verdicts']}")
+
+        # -- the service knows how warm and loaded it is ------------------
         with urllib.request.urlopen(server.url + "/stats", timeout=10) as r:
             stats = json.loads(r.read())
+        spread = [m["requests"] for m in stats["pool"]["members"]]
         print(f"\nGET /stats          -> {stats['results']} results, "
               f"verdicts {stats['verdicts']}, "
               f"{stats['bad_requests']} bad request(s), "
+              f"member load {spread}, "
+              f"{stats['admission']['rejected']} shed, "
               f"uptime {stats['uptime_seconds']}s")
 
 

@@ -86,6 +86,7 @@ from repro.errors import (
 )
 from repro.frontend.solver import Solver, VerificationOutcome, prove
 from repro.hashcons import cache_stats, clear_caches, set_memoization
+from repro.hashcons_store import SharedMemoStore, install_shared_store
 from repro.service import BatchPair, BatchRecord, BatchVerifier
 from repro.session import (
     PipelineConfig,
@@ -125,6 +126,7 @@ __all__ = [
     "SchemaError",
     "Session",
     "SessionStats",
+    "SharedMemoStore",
     "Solver",
     "UnsupportedFeatureError",
     "Verdict",
@@ -135,6 +137,7 @@ __all__ = [
     "cache_stats",
     "clear_caches",
     "decide_equivalence",
+    "install_shared_store",
     "prove",
     "register_tactic",
     "set_memoization",

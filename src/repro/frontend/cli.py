@@ -147,13 +147,59 @@ def build_batch_parser() -> argparse.ArgumentParser:
 
 def build_serve_parser() -> argparse.ArgumentParser:
     from repro.server import DEFAULT_HOST, DEFAULT_PORT
+    from repro.server.pool import POOL_MODES, default_pool_size
     from repro.session import DEFAULT_WINDOW
 
     parser = argparse.ArgumentParser(
         prog="udp-prove serve",
         description=(
             "Run the long-lived HTTP verification service (POST /verify, "
-            "POST /verify/batch, GET /healthz, GET /stats)."
+            "POST /verify/batch, POST /corpus, GET /healthz, GET /stats) "
+            "over a pool of warm sessions."
+        ),
+    )
+    parser.add_argument(
+        "--pool-size", type=int, default=0,
+        help=(
+            "warm sessions proving in parallel; 0 = one per core "
+            f"(here: {default_pool_size()})"
+        ),
+    )
+    parser.add_argument(
+        "--pool-mode", choices=POOL_MODES, default="auto",
+        help=(
+            "member kind: 'process' forks one worker per member (real "
+            "cores), 'thread' stays in-process; 'auto' picks process "
+            "when --pool-size > 1 and fork is available (default)"
+        ),
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=0,
+        help=(
+            "admission bound: concurrent proving requests before 503s; "
+            "0 = 2x pool size, minimum 4 (default)"
+        ),
+    )
+    parser.add_argument(
+        "--max-queued", type=int, default=-1,
+        help=(
+            "requests allowed to briefly wait for an admission slot; "
+            "-1 = same as --max-inflight (default)"
+        ),
+    )
+    parser.add_argument(
+        "--admission-timeout", type=float, default=0.5,
+        help="seconds a queued request may wait before its 503 (default 0.5)",
+    )
+    parser.add_argument(
+        "--retry-after", type=int, default=1,
+        help="Retry-After seconds sent with saturation 503s (default 1)",
+    )
+    parser.add_argument(
+        "--no-shared-store", action="store_true",
+        help=(
+            "disable the cross-process shared memo store (process-mode "
+            "pools only; members then keep private caches)"
         ),
     )
     parser.add_argument(
@@ -241,6 +287,13 @@ def run_serve(argv: List[str]) -> int:
             port=args.port,
             window=args.window,
             quiet=args.quiet,
+            pool_size=args.pool_size or None,
+            pool_mode=args.pool_mode,
+            shared_store=False if args.no_shared_store else None,
+            max_inflight=args.max_inflight or None,
+            max_queued=None if args.max_queued < 0 else args.max_queued,
+            admission_timeout=args.admission_timeout,
+            retry_after=args.retry_after,
         )
     except OSError as error:
         print(
@@ -250,7 +303,9 @@ def run_serve(argv: List[str]) -> int:
         return 2
     print(
         f"udp-prove serve: listening on {server.url} "
-        f"(pipeline: {', '.join(pipeline.tactics)})",
+        f"(pipeline: {', '.join(pipeline.tactics)}; "
+        f"pool: {server.pool.size} x {server.pool.mode}; "
+        f"max in-flight: {server.gate.max_inflight})",
         file=sys.stderr,
         flush=True,
     )

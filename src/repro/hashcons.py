@@ -41,6 +41,8 @@ catalog is mutated in place, since constraints enter the canonize key via
 from __future__ import annotations
 
 import hashlib
+import os
+import threading
 from collections import OrderedDict
 from dataclasses import fields as _dataclass_fields, is_dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
@@ -256,9 +258,14 @@ class LRUCache:
     ``functools.lru_cache`` is unsuitable here: keys are computed by the
     caller (fingerprints, not argument tuples), entries must be clearable
     as a group, and the statistics need to be visible to reports.
+
+    Thread-safe: the server's session pool proves on several threads of
+    one process at once, and they all share the module-level
+    normalize/canonize caches — a bare ``get``+``move_to_end`` pair would
+    race an eviction on another thread.
     """
 
-    __slots__ = ("name", "maxsize", "hits", "misses", "_data")
+    __slots__ = ("name", "maxsize", "hits", "misses", "_data", "_lock")
 
     def __init__(self, name: str, maxsize: int = 4096, register: bool = True):
         self.name = name
@@ -266,52 +273,114 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        self._lock = threading.Lock()
         if register:
             _CACHE_REGISTRY[name] = self
 
     def get(self, key: Any):
         """The cached value or ``None``; counts a hit or a miss."""
-        data = self._data
-        value = data.get(key)
-        if value is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        data.move_to_end(key)
-        return value
+        with self._lock:
+            data = self._data
+            value = data.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            data.move_to_end(key)
+            return value
 
     def put(self, key: Any, value: Any) -> None:
-        data = self._data
-        if key in data:
-            data.move_to_end(key)
-        data[key] = value
-        if len(data) > self.maxsize:
-            data.popitem(last=False)
+        with self._lock:
+            data = self._data
+            if key in data:
+                data.move_to_end(key)
+            data[key] = value
+            if len(data) > self.maxsize:
+                data.popitem(last=False)
 
     def clear(self) -> None:
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def values(self) -> List[Any]:
         """The cached values, least- to most-recently used."""
-        return list(self._data.values())
+        with self._lock:
+            return list(self._data.values())
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "entries": len(self._data),
-            "maxsize": self.maxsize,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._data),
+                "maxsize": self.maxsize,
+            }
 
 
 def cache_stats() -> Dict[str, Dict[str, int]]:
     """Statistics of every registered cache, keyed by cache name."""
     return {name: cache.stats() for name, cache in sorted(_CACHE_REGISTRY.items())}
+
+
+# -- fork safety -------------------------------------------------------------
+#
+# The session pool forks worker processes — at construction, and again
+# whenever a dead member is respawned — from a parent that may have other
+# threads mid-proof.  fork() copies every lock in whatever state it is
+# in, so a child forked while another thread held a cache lock (or the
+# shared store's lock) would deadlock on its first memo access.  The
+# at-fork handlers below serialize forks and hold every such lock across
+# the fork, so the child always inherits them released.
+
+_FORK_GUARD = threading.Lock()
+_HELD_AT_FORK: List = []
+
+
+def _locks_to_hold() -> List:
+    locks = [
+        cache._lock
+        for _, cache in sorted(_CACHE_REGISTRY.items())
+    ]
+    from repro.hashcons_store import active_store  # local: import cycle
+
+    store = active_store()
+    if store is not None:
+        locks.append(store._lock)
+    return locks
+
+
+def _before_fork() -> None:
+    _FORK_GUARD.acquire()
+    _HELD_AT_FORK[:] = _locks_to_hold()
+    for lock in _HELD_AT_FORK:
+        lock.acquire()
+
+
+def _after_fork() -> None:
+    for lock in reversed(_HELD_AT_FORK):
+        try:
+            lock.release()
+        except RuntimeError:  # pragma: no cover - defensive
+            pass
+    _HELD_AT_FORK.clear()
+    try:
+        _FORK_GUARD.release()
+    except RuntimeError:  # pragma: no cover - defensive
+        pass
+
+
+if hasattr(os, "register_at_fork"):  # POSIX
+    os.register_at_fork(
+        before=_before_fork,
+        after_in_parent=_after_fork,
+        after_in_child=_after_fork,
+    )
 
 
 def clear_caches() -> None:
@@ -320,7 +389,12 @@ def clear_caches() -> None:
     Required whenever cached inputs change meaning out-of-band — e.g. a
     catalog mutated in place after solving started (constraint digests
     enter memo keys, but schema objects reachable from cached forms do
-    not re-verify themselves).
+    not re-verify themselves).  Also invalidates the installed
+    cross-process shared memo store (:mod:`repro.hashcons_store`), if
+    any — its epoch bump propagates the clear to every pool member.
     """
     for cache in _CACHE_REGISTRY.values():
         cache.clear()
+    from repro.hashcons_store import clear_active_store  # local: import cycle
+
+    clear_active_store()

@@ -1,0 +1,400 @@
+"""A process-safe shared memo store keyed on run-stable fingerprints.
+
+The normalize/canonize memo layers (:mod:`repro.usr.spnf`,
+:mod:`repro.udp.canonize`) are per-process LRU dicts: fast, but private.
+A session pool that forks one worker per core therefore pays the cold
+path once *per member* — every worker re-normalizes the same
+subexpressions its siblings already finished.  This module provides the
+cross-process second level: a :class:`SharedMemoStore` that any number
+of processes (and threads) open over one file, keyed on the run-stable
+:func:`repro.hashcons.fingerprint` digests — the only keys that mean the
+same thing in every process regardless of ``PYTHONHASHSEED``.
+
+Design
+------
+
+The store is a single append-only file::
+
+    [magic 8B][epoch 8B] ([key_len 4B][val_len 4B][key][pickled value])*
+
+* **Appends** happen under an exclusive ``flock`` at the current end of
+  file, as one ``os.pwrite`` — readers never observe a torn record
+  (a partial tail, possible only on crash mid-write, is simply ignored
+  until completed).
+* **Reads** are local-first: each process keeps a dict index of what it
+  has seen and only re-scans the file's new tail (one ``fstat`` per
+  miss) when the file has grown.  A hit deserializes once and caches
+  the object.
+* **Invalidation** bumps the header epoch and truncates
+  (:meth:`SharedMemoStore.clear`, reached via
+  :func:`repro.hashcons.clear_caches`); other processes notice the
+  epoch change on their next refresh and drop their local views.
+* **Fork-safety**: every operation re-opens the file descriptor when it
+  finds itself in a new pid, so a forked pool member never shares an
+  open file description (and thus ``flock`` ownership) with its parent.
+
+Values must survive ``pickle`` — the memo values (normal forms plus
+recorded proof steps) are designed to (the cached builtin-hash attribute
+is stripped on pickling; see :func:`repro.hashcons.cached_structural_hash`).
+A value that fails to pickle is dropped, never raised.
+
+Install a store with :func:`install_shared_store`; the memo layers call
+:func:`shared_memo_get` / :func:`shared_memo_put` on their private-LRU
+misses.  With no store installed both are no-ops.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import tempfile
+import threading
+from typing import Any, Dict, Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+from repro.hashcons import fingerprint
+
+_MAGIC = b"UDPSTOR1"
+_HEADER = struct.Struct("<8sQ")  # magic, epoch
+_RECORD = struct.Struct("<II")  # key length, payload length
+
+#: Default bound on the store file; appends past it are dropped (the
+#: private LRUs still work, the fleet just stops warming each other).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+class SharedMemoStore:
+    """One shared fingerprint → value map over a plain file.
+
+    Thread-safe within a process and ``flock``-coordinated across
+    processes.  ``path=None`` creates (and owns, i.e. unlinks on
+    :meth:`close`) a temporary file; pass an explicit path to share a
+    store between independently started processes.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        self._lock = threading.RLock()
+        self.max_bytes = int(max_bytes)
+        if path is None:
+            fd, path = tempfile.mkstemp(prefix="udp-memo-", suffix=".store")
+            os.close(fd)
+            self._owns_file = True
+        else:
+            self._owns_file = False
+        self.path = os.fspath(path)
+        self._fd: Optional[int] = None
+        self._pid: Optional[int] = None
+        self._epoch = 0
+        self._offset = _HEADER.size
+        self._size = _HEADER.size
+        self._blobs: Dict[str, bytes] = {}  # seen but not yet deserialized
+        self._objects: Dict[str, Any] = {}  # deserialized (or published) values
+        self.hits = 0
+        self.misses = 0
+        self.publishes = 0
+        self.dropped = 0
+        self.refreshes = 0
+        with self._lock:
+            self._ensure_open()
+
+    # -- file plumbing -----------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        """(Re-)open the backing file for this pid; initialize the header.
+
+        Called under ``self._lock``.  After ``fork`` the child's first
+        operation lands here with a stale pid and gets its own file
+        description — sharing the parent's would make their ``flock``
+        calls mutually invisible.
+        """
+        pid = os.getpid()
+        if self._fd is not None and self._pid == pid:
+            return
+        if self._fd is not None:
+            # A descriptor inherited across fork: close our copy (the
+            # parent's own descriptor and any flock it holds are
+            # unaffected) instead of leaking one per respawn.
+            try:
+                os.close(self._fd)
+            except OSError:
+                pass
+        self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o600)
+        self._pid = pid
+        # A forked child inherits a valid local view (copy-on-write of
+        # the parent's index); only the descriptor must be private.
+        self._flock(fcntl.LOCK_EX) if fcntl else None
+        try:
+            if os.fstat(self._fd).st_size < _HEADER.size:
+                os.pwrite(self._fd, _HEADER.pack(_MAGIC, self._epoch), 0)
+        finally:
+            self._funlock()
+
+    def _flock(self, kind: int) -> None:
+        if fcntl is not None:
+            fcntl.flock(self._fd, kind)
+
+    def _funlock(self) -> None:
+        if fcntl is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_UN)
+
+    def _read_epoch(self) -> int:
+        header = os.pread(self._fd, _HEADER.size, 0)
+        if len(header) < _HEADER.size:
+            return self._epoch
+        magic, epoch = _HEADER.unpack(header)
+        return epoch if magic == _MAGIC else self._epoch
+
+    def _reset_local(self, epoch: int) -> None:
+        self._epoch = epoch
+        self._offset = _HEADER.size
+        self._blobs.clear()
+        self._objects.clear()
+
+    def _refresh_locked(self) -> None:
+        """Fold the file's new tail (if any) into the local index.
+
+        The caller holds (at least) the shared ``flock``, so the epoch,
+        size, and record bytes observed here are one consistent state —
+        a concurrent :meth:`clear` (exclusive lock) can never interleave
+        its truncate and its header rewrite with this read.
+        """
+        size = os.fstat(self._fd).st_size
+        self._size = size
+        epoch = self._read_epoch()
+        if epoch != self._epoch or size < self._offset:
+            self._reset_local(epoch)
+        if size <= self._offset:
+            return
+        data = os.pread(self._fd, size - self._offset, self._offset)
+        self.refreshes += 1
+        view = memoryview(data)
+        consumed = 0
+        while len(view) - consumed >= _RECORD.size:
+            key_len, val_len = _RECORD.unpack_from(view, consumed)
+            end = consumed + _RECORD.size + key_len + val_len
+            if end > len(view):
+                break  # partial tail: re-read once the writer finishes
+            key = bytes(
+                view[consumed + _RECORD.size : consumed + _RECORD.size + key_len]
+            ).decode("utf-8", "replace")
+            if key not in self._objects and key not in self._blobs:
+                self._blobs[key] = bytes(view[end - val_len : end])
+            consumed = end
+        self._offset += consumed
+
+    # -- the map -----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """The stored value, or ``None``.  (``None`` is not storable.)
+
+        Every call verifies the header epoch under a shared ``flock``
+        (one small ``pread``) so a :meth:`clear` issued by any process
+        invalidates hits everywhere immediately and can never be
+        observed half-applied — cheap because the store only sees
+        private-LRU *misses*, never the hot path.
+        """
+        with self._lock:
+            try:
+                self._ensure_open()
+                self._flock(fcntl.LOCK_SH) if fcntl else None
+                try:
+                    epoch = self._read_epoch()
+                    if epoch != self._epoch:
+                        self._reset_local(epoch)
+                    value = self._objects.get(key)
+                    if value is None and key not in self._blobs:
+                        self._refresh_locked()
+                finally:
+                    self._funlock()
+                if value is not None:
+                    self.hits += 1
+                    return value
+                blob = self._blobs.pop(key, None)
+                if blob is None:
+                    self.misses += 1
+                    return None
+                try:
+                    value = pickle.loads(blob)
+                except Exception:  # noqa: BLE001 - foreign/corrupt payload
+                    self.misses += 1
+                    return None
+                self._objects[key] = value
+                self.hits += 1
+                return value
+            except OSError:
+                self.misses += 1
+                return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Publish ``key → value``; idempotent, never raises."""
+        with self._lock:
+            try:
+                if key in self._objects or key in self._blobs:
+                    return
+                try:
+                    blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+                except Exception:  # noqa: BLE001 - unpicklable value
+                    self.dropped += 1
+                    return
+                key_bytes = key.encode("utf-8")
+                record = _RECORD.pack(len(key_bytes), len(blob)) + key_bytes + blob
+                self._ensure_open()
+                self._flock(fcntl.LOCK_EX) if fcntl else None
+                try:
+                    epoch = self._read_epoch()
+                    if epoch != self._epoch:
+                        self._reset_local(epoch)
+                    size = os.fstat(self._fd).st_size
+                    if size + len(record) > self.max_bytes:
+                        self.dropped += 1
+                        return
+                    os.pwrite(self._fd, record, size)
+                    self._size = size + len(record)
+                finally:
+                    self._funlock()
+                self._objects[key] = value
+                self.publishes += 1
+            except OSError:
+                self.dropped += 1
+
+    def clear(self) -> None:
+        """Drop every entry and bump the epoch (all processes notice)."""
+        with self._lock:
+            try:
+                self._ensure_open()
+                self._flock(fcntl.LOCK_EX) if fcntl else None
+                try:
+                    epoch = self._read_epoch() + 1
+                    os.ftruncate(self._fd, 0)
+                    os.pwrite(self._fd, _HEADER.pack(_MAGIC, epoch), 0)
+                    self._size = _HEADER.size
+                finally:
+                    self._funlock()
+                self._reset_local(epoch)
+            except OSError:
+                pass
+
+    def forget_descriptor(self) -> None:
+        """Abandon the current descriptor without closing it.
+
+        For forked workers that bulk-close inherited descriptors at
+        startup: the store's fd number may already be closed (or about
+        to be), so closing it here could hit an unrelated reuse.  The
+        next operation re-opens the file for this pid.
+        """
+        with self._lock:
+            self._fd = None
+            self._pid = None
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None and self._pid == os.getpid():
+                try:
+                    os.close(self._fd)
+                except OSError:
+                    pass
+            self._fd = None
+            if self._owns_file:
+                self._owns_file = False
+                try:
+                    os.unlink(self.path)
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._objects) + len(self._blobs)
+
+    def stats(self) -> Dict[str, int]:
+        """This process's view of the store (counters are per-process)."""
+        with self._lock:
+            return {
+                "entries": len(self._objects) + len(self._blobs),
+                "bytes": self._size,
+                "epoch": self._epoch,
+                "hits": self.hits,
+                "misses": self.misses,
+                "publishes": self.publishes,
+                "dropped": self.dropped,
+                "refreshes": self.refreshes,
+            }
+
+
+# ---------------------------------------------------------------------------
+# The installed store and the memo-layer hooks
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[SharedMemoStore] = None
+
+
+def install_shared_store(
+    store: Optional[SharedMemoStore],
+) -> Optional[SharedMemoStore]:
+    """Make ``store`` the process's active second-level memo (or ``None``
+    to uninstall).  Returns the previously installed store.  A store
+    installed before ``fork`` is inherited — exactly how a session pool
+    arranges for its members to share one file.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = store
+    return previous
+
+
+def active_store() -> Optional[SharedMemoStore]:
+    return _ACTIVE
+
+
+def shared_memo_get(namespace: str, key_obj: Any) -> Optional[Any]:
+    """Second-level lookup for a memo layer; ``None`` when absent/off.
+
+    The key is the run-stable fingerprint of ``key_obj`` under a
+    per-layer namespace, so the normalize and canonize layers can never
+    collide even on structurally identical key objects.
+    """
+    store = _ACTIVE
+    if store is None:
+        return None
+    try:
+        return store.get(namespace + ":" + fingerprint(key_obj))
+    except Exception:  # noqa: BLE001 - the store must never break proving
+        return None
+
+
+def shared_memo_put(namespace: str, key_obj: Any, value: Any) -> None:
+    """Publish a freshly computed memo value to the active store."""
+    store = _ACTIVE
+    if store is None:
+        return
+    try:
+        store.put(namespace + ":" + fingerprint(key_obj), value)
+    except Exception:  # noqa: BLE001 - the store must never break proving
+        pass
+
+
+def clear_active_store() -> None:
+    """Invalidate the installed store (part of ``repro.clear_caches``)."""
+    store = _ACTIVE
+    if store is not None:
+        store.clear()
+
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "SharedMemoStore",
+    "active_store",
+    "clear_active_store",
+    "install_shared_store",
+    "shared_memo_get",
+    "shared_memo_put",
+]

@@ -2,28 +2,34 @@
 
 The batch subsystem (:mod:`repro.service`) answers "decide this corpus
 once"; this package answers "keep deciding, indefinitely": a
-stdlib-only threaded HTTP server that owns one warm
-:class:`~repro.session.Session` — hot compile caches, program-text
-sub-sessions, and the normalize/canonize memo layers — and exposes the
-structured request/result wire format over four routes:
+stdlib-only threaded HTTP server over a :class:`SessionPool` of warm
+per-catalog :class:`~repro.session.Session` members — hot compile
+caches, program-text sub-sessions, the normalize/canonize memo layers,
+and (in process mode) a cross-process shared memo store that lets
+members warm each other — exposing the structured request/result wire
+format over five routes:
 
 ========================  ===================================================
 ``POST /verify``          one JSON :class:`~repro.session.VerifyRequest`
 ``POST /verify/batch``    JSONL in → JSONL out, streamed in input order
+``POST /corpus``          replay the built-in corpus; summary JSON
 ``GET /healthz``          liveness + uptime
-``GET /stats``            verdict/reason-code counters, cache occupancy
+``GET /stats``            per-member + rolled-up tallies, caches, admission
 ========================  ===================================================
 
-Start it from the CLI (``udp-prove serve --port 8642``), or embed it::
+Start it from the CLI (``udp-prove serve --port 8642 --pool-size 4``),
+or embed it::
 
     from repro.server import VerificationServer
 
-    with VerificationServer(port=0) as server:   # ephemeral port
+    with VerificationServer(port=0, pool_size=4) as server:
         ...  # POST to server.url
 
-Errors are always structured records, never traceback bodies; see
-:mod:`repro.server.http` for the wire schema, the error-isolation
-guarantees, and the thread-safety contract of the shared session.
+Errors are always structured records, never traceback bodies; past the
+admission bound the server answers 503 with ``Retry-After``.  See
+:mod:`repro.server.http` for the wire schema and error isolation, and
+:mod:`repro.server.pool` for the dispatch/ordering/backpressure
+contract.
 """
 
 from repro.server.http import (
@@ -34,14 +40,24 @@ from repro.server.http import (
     VerificationServer,
     error_record,
 )
+from repro.server.pool import (
+    AdmissionGate,
+    SessionPool,
+    default_pool_size,
+    resolve_pool_mode,
+)
 from repro.server.stats import ServerStats
 
 __all__ = [
+    "AdmissionGate",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "MAX_LINE_BYTES",
     "MAX_REQUEST_BYTES",
     "ServerStats",
+    "SessionPool",
     "VerificationServer",
+    "default_pool_size",
     "error_record",
+    "resolve_pool_mode",
 ]

@@ -1,9 +1,9 @@
-"""The long-lived verification server: HTTP over a warm :class:`Session`.
+"""The long-lived verification server: HTTP over a warm session pool.
 
 A stdlib-only front end (``http.server`` threading, no third-party
 dependencies) that turns the library into a deployable network service::
 
-    udp-prove serve --port 8642 --pipeline udp-prove,model-check
+    udp-prove serve --port 8642 --pool-size 4
 
 Routes
 ------
@@ -18,97 +18,102 @@ Routes
 
 ``POST /verify/batch``
     JSON lines in (one request object per line), JSON lines out — each
-    input line answered by a result record *in input order*, streamed
-    through :meth:`~repro.session.Session.verify_many`'s bounded
-    in-flight window and flushed per record, so arbitrarily long batches
-    run in constant memory on both ends.  ``?pipeline=`` and ``?window=``
-    query parameters override per batch.
+    input line answered by a result record *in input order* even though
+    the pool decides lines concurrently across members; each record is
+    flushed as it is decided, so arbitrarily long batches run in
+    constant memory on both ends.  ``?pipeline=`` and ``?window=`` query
+    parameters override per batch; the window bounds how many lines are
+    in flight across the pool at once.
+
+``POST /corpus``
+    Replay the built-in evaluation corpus (optionally ``?dataset=``)
+    through the pool and answer a summary record — after one call,
+    ``GET /stats`` is a self-contained health benchmark.
 
 ``GET /healthz`` / ``GET /stats``
-    Liveness, and the full counter snapshot (verdicts and reason codes,
-    memo-cache hit/miss from :func:`repro.cache_stats`, compile-cache
-    occupancy, uptime).
+    Liveness, and the full counter snapshot: per-member and rolled-up
+    verdict/reason-code tallies, shared-store hit/miss, memo-cache and
+    compile-cache occupancy, admission-gate state, uptime.
+
+Request bodies may be sent with ``Content-Length`` *or* chunked
+``Transfer-Encoding`` — chunked batches let clients stream unbounded
+JSONL uploads without knowing their size up front.
 
 Error isolation
 ---------------
 
 A malformed request never takes the server down and never produces a
 bare traceback body: envelope problems (invalid JSON, missing fields,
-unknown tactics) come back as HTTP 400 with a structured
-``{"error": {"code", "reason", ...}}`` record; a malformed *line* inside
-a batch becomes an in-stream error record while its siblings proceed;
-verification-level failures are already structured
+unknown tactics, malformed chunk framing) come back as HTTP 400 with a
+structured ``{"error": {"code", "reason", ...}}`` record; a malformed
+*line* inside a batch becomes an in-stream error record while its
+siblings proceed; verification-level failures are already structured
 ``unsupported``/``error`` verdicts (the session's never-raises
 contract); anything unexpected is a structured ``internal-error``
 record, counted in ``/stats``.
 
-Thread-safety contract
-----------------------
+Concurrency contract
+--------------------
 
-Each connection is served on its own thread, but all of them share one
-:class:`~repro.session.Session` (per catalog, plus its program-text
-sub-sessions) whose caches are plain LRU dicts — so the server
-serializes pipeline execution behind a single lock.  Concurrent clients
-overlap on I/O and get consistent caches; they do not get parallel
-proving.  Run one process per core (e.g. behind any HTTP load balancer)
-for CPU parallelism — sessions share nothing across processes, and the
-run-stable fingerprints keep their verdicts identical.
+Each connection is served on its own thread, and proving is dispatched
+across a :class:`~repro.server.pool.SessionPool` of warm per-catalog
+sessions — each work item runs on exactly one member, members share the
+process-wide (and, in process mode, cross-process) memo stores, and
+``/verify/batch`` output order is exactly input order regardless of
+which member finishes first.  Admission is bounded: past
+``max_inflight`` executing plus ``max_queued`` briefly waiting
+requests, the server answers a structured 503 with a ``Retry-After``
+header instead of queueing without limit.  See the README for the full
+contract.
 """
 
 from __future__ import annotations
 
 import json
-import threading
-import uuid
-from dataclasses import replace
 from http import HTTPStatus
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Iterable, Iterator, Mapping, Optional
-from urllib.parse import parse_qs, urlsplit
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple
 
 from repro import __version__
+from repro.server.pool import AdmissionGate, SessionPool, error_record
 from repro.server.stats import ServerStats
-from repro.session import (
-    DEFAULT_WINDOW,
-    PipelineConfig,
-    Session,
-    VerifyRequest,
-    VerifyResult,
-    parse_pipeline_spec,
-)
+from repro.session import DEFAULT_WINDOW, PipelineConfig, Session
+from urllib.parse import parse_qs, urlsplit
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8642
 
 #: Upper bound on a single ``POST /verify`` body.
 MAX_REQUEST_BYTES = 16 * 1024 * 1024
-#: Upper bound on one batch line before it is force-split (and fails JSON
-#: parsing as a structured bad-line record instead of exhausting memory).
+#: Upper bound on one batch line; a longer line is truncated (and fails
+#: JSON parsing as a structured bad-line record instead of exhausting
+#: memory) while line numbering stays aligned with the client's input.
 MAX_LINE_BYTES = 4 * 1024 * 1024
-
-#: Reserved request-id prefix marking a malformed batch line's placeholder.
-#: The NUL byte keeps it out of any sane client's id space; each batch adds
-#: a random nonce on top (see ``_verify_stream``) so even a hostile id
-#: cannot collide with a placeholder and swap records.
-_BAD_LINE_PREFIX = "\x00bad-line:"
+#: Chunk-extension allowance when reading a chunk-size line.
+_CHUNK_SIZE_LINE_LIMIT = 1024
 
 
-def error_record(code: str, reason: str, **fields: object) -> Dict[str, object]:
-    """The structured error envelope every non-result answer uses."""
-    record: Dict[str, object] = {"code": code, "reason": reason}
-    record.update(fields)
-    return {"error": record}
+class _BadChunkedBody(ValueError):
+    """Malformed chunked Transfer-Encoding framing."""
 
 
 class VerificationServer:
-    """One warm session behind a threaded stdlib HTTP server.
+    """A session pool behind a threaded stdlib HTTP server.
 
     Construct with an existing :class:`~repro.session.Session` (to
-    preload a catalog) or a :class:`~repro.session.PipelineConfig` (a
-    fresh session is created), then either :meth:`serve_forever` on the
-    calling thread (the CLI) or :meth:`start`/:meth:`close` a background
-    thread (tests, embedding).  ``port=0`` binds an ephemeral port;
-    :attr:`url` reports the bound address either way.
+    preload a catalog — it becomes the pool's prototype) or a
+    :class:`~repro.session.PipelineConfig` (a fresh prototype is
+    created), then either :meth:`serve_forever` on the calling thread
+    (the CLI) or :meth:`start`/:meth:`close` a background thread (tests,
+    embedding).  ``port=0`` binds an ephemeral port; :attr:`url` reports
+    the bound address either way.
+
+    ``pool_size``/``pool_mode`` shape the :class:`SessionPool` (mode
+    ``auto`` forks one worker per member when ``pool_size > 1``);
+    ``max_inflight``/``max_queued``/``admission_timeout`` shape the
+    admission gate, and ``retry_after`` is the hint sent with 503s.
+    Alternatively pass a ready-made ``pool`` (the server then does not
+    close it).
     """
 
     def __init__(
@@ -120,21 +125,43 @@ class VerificationServer:
         port: int = 0,
         window: int = DEFAULT_WINDOW,
         quiet: bool = True,
+        pool: Optional[SessionPool] = None,
+        pool_size: Optional[int] = 1,
+        pool_mode: str = "auto",
+        shared_store=None,
+        max_inflight: Optional[int] = None,
+        max_queued: Optional[int] = None,
+        admission_timeout: float = 0.5,
+        retry_after: int = 1,
     ) -> None:
-        if session is not None and pipeline is not None:
+        if pool is not None and (session is not None or pipeline is not None):
             raise ValueError(
-                "pass either a session or a pipeline config, not both — "
-                "the pipeline is the session's config"
+                "pass either a ready-made pool or session/pipeline, not both"
             )
-        self.session = session or Session(config=pipeline)
+        if pool is not None:
+            self.pool = pool
+            self._owns_pool = False
+        else:
+            self.pool = SessionPool(
+                pool_size,
+                mode=pool_mode,
+                session=session,
+                pipeline=pipeline,
+                shared_store=shared_store,
+            )
+            self._owns_pool = True
         self.window = max(1, int(window))
         self.quiet = quiet
         self.stats = ServerStats()
-        self._lock = threading.RLock()
-        self._configs: Dict[str, PipelineConfig] = {}
+        if max_inflight is None:
+            max_inflight = max(4, 2 * self.pool.size)
+        self.gate = AdmissionGate(
+            max_inflight, max_queued, wait_timeout=admission_timeout
+        )
+        self.retry_after = max(1, int(retry_after))
         self._httpd = _ThreadingServer((host, port), _Handler)
         self._httpd.owner = self
-        self._thread: Optional[threading.Thread] = None
+        self._thread = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -156,9 +183,13 @@ class VerificationServer:
             self._httpd.serve_forever()
         finally:
             self._httpd.server_close()
+            if self._owns_pool:
+                self.pool.close()
 
     def start(self) -> "VerificationServer":
         """Serve on a daemon thread; pair with :meth:`close`."""
+        import threading
+
         if self._thread is not None:
             raise RuntimeError("server already started")
         self._thread = threading.Thread(
@@ -175,6 +206,8 @@ class VerificationServer:
             self._thread.join(timeout=10)
         self._thread = None
         self._httpd.server_close()
+        if self._owns_pool:
+            self.pool.close()
 
     def __enter__(self) -> "VerificationServer":
         return self.start()
@@ -182,129 +215,16 @@ class VerificationServer:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    # -- request handling (transport-independent) --------------------------
+    # -- transport-independent views ---------------------------------------
 
     def health(self) -> Dict[str, object]:
         return {
             "status": "ok",
             "uptime_seconds": round(self.stats.uptime_seconds, 3),
             "version": __version__,
+            "pool_size": self.pool.size,
+            "pool_mode": self.pool.mode,
         }
-
-    def config_for(self, spec: Optional[str]) -> PipelineConfig:
-        """The effective pipeline: the session's, overridden by ``spec``.
-
-        Raises ``ValueError`` on a malformed spec or unknown tactic —
-        callers turn that into a structured 400.  Parsed overrides are
-        cached so request streams pay the validation once per spec.
-        """
-        if spec is None or spec == "":
-            return self.session.config
-        if not isinstance(spec, str):
-            raise ValueError(
-                "'pipeline' must be a comma-separated string of tactic names"
-            )
-        config = self._configs.get(spec)
-        if config is None:
-            config = replace(
-                self.session.config, tactics=tuple(parse_pipeline_spec(spec))
-            )
-            if len(self._configs) < 64:
-                self._configs[spec] = config
-        return config
-
-    def verify_one(self, obj: Mapping[str, object]) -> VerifyResult:
-        """Decide one ``POST /verify`` payload (already JSON-decoded).
-
-        Envelope errors raise ``ValueError`` (→ 400); everything past the
-        envelope is the session's never-raises contract, so the result —
-        including ``unsupported`` and ``error`` verdicts — is a normal
-        200 record.
-        """
-        for key in ("left", "right"):
-            if key not in obj:
-                raise ValueError(f"missing required field {key!r}")
-        request = VerifyRequest.from_json(obj)
-        config = self.config_for(obj.get("pipeline"))  # type: ignore[arg-type]
-        with self._lock:
-            result = self.session.verify(request, config=config)
-        self.stats.record_result(result)
-        return result
-
-    def verify_stream(
-        self,
-        lines: Iterable[str],
-        *,
-        pipeline: Optional[str] = None,
-        window: Optional[int] = None,
-    ) -> Iterator[Dict[str, object]]:
-        """Decide a JSONL batch: one output record per input line, in order.
-
-        Good lines flow through :meth:`Session.verify_many`'s bounded
-        window; a malformed line is swapped for a cheap placeholder
-        request (reserved nonce-carrying id, fails the front end
-        immediately) whose result is rewritten into a structured
-        bad-line error record on the way out — ordering stays exact and
-        sibling lines are untouched.  Placeholders do traverse the
-        session, so ``/stats``'s *session-level* request count includes
-        malformed lines while the server-level result counters do not.
-        The session lock is taken per result, not for the whole batch,
-        so single verifies interleave with long batches.
-        """
-        # Validate eagerly (this wrapper is not a generator) so a bad
-        # pipeline spec raises before the caller commits to a 200 stream.
-        config = self.config_for(pipeline)
-        window = self.window if window is None else max(1, int(window))
-        return self._verify_stream(lines, config, window)
-
-    def _verify_stream(
-        self, lines: Iterable[str], config: PipelineConfig, window: int
-    ) -> Iterator[Dict[str, object]]:
-        bad: Dict[str, Dict[str, object]] = {}
-        # Per-batch nonce: a client id can contain the NUL prefix, but it
-        # cannot guess this, so placeholders never collide with real ids.
-        marker_prefix = f"{_BAD_LINE_PREFIX}{uuid.uuid4().hex}:"
-
-        def requests() -> Iterator[VerifyRequest]:
-            for lineno, raw in enumerate(lines, start=1):
-                text = raw.strip()
-                if not text:
-                    continue
-                try:
-                    obj = json.loads(text)
-                    if not isinstance(obj, dict):
-                        raise ValueError("each line must be a JSON object")
-                    for key in ("left", "right"):
-                        if key not in obj:
-                            raise ValueError(f"missing required field {key!r}")
-                    yield VerifyRequest.from_json(obj)
-                except (KeyError, TypeError, ValueError) as err:
-                    marker = f"{marker_prefix}{lineno}"
-                    bad[marker] = error_record(
-                        "bad-request", str(err), line=lineno
-                    )
-                    yield VerifyRequest(left="", right="", request_id=marker)
-
-        iterator = self.session.verify_many(
-            requests(), window=window, config=config
-        )
-        while True:
-            with self._lock:
-                try:
-                    result = next(iterator)
-                except StopIteration:
-                    break
-            record = (
-                bad.pop(result.request_id, None)
-                if result.request_id.startswith(marker_prefix)
-                else None
-            )
-            if record is not None:
-                self.stats.record_bad_request()
-                yield record
-            else:
-                self.stats.record_result(result)
-                yield result.to_json()
 
 
 class _ThreadingServer(ThreadingHTTPServer):
@@ -340,9 +260,10 @@ class _Handler(BaseHTTPRequestHandler):
             elif path == "/stats":
                 owner.stats.record_endpoint("stats")
                 self._send_json(
-                    HTTPStatus.OK, owner.stats.snapshot(owner.session)
+                    HTTPStatus.OK,
+                    owner.stats.snapshot(pool=owner.pool, gate=owner.gate),
                 )
-            elif path in ("/verify", "/verify/batch"):
+            elif path in ("/verify", "/verify/batch", "/corpus"):
                 self._send_error(
                     HTTPStatus.METHOD_NOT_ALLOWED,
                     "method-not-allowed",
@@ -356,18 +277,30 @@ class _Handler(BaseHTTPRequestHandler):
             self._internal_error(err)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        owner = self.server.owner
         parsed = urlsplit(self.path)
         try:
-            if parsed.path == "/verify":
-                self._post_verify()
-            elif parsed.path == "/verify/batch":
-                self._post_batch(parse_qs(parsed.query))
-            else:
+            if parsed.path not in ("/verify", "/verify/batch", "/corpus"):
                 self._send_error(
                     HTTPStatus.NOT_FOUND,
                     "not-found",
                     f"no route for {parsed.path}",
                 )
+                return
+            # Backpressure: bounded admission for every proving route.
+            # GETs (health, stats) stay answerable under full load.
+            if not owner.gate.try_enter():
+                self._saturated()
+                return
+            try:
+                if parsed.path == "/verify":
+                    self._post_verify()
+                elif parsed.path == "/verify/batch":
+                    self._post_batch(parse_qs(parsed.query))
+                else:
+                    self._post_corpus(parse_qs(parsed.query))
+            finally:
+                owner.gate.leave()
         except (BrokenPipeError, ConnectionResetError):
             self.close_connection = True
         except Exception as err:  # noqa: BLE001 - no traceback bodies
@@ -398,25 +331,28 @@ class _Handler(BaseHTTPRequestHandler):
             self._bad_request(f"invalid JSON body: {err}")
             return
         try:
-            result = owner.verify_one(obj)
+            record = owner.pool.verify_json(obj)
         except (KeyError, TypeError, ValueError) as err:
             self._bad_request(str(err))
             return
-        self._send_json(HTTPStatus.OK, result.to_json())
+        owner.stats.record_result_record(record)
+        self._send_json(HTTPStatus.OK, record)
 
     def _post_batch(self, query: Dict[str, list]) -> None:
         owner = self.server.owner
         owner.stats.record_endpoint("verify_batch")
-        length = self._content_length()
-        if length is None:
+        frames = self._body_frames()
+        if frames is None:
             return
         try:
             spec = (query.get("pipeline") or [None])[0]
             window = (query.get("window") or [None])[0]
-            stream = owner.verify_stream(
-                self._iter_body_lines(length),
+            stream = owner.pool.verify_stream(
+                _iter_lines(frames),
                 pipeline=spec,
-                window=int(window) if window is not None else None,
+                window=(
+                    int(window) if window is not None else owner.window
+                ),
             )
         except ValueError as err:
             self._bad_request(str(err))
@@ -426,33 +362,106 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Connection", "close")
         self.end_headers()
         self.close_connection = True
+
+        def write_record(record: Mapping[str, object]) -> None:
+            self.wfile.write(
+                json.dumps(record, sort_keys=True).encode("utf-8") + b"\n"
+            )
+            self.wfile.flush()  # each record leaves as it is decided
+
         try:
             for record in stream:
-                self.wfile.write(
-                    json.dumps(record, sort_keys=True).encode("utf-8") + b"\n"
-                )
-                self.wfile.flush()  # each record leaves as it is decided
+                if "error" in record:
+                    # Client-caused bad lines and server-side failures
+                    # are both in-stream records, but /stats must blame
+                    # the right party.
+                    if record["error"].get("code") == "internal-error":
+                        owner.stats.record_internal_error()
+                    else:
+                        owner.stats.record_bad_request()
+                else:
+                    owner.stats.record_result_record(record)
+                write_record(record)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-stream; nothing to answer
+        except _BadChunkedBody as err:
+            # Headers are long gone; the framing error becomes the last
+            # in-stream record and the connection closes.
+            owner.stats.record_bad_request()
+            try:
+                write_record(
+                    error_record("bad-request", f"malformed chunked body: {err}")
+                )
+            except OSError:
+                pass
         except Exception as err:  # noqa: BLE001 - headers already sent
             owner.stats.record_internal_error()
-            line = error_record(
-                "internal-error", f"{type(err).__name__}: {err}"
-            )
             try:
-                self.wfile.write(
-                    json.dumps(line, sort_keys=True).encode("utf-8") + b"\n"
+                write_record(
+                    error_record("internal-error", f"{type(err).__name__}: {err}")
                 )
             except OSError:
                 pass
 
+    def _post_corpus(self, query: Dict[str, list]) -> None:
+        owner = self.server.owner
+        owner.stats.record_endpoint("corpus")
+        # The corpus replay needs no body; drain one if present so the
+        # connection stays reusable.
+        if self._has_body():
+            if self._read_body(MAX_REQUEST_BYTES) is None:
+                return
+        try:
+            dataset = (query.get("dataset") or [None])[0]
+            spec = (query.get("pipeline") or [None])[0]
+            summary, records = owner.pool.run_corpus(dataset, spec)
+        except ValueError as err:
+            self._bad_request(str(err))
+            return
+        for record in records:
+            owner.stats.record_result_record(record)
+        self._send_json(HTTPStatus.OK, summary)
+
     # -- body reading ------------------------------------------------------
+
+    def _has_body(self) -> bool:
+        return bool(
+            self.headers.get("Content-Length")
+            or self.headers.get("Transfer-Encoding")
+        )
+
+    def _body_frames(self) -> Optional[Iterator[bytes]]:
+        """The request body as a byte-chunk iterator, framing resolved.
+
+        Prefers chunked ``Transfer-Encoding`` (streams without a known
+        size — RFC 7230 requires ignoring Content-Length then); falls
+        back to ``Content-Length``.  Sends the 400 itself and returns
+        ``None`` when neither framing is usable.
+        """
+        encoding = (self.headers.get("Transfer-Encoding") or "").strip().lower()
+        if encoding:
+            codings = [c.strip() for c in encoding.split(",") if c.strip()]
+            if codings == ["chunked"]:
+                return self._iter_chunked_frames()
+            # "gzip, chunked" etc. would need the other coding decoded
+            # first; accepting it as plain chunked would misparse the
+            # payload, so refuse anything but exactly 'chunked'.
+            self._bad_request(
+                f"unsupported Transfer-Encoding {encoding!r} "
+                "(only 'chunked' is implemented)"
+            )
+            return None
+        length = self._content_length()
+        if length is None:
+            return None
+        return self._iter_length_frames(length)
 
     def _content_length(self) -> Optional[int]:
         raw = self.headers.get("Content-Length")
         if raw is None:
             self._bad_request(
-                "missing Content-Length (chunked bodies are not supported)"
+                "missing Content-Length (send one, or use chunked "
+                "Transfer-Encoding to stream an unbounded body)"
             )
             return None
         try:
@@ -464,55 +473,115 @@ class _Handler(BaseHTTPRequestHandler):
             return None
         return length
 
-    def _read_body(self, limit: int) -> Optional[bytes]:
-        length = self._content_length()
-        if length is None:
-            return None
-        if length > limit:
-            self._send_error(
-                HTTPStatus.REQUEST_ENTITY_TOO_LARGE,
-                "payload-too-large",
-                f"body of {length} bytes exceeds the {limit}-byte limit",
-            )
-            return None
-        return self.rfile.read(length)
-
-    def _iter_body_lines(self, remaining: int) -> Iterator[str]:
-        """Stream the request body line by line, bounded by Content-Length.
-
-        A line longer than :data:`MAX_LINE_BYTES` is truncated (the rest
-        is read and discarded up to its newline) rather than split, so it
-        still yields exactly one string — which fails JSON parsing into
-        one bad-line record — and line numbering stays aligned with the
-        client's input.
-        """
-        buffer = b""
-        overflowing = False
+    def _iter_length_frames(self, remaining: int) -> Iterator[bytes]:
+        # readline, not read: a plain read(64KB) blocks until the full
+        # 64KB arrive, which deadlocks lockstep clients that wait for
+        # line N's result record before sending line N+1.  readline
+        # returns at each newline, so every completed line reaches the
+        # pool immediately (oversized lines still stream in bounded
+        # pieces via the limit).
         while remaining > 0:
-            chunk = self.rfile.readline(min(remaining, MAX_LINE_BYTES))
+            chunk = self.rfile.readline(min(remaining, 65536))
             if not chunk:
                 break
             remaining -= len(chunk)
-            ended = chunk.endswith(b"\n")
-            if not overflowing:
-                buffer += chunk
-                if len(buffer) > MAX_LINE_BYTES:
-                    buffer = buffer[:MAX_LINE_BYTES]
-                    overflowing = not ended
-            if ended:
-                yield buffer.decode("utf-8", "replace")
-                buffer = b""
-                overflowing = False
-        if buffer:
-            yield buffer.decode("utf-8", "replace")
+            yield chunk
+
+    def _iter_chunked_frames(self) -> Iterator[bytes]:
+        """Decode chunked Transfer-Encoding incrementally.
+
+        Yields raw data pieces as they arrive (chunk boundaries carry no
+        meaning — a JSONL line or even one UTF-8 character may span
+        chunks).  Framing violations raise :class:`_BadChunkedBody`,
+        which callers map to a structured 400 (before headers) or an
+        in-stream error record (mid-stream).
+        """
+        rfile = self.rfile
+        while True:
+            size_line = rfile.readline(_CHUNK_SIZE_LINE_LIMIT + 1)
+            if not size_line or not size_line.endswith(b"\n"):
+                raise _BadChunkedBody("truncated or oversized chunk-size line")
+            token = size_line.split(b";", 1)[0].strip()
+            try:
+                size = int(token, 16)
+            except ValueError:
+                raise _BadChunkedBody(
+                    f"invalid chunk size {token[:32]!r}"
+                ) from None
+            if size < 0:
+                raise _BadChunkedBody(f"negative chunk size {size}")
+            if size == 0:
+                break
+            remaining = size
+            while remaining > 0:
+                piece = rfile.read(min(remaining, 65536))
+                if not piece:
+                    raise _BadChunkedBody("truncated chunk data")
+                remaining -= len(piece)
+                yield piece
+            trailer = rfile.read(2)
+            if trailer != b"\r\n":
+                raise _BadChunkedBody("chunk data not terminated by CRLF")
+        # Trailer section: header lines until the terminating blank line.
+        while True:
+            line = rfile.readline(_CHUNK_SIZE_LINE_LIMIT + 1)
+            if not line or line in (b"\r\n", b"\n"):
+                break
+
+    def _read_body(self, limit: int) -> Optional[bytes]:
+        """The whole request body, bounded; sends its own error answers."""
+        length_header = self.headers.get("Content-Length")
+        if length_header is not None and not self.headers.get(
+            "Transfer-Encoding"
+        ):
+            # Fast path keeps the pre-read size check (no buffering of a
+            # body that already announced it is too large).
+            length = self._content_length()
+            if length is None:
+                return None
+            if length > limit:
+                self._send_error(
+                    HTTPStatus.REQUEST_ENTITY_TOO_LARGE,
+                    "payload-too-large",
+                    f"body of {length} bytes exceeds the {limit}-byte limit",
+                )
+                return None
+            return self.rfile.read(length)
+        frames = self._body_frames()
+        if frames is None:
+            return None
+        pieces = []
+        total = 0
+        try:
+            for piece in frames:
+                total += len(piece)
+                if total > limit:
+                    self._send_error(
+                        HTTPStatus.REQUEST_ENTITY_TOO_LARGE,
+                        "payload-too-large",
+                        f"body exceeds the {limit}-byte limit",
+                    )
+                    return None
+                pieces.append(piece)
+        except _BadChunkedBody as err:
+            self._bad_request(f"malformed chunked body: {err}")
+            return None
+        return b"".join(pieces)
 
     # -- responses ---------------------------------------------------------
 
-    def _send_json(self, status: HTTPStatus, payload: Mapping[str, object]) -> None:
+    def _send_json(
+        self,
+        status: HTTPStatus,
+        payload: Mapping[str, object],
+        headers: Sequence[Tuple[str, str]] = (),
+    ) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(int(status))
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -522,6 +591,23 @@ class _Handler(BaseHTTPRequestHandler):
     def _bad_request(self, reason: str) -> None:
         self.server.owner.stats.record_bad_request()
         self._send_error(HTTPStatus.BAD_REQUEST, "bad-request", reason)
+
+    def _saturated(self) -> None:
+        owner = self.server.owner
+        owner.stats.record_saturated()
+        gate = owner.gate
+        self._send_json(
+            HTTPStatus.SERVICE_UNAVAILABLE,
+            error_record(
+                "saturated",
+                f"server at capacity ({gate.max_inflight} in flight, "
+                f"{gate.max_queued} queued); retry after "
+                f"{owner.retry_after}s",
+                retry_after_seconds=owner.retry_after,
+            ),
+            headers=(("Retry-After", str(owner.retry_after)),),
+        )
+        self.close_connection = True
 
     def _internal_error(self, err: Exception) -> None:
         self.server.owner.stats.record_internal_error()
@@ -533,6 +619,49 @@ class _Handler(BaseHTTPRequestHandler):
             )
         except OSError:
             self.close_connection = True
+
+
+def _iter_lines(frames: Iterator[bytes]) -> Iterator[str]:
+    """Split a byte-chunk stream into text lines for the batch route.
+
+    Framing-agnostic: chunk boundaries (TCP segments, HTTP chunks) carry
+    no meaning, so a line — or a multi-byte UTF-8 sequence — may span any
+    number of chunks; decoding happens per completed line.  A line longer
+    than :data:`MAX_LINE_BYTES` is truncated there (its overflow, up to
+    the newline, is read and discarded) so it still yields exactly one
+    string — which fails JSON parsing into one bad-line record — and line
+    numbering stays aligned with the client's input.
+    """
+    buffer = b""
+    clipped: Optional[bytes] = None  # retained prefix of an oversized line
+    for chunk in frames:
+        buffer += chunk
+        while True:
+            if clipped is not None:
+                newline = buffer.find(b"\n")
+                if newline < 0:
+                    buffer = b""  # keep discarding the oversized tail
+                    break
+                yield clipped.decode("utf-8", "replace")
+                clipped = None
+                buffer = buffer[newline + 1 :]
+                continue
+            newline = buffer.find(b"\n")
+            if newline >= 0:
+                line = buffer[: newline + 1]
+                buffer = buffer[newline + 1 :]
+                if len(line) > MAX_LINE_BYTES:
+                    line = line[:MAX_LINE_BYTES]
+                yield line.decode("utf-8", "replace")
+                continue
+            if len(buffer) > MAX_LINE_BYTES:
+                clipped = buffer[:MAX_LINE_BYTES]
+                buffer = b""
+            break
+    if clipped is not None:
+        yield clipped.decode("utf-8", "replace")
+    elif buffer:
+        yield buffer.decode("utf-8", "replace")
 
 
 __all__ = [

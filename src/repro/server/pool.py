@@ -1,0 +1,862 @@
+"""Parallel proving: a pool of N warm sessions behind one dispatcher.
+
+PR 3's server put every request behind a single session lock — correct,
+but one core.  The UDP decision procedure is embarrassingly parallel
+across query pairs, so this module replaces the lock with a
+:class:`SessionPool`: N warm per-catalog :class:`~repro.session.Session`
+members, an idle queue that hands each work item to exactly one member,
+and a shared cross-process memo store
+(:class:`repro.hashcons_store.SharedMemoStore`) so members warm each
+other's normalize/canonize caches instead of each owning a cold private
+LRU.
+
+Member kinds
+------------
+
+``thread``
+    Members are in-process sessions.  Dispatch, ordering, and
+    backpressure behave identically to process mode, but proving shares
+    the GIL — use it for ``size == 1``, for tests, and on platforms
+    without ``fork``.
+
+``process``
+    Each member is a forked worker process holding the (copy-on-write)
+    warm prototype session and a private pipe.  Proving runs on real
+    cores; results travel back as the JSON wire records, so verdicts and
+    reason codes are bit-identical to the in-process path.  A member
+    whose process dies mid-request answers with a structured ``error``
+    record and is respawned from the prototype.
+
+``auto`` picks ``process`` when ``size > 1`` and ``fork`` is available,
+else ``thread``.
+
+Ordering and dispatch
+---------------------
+
+* :meth:`SessionPool.verify_json` — one request, any idle member
+  (blocking until one frees; admission control above bounds the wait).
+* :meth:`SessionPool.verify_stream` — a JSONL batch fanned out across
+  members through a bounded in-flight window, yielded strictly in input
+  order; malformed lines become in-stream error records without
+  consuming a member.
+* :meth:`SessionPool.run_corpus` — the built-in evaluation corpus
+  through the pool, summarized (the ``POST /corpus`` health benchmark).
+
+Backpressure
+------------
+
+:class:`AdmissionGate` bounds the number of admitted requests: up to
+``max_inflight`` executing plus ``max_queued`` briefly waiting; past
+that, callers are told to go away (the HTTP layer answers a structured
+503 with ``Retry-After``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+import time
+from collections import deque
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
+from dataclasses import replace
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.hashcons_store import (
+    SharedMemoStore,
+    active_store,
+    install_shared_store,
+)
+from repro.session import (
+    DEFAULT_WINDOW,
+    PipelineConfig,
+    Session,
+    VerifyRequest,
+    VerifyResult,
+    parse_pipeline_spec,
+)
+from repro.udp.trace import ReasonCode, ReasonTally, Verdict
+
+POOL_MODES = ("auto", "thread", "process")
+
+
+def error_record(code: str, reason: str, **fields: object) -> Dict[str, object]:
+    """The structured error envelope every non-result answer uses."""
+    record: Dict[str, object] = {"code": code, "reason": reason}
+    record.update(fields)
+    return {"error": record}
+
+
+def default_pool_size() -> int:
+    """One member per core — the ``--pool-size`` default."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _fork_available() -> bool:
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_pool_mode(mode: str, size: int) -> str:
+    """Collapse ``auto`` to a concrete member kind for this platform.
+
+    An explicit ``process`` request on a platform without the ``fork``
+    start method fails loudly here — before any state (shared store,
+    members) is built — rather than surfacing as a late
+    ``multiprocessing`` error.
+    """
+    if mode not in POOL_MODES:
+        raise ValueError(
+            f"unknown pool mode {mode!r}; expected one of {POOL_MODES}"
+        )
+    if mode == "process" and not _fork_available():
+        raise ValueError(
+            "pool mode 'process' requires the fork start method; "
+            "use 'thread' (or 'auto') on this platform"
+        )
+    if mode != "auto":
+        return mode
+    if size <= 1 or not _fork_available():
+        return "thread"
+    return "process"
+
+
+# ---------------------------------------------------------------------------
+# The work a member does (runs in-process or inside a forked worker)
+# ---------------------------------------------------------------------------
+
+
+def _config_for(
+    base: PipelineConfig,
+    cache: Dict[str, PipelineConfig],
+    spec: Optional[str],
+) -> PipelineConfig:
+    """The effective pipeline: ``base`` overridden by a ``spec`` string.
+
+    Raises ``ValueError`` on a malformed spec or unknown tactic; parsed
+    overrides are cached so request streams pay validation once per spec.
+    """
+    if spec is None or spec == "":
+        return base
+    if not isinstance(spec, str):
+        raise ValueError(
+            "'pipeline' must be a comma-separated string of tactic names"
+        )
+    config = cache.get(spec)
+    if config is None:
+        config = replace(base, tactics=tuple(parse_pipeline_spec(spec)))
+        if len(cache) < 64:
+            cache[spec] = config
+    return config
+
+
+def _decide_json(
+    session: Session,
+    configs: Dict[str, PipelineConfig],
+    obj: Mapping[str, object],
+    spec: Optional[str],
+) -> Dict[str, object]:
+    """Decide one JSON request payload on ``session``; the result record."""
+    request = VerifyRequest.from_json(obj)
+    config = _config_for(session.config, configs, spec)
+    return session.verify(request, config=config).to_json()
+
+
+def _member_info(session: Session) -> Dict[str, object]:
+    """One member's warmth snapshot (session caches, shared store).
+
+    Kept deliberately small: process members pickle this over the pipe
+    with every reply to keep the parent's ``/stats`` view fresh without
+    a blocking round-trip, so it carries only what the stats rollup
+    consumes (the process-wide memo-layer counters stay visible via the
+    serving process's own :func:`repro.cache_stats`).
+    """
+    info: Dict[str, object] = {
+        "session": {"requests": session.stats.requests, **session.cache_info()},
+    }
+    store = active_store()
+    if store is not None:
+        info["store"] = store.stats()
+    return info
+
+
+def _error_result_record(
+    obj: Mapping[str, object], reason: str
+) -> Dict[str, object]:
+    """A structured ``error``-verdict result for a member-level failure."""
+    return VerifyResult(
+        request_id=str(obj.get("id", "")),
+        verdict=Verdict.ERROR,
+        reason_code=ReasonCode.INTERNAL_ERROR,
+        reason=reason,
+    ).to_json()
+
+
+def _close_inherited_fds(conn) -> None:
+    """Drop every descriptor a forked worker inherited except its pipe.
+
+    A member respawned while the server is live forks with client
+    sockets and the listening socket open; the child holding those
+    duplicates would keep connection-close-terminated batch streams
+    from ever reaching EOF on the client.  The shared store's
+    descriptor is also closed here — it is told to forget it and
+    re-opens lazily for this pid.
+    """
+    try:
+        store = active_store()
+        if store is not None:
+            store.forget_descriptor()
+        keep = conn.fileno()
+        try:
+            limit = min(int(os.sysconf("SC_OPEN_MAX")), 65536)
+        except (AttributeError, ValueError, OSError):
+            limit = 4096
+        os.closerange(3, keep)
+        os.closerange(keep + 1, limit)
+    except Exception:  # noqa: BLE001 - hygiene must never kill the worker
+        pass
+
+
+def _process_member_main(conn, session: Session) -> None:
+    """The forked worker loop: recv (obj, spec), send the result record.
+
+    The session (and the installed shared store, and the warm memo
+    layers) arrive via fork copy-on-write; the store re-opens its file
+    descriptor on first use in the new pid.  The loop never raises: any
+    failure is sent back as an ``("error", reason, info)`` reply, and a
+    broken pipe ends the process.
+    """
+    _close_inherited_fds(conn)
+    configs: Dict[str, PipelineConfig] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if message is None:
+            break
+        kind, obj, spec = message
+        try:
+            if kind != "verify":
+                reply = ("error", f"unknown message kind {kind!r}", None)
+            else:
+                record = _decide_json(session, configs, obj, spec)
+                reply = ("ok", record, _member_info(session))
+        except Exception as err:  # noqa: BLE001 - isolation contract
+            reply = ("error", f"{type(err).__name__}: {err}", None)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Members
+# ---------------------------------------------------------------------------
+
+
+class _MemberBase:
+    """Parent-side bookkeeping every member kind shares."""
+
+    mode = "?"
+
+    def __init__(self, member_id: int) -> None:
+        self.member_id = member_id
+        self.tally = ReasonTally()
+        self.requests = 0
+        self.failures = 0
+        self.restarts = 0
+
+    def _record(self, record: Mapping[str, object]) -> None:
+        self.requests += 1
+        self.tally.record_json(record)  # foreign record shape: count only
+
+    def snapshot(self) -> Dict[str, object]:
+        tallies = self.tally.snapshot()
+        return {
+            "id": self.member_id,
+            "mode": self.mode,
+            "requests": self.requests,
+            "failures": self.failures,
+            "restarts": self.restarts,
+            "verdicts": tallies["verdicts"],
+            "reason_codes": tallies["reason_codes"],
+            **self.info(),
+        }
+
+    # subclass API ---------------------------------------------------------
+
+    def run_json(
+        self, obj: Mapping[str, object], spec: Optional[str]
+    ) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def info(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class _ThreadMember(_MemberBase):
+    """An in-process session; exclusivity is the idle queue's job."""
+
+    mode = "thread"
+
+    def __init__(self, member_id: int, session: Session) -> None:
+        super().__init__(member_id)
+        self.session = session
+        self._configs: Dict[str, PipelineConfig] = {}
+
+    def run_json(
+        self, obj: Mapping[str, object], spec: Optional[str]
+    ) -> Dict[str, object]:
+        try:
+            record = _decide_json(self.session, self._configs, obj, spec)
+        except Exception as err:  # noqa: BLE001 - isolation contract
+            self.failures += 1
+            record = _error_result_record(obj, f"{type(err).__name__}: {err}")
+        self._record(record)
+        return record
+
+    def info(self) -> Dict[str, object]:
+        return _member_info(self.session)
+
+    def close(self) -> None:
+        pass
+
+
+class _ProcessMember(_MemberBase):
+    """A forked worker process holding a copy-on-write warm session."""
+
+    mode = "process"
+
+    def __init__(self, member_id: int, prototype: Session, context) -> None:
+        super().__init__(member_id)
+        self._prototype = prototype
+        self._context = context
+        self.last_info: Dict[str, object] = {}
+        self._spawn()
+
+    def _spawn(self) -> None:
+        parent_conn, child_conn = self._context.Pipe()
+        self._conn = parent_conn
+        self._proc = self._context.Process(
+            target=_process_member_main,
+            args=(child_conn, self._prototype),
+            name=f"udp-pool-member-{self.member_id}",
+            daemon=True,
+        )
+        self._proc.start()
+        child_conn.close()
+
+    def run_json(
+        self, obj: Mapping[str, object], spec: Optional[str]
+    ) -> Dict[str, object]:
+        try:
+            self._conn.send(("verify", dict(obj), spec))
+            status, payload, info = self._conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as err:
+            # The worker died mid-request (crash, OOM kill, ...): answer
+            # with a structured error record and respawn from the warm
+            # prototype so the pool heals without dropping capacity.
+            self.failures += 1
+            self.restarts += 1
+            record = _error_result_record(
+                obj,
+                f"pool member {self.member_id} died mid-request "
+                f"({type(err).__name__}); member respawned",
+            )
+            try:
+                self.close()
+            finally:
+                self._spawn()
+            self._record(record)
+            return record
+        if status == "ok":
+            record = payload
+            if info:
+                self.last_info = info
+        else:
+            self.failures += 1
+            record = _error_result_record(obj, str(payload))
+        self._record(record)
+        return record
+
+    def info(self) -> Dict[str, object]:
+        return dict(self.last_info)
+
+    def close(self) -> None:
+        try:
+            self._conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self._proc.join(timeout=5)
+        if self._proc.is_alive():  # pragma: no cover - wedged worker
+            self._proc.terminate()
+            self._proc.join(timeout=5)
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# The pool
+# ---------------------------------------------------------------------------
+
+
+class SessionPool:
+    """N warm per-catalog sessions dispatching work items concurrently.
+
+    Construct with an existing :class:`~repro.session.Session` (its
+    catalog and config become the prototype), a
+    :class:`~repro.session.PipelineConfig`, or ``program`` text.  The
+    pool owns an idle queue (each member serves exactly one work item at
+    a time — no cross-talk by construction), a dispatcher executor for
+    batch fan-out, and optionally the shared memo store its members warm
+    each other through.
+    """
+
+    def __init__(
+        self,
+        size: Optional[int] = None,
+        *,
+        mode: str = "auto",
+        session: Optional[Session] = None,
+        pipeline: Optional[PipelineConfig] = None,
+        program: Optional[str] = None,
+        shared_store=None,
+        store_path: Optional[str] = None,
+    ) -> None:
+        if session is not None and pipeline is not None:
+            raise ValueError(
+                "pass either a session or a pipeline config, not both — "
+                "the pipeline is the session's config"
+            )
+        self.size = max(1, int(size if size is not None else default_pool_size()))
+        self.mode = resolve_pool_mode(mode, self.size)
+        if session is not None:
+            prototype = session
+        elif program:
+            prototype = Session.from_program_text(program, pipeline)
+        else:
+            prototype = Session(config=pipeline)
+        prototype.constraint_set()  # warm before clone/fork
+        self._prototype = prototype
+        self.config = prototype.config
+        self._configs: Dict[str, PipelineConfig] = {}
+
+        # The shared store must be installed *before* members fork so
+        # they inherit it.  None = auto (process mode only), False = off,
+        # True = on, or pass a SharedMemoStore.
+        self._owns_store = False
+        self._previous_store = None
+        self._installed_store = False
+        if shared_store is None:
+            shared_store = self.mode == "process"
+        if shared_store is False:
+            self.store: Optional[SharedMemoStore] = None
+        elif shared_store is True:
+            self.store = SharedMemoStore(store_path)
+            self._owns_store = True
+        else:
+            self.store = shared_store
+        if self.store is not None:
+            self._previous_store = install_shared_store(self.store)
+            self._installed_store = True
+
+        self.members: List[_MemberBase] = []
+        self._idle: "queue.Queue[_MemberBase]" = queue.Queue()
+        try:
+            try:
+                self._build_members()
+            except (OSError, PermissionError):
+                # Process creation unavailable (sandboxes): degrade to
+                # in-process members rather than failing to boot.
+                for member in self.members:
+                    member.close()
+                self.members = []
+                self._idle = queue.Queue()
+                self.mode = "thread"
+                self._build_members()
+            for member in self.members:
+                self._idle.put(member)
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.size, thread_name_prefix="udp-pool-dispatch"
+            )
+        except BaseException:
+            # Never leave a half-built pool's globals behind: uninstall
+            # the shared store (and delete its temp file) and reap any
+            # members already spawned before re-raising.
+            for member in self.members:
+                member.close()
+            self._release_store()
+            raise
+        self._closed = False
+
+    def _build_members(self) -> None:
+        if self.mode == "process":
+            import multiprocessing
+
+            context = multiprocessing.get_context("fork")
+            for member_id in range(self.size):
+                self.members.append(
+                    _ProcessMember(member_id, self._prototype, context)
+                )
+        else:
+            for member_id in range(self.size):
+                session = (
+                    self._prototype
+                    if member_id == 0
+                    else self._prototype.clone()
+                )
+                self.members.append(_ThreadMember(member_id, session))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _release_store(self) -> None:
+        if self._installed_store:
+            install_shared_store(self._previous_store)
+            self._installed_store = False
+        if self._owns_store and self.store is not None:
+            self._owns_store = False
+            self.store.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        for member in self.members:
+            member.close()
+        self._release_store()
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- validation --------------------------------------------------------
+
+    def config_for(self, spec: Optional[str]) -> PipelineConfig:
+        """Validate (and cache) a pipeline override against the base config.
+
+        Raises ``ValueError`` on a malformed spec or unknown tactic —
+        callers turn that into a structured 400 *before* any member is
+        consumed.
+        """
+        return _config_for(self.config, self._configs, spec)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(
+        self, obj: Mapping[str, object], spec: Optional[str]
+    ) -> Dict[str, object]:
+        member = self._idle.get()
+        try:
+            return member.run_json(obj, spec)
+        finally:
+            self._idle.put(member)
+
+    def verify_json(self, obj: Mapping[str, object]) -> Dict[str, object]:
+        """Decide one ``POST /verify`` payload (already JSON-decoded).
+
+        Envelope errors raise ``ValueError`` (→ 400); everything past
+        the envelope is the session's never-raises contract, so the
+        returned record — including ``unsupported`` and ``error``
+        verdicts — is a normal 200 answer.
+        """
+        for key in ("left", "right"):
+            if key not in obj:
+                raise ValueError(f"missing required field {key!r}")
+        spec = obj.get("pipeline")
+        if spec is not None and not isinstance(spec, str):
+            raise ValueError(
+                "'pipeline' must be a comma-separated string of tactic names"
+            )
+        self.config_for(spec)  # validate before consuming a member
+        VerifyRequest.from_json(obj)  # envelope type errors → 400, not 500
+        return self._dispatch(obj, spec)
+
+    def verify_stream(
+        self,
+        lines: Iterable[str],
+        *,
+        pipeline: Optional[str] = None,
+        window: int = DEFAULT_WINDOW,
+    ) -> Iterator[Dict[str, object]]:
+        """Decide a JSONL batch: one record per input line, in input order.
+
+        Lines are parsed as they arrive and fanned out across the pool
+        through a bounded window of in-flight dispatches; output order is
+        exactly input order regardless of which member finishes first.  A
+        malformed line becomes an in-stream ``bad-request`` error record
+        carrying its line number — it never consumes a member, and
+        sibling lines are untouched.
+        """
+        self.config_for(pipeline)  # fail before the caller commits to a 200
+        window = max(1, int(window))
+        return self._verify_stream(lines, pipeline, window)
+
+    def _verify_stream(
+        self, lines: Iterable[str], spec: Optional[str], window: int
+    ) -> Iterator[Dict[str, object]]:
+        pending: "deque[Future]" = deque()
+
+        def resolve(future: Future) -> Dict[str, object]:
+            # CancelledError is a BaseException: a pool closed mid-batch
+            # must still answer with in-stream records, never a handler
+            # crash.
+            try:
+                return future.result()
+            except (Exception, CancelledError) as err:  # noqa: BLE001
+                return error_record(
+                    "internal-error", f"{type(err).__name__}: {err}"
+                )
+
+        lines_iter = iter(lines)
+        lineno = 0
+        while True:
+            try:
+                raw = next(lines_iter)
+            except StopIteration:
+                break
+            except Exception:
+                # The transport broke mid-body (e.g. malformed chunk
+                # framing): answer every fully received line before
+                # letting the caller report the framing error.
+                while pending:
+                    yield resolve(pending.popleft())
+                raise
+            lineno += 1
+            text = raw.strip()
+            if not text:
+                continue
+            try:
+                obj = json.loads(text)
+                if not isinstance(obj, dict):
+                    raise ValueError("each line must be a JSON object")
+                for key in ("left", "right"):
+                    if key not in obj:
+                        raise ValueError(f"missing required field {key!r}")
+                VerifyRequest.from_json(obj)  # validate before dispatch
+                future = self._executor.submit(self._dispatch, obj, spec)
+            except (KeyError, TypeError, ValueError) as err:
+                future = Future()
+                future.set_result(
+                    error_record("bad-request", str(err), line=lineno)
+                )
+            pending.append(future)
+            while len(pending) >= window:
+                yield resolve(pending.popleft())
+        while pending:
+            yield resolve(pending.popleft())
+
+    def run_corpus(
+        self,
+        dataset: Optional[str] = None,
+        pipeline: Optional[str] = None,
+    ) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
+        """Replay the built-in corpus through the pool; (summary, records).
+
+        The ``POST /corpus`` health benchmark: after one call,
+        ``GET /stats`` shows a full corpus worth of verdict and
+        reason-code tallies plus the memo/store warmth it produced.
+        """
+        from repro.corpus import all_rules, as_verify_requests
+
+        self.config_for(pipeline)
+        if dataset in ("", "all"):
+            dataset = None
+        if dataset is not None:
+            known = sorted({rule.dataset for rule in all_rules()})
+            if dataset not in known:
+                raise ValueError(
+                    f"unknown dataset {dataset!r}; expected one of {known}"
+                )
+        requests = as_verify_requests(dataset)
+        started = time.monotonic()
+        futures = [
+            self._executor.submit(self._dispatch, request.to_json(), pipeline)
+            for request in requests
+        ]
+        records = []
+        for future in futures:
+            try:
+                records.append(future.result())
+            except (Exception, CancelledError) as err:  # noqa: BLE001
+                records.append(
+                    _error_result_record({}, f"{type(err).__name__}: {err}")
+                )
+        elapsed = time.monotonic() - started
+        verdicts: Dict[str, int] = {}
+        reasons: Dict[str, int] = {}
+        for record in records:
+            verdict = str(record.get("verdict", "error"))
+            verdicts[verdict] = verdicts.get(verdict, 0) + 1
+            reason = str(record.get("reason_code", ""))
+            reasons[reason] = reasons.get(reason, 0) + 1
+        summary: Dict[str, object] = {
+            "dataset": dataset or "all",
+            "rules": len(records),
+            "elapsed_seconds": round(elapsed, 6),
+            "rules_per_second": (
+                round(len(records) / elapsed, 3) if elapsed > 0 else None
+            ),
+            "verdicts": dict(sorted(verdicts.items())),
+            "reason_codes": dict(sorted(reasons.items())),
+            "pool_size": self.size,
+            "pool_mode": self.mode,
+        }
+        return summary, records
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Per-member and rolled-up tallies, plus the shared-store view."""
+        members = [member.snapshot() for member in self.members]
+        verdicts: Dict[str, int] = {}
+        reasons: Dict[str, int] = {}
+        session_rollup = {
+            "requests": 0,
+            "compile_cache": {"hits": 0, "misses": 0, "entries": 0},
+            "programs": 0,
+            "program_compile_entries": 0,
+        }
+        for snapshot in members:
+            for key, count in snapshot["verdicts"].items():
+                verdicts[key] = verdicts.get(key, 0) + count
+            for key, count in snapshot["reason_codes"].items():
+                reasons[key] = reasons.get(key, 0) + count
+            session = snapshot.get("session") or {}
+            session_rollup["requests"] += session.get("requests", 0)
+            compile_cache = session.get("compile_cache") or {}
+            for key in ("hits", "misses", "entries"):
+                session_rollup["compile_cache"][key] += compile_cache.get(key, 0)
+            session_rollup["programs"] += session.get("programs", 0)
+            session_rollup["program_compile_entries"] += session.get(
+                "program_compile_entries", 0
+            )
+        store: Dict[str, object] = {"installed": self.store is not None}
+        if self.store is not None:
+            if self.mode == "thread":
+                # Thread members share this process's store object; its
+                # counters already are the rollup.
+                store.update(self.store.stats())
+            else:
+                # Each member process owns its counters; sum the
+                # last-known views and keep the parent's entry count.
+                rollup = {"hits": 0, "misses": 0, "publishes": 0, "dropped": 0}
+                for snapshot in members:
+                    member_store = snapshot.get("store") or {}
+                    for key in rollup:
+                        rollup[key] += member_store.get(key, 0)
+                store.update(self.store.stats())
+                store.update(rollup)
+        return {
+            "size": self.size,
+            "mode": self.mode,
+            "requests": sum(m["requests"] for m in members),
+            "verdicts": dict(sorted(verdicts.items())),
+            "reason_codes": dict(sorted(reasons.items())),
+            "members": members,
+            "session": {
+                "requests": session_rollup["requests"],
+                "compile_cache": session_rollup["compile_cache"],
+                "programs": session_rollup["programs"],
+                "program_compile_entries": session_rollup[
+                    "program_compile_entries"
+                ],
+            },
+            "store": store,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Backpressure
+# ---------------------------------------------------------------------------
+
+
+class AdmissionGate:
+    """Bounded admission: ``max_inflight`` executing + ``max_queued`` waiting.
+
+    :meth:`try_enter` admits immediately while capacity remains; past
+    that, up to ``max_queued`` callers wait up to ``wait_timeout``
+    seconds for a slot, and everyone else is refused on the spot.  The
+    HTTP layer turns a refusal into a structured 503 with
+    ``Retry-After`` — load sheds at the front door instead of piling
+    onto the member queue.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int,
+        max_queued: Optional[int] = None,
+        wait_timeout: float = 0.5,
+    ) -> None:
+        self.max_inflight = max(1, int(max_inflight))
+        self.max_queued = (
+            self.max_inflight if max_queued is None else max(0, int(max_queued))
+        )
+        self.wait_timeout = max(0.0, float(wait_timeout))
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._queued = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.peak_inflight = 0
+
+    def try_enter(self) -> bool:
+        with self._cond:
+            if self._inflight >= self.max_inflight:
+                if self._queued >= self.max_queued or self.wait_timeout <= 0:
+                    self.rejected += 1
+                    return False
+                self._queued += 1
+                try:
+                    deadline = time.monotonic() + self.wait_timeout
+                    while self._inflight >= self.max_inflight:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            self.rejected += 1
+                            return False
+                        self._cond.wait(remaining)
+                finally:
+                    self._queued -= 1
+            self._inflight += 1
+            self.admitted += 1
+            self.peak_inflight = max(self.peak_inflight, self._inflight)
+            return True
+
+    def leave(self) -> None:
+        with self._cond:
+            self._inflight = max(0, self._inflight - 1)
+            self._cond.notify()
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._cond:
+            return {
+                "max_inflight": self.max_inflight,
+                "max_queued": self.max_queued,
+                "wait_timeout": self.wait_timeout,
+                "inflight": self._inflight,
+                "queued": self._queued,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "peak_inflight": self.peak_inflight,
+            }
+
+
+__all__ = [
+    "AdmissionGate",
+    "POOL_MODES",
+    "SessionPool",
+    "default_pool_size",
+    "error_record",
+    "resolve_pool_mode",
+]

@@ -1,23 +1,26 @@
 """Server-side statistics: thread-safe counters behind ``GET /stats``.
 
 The HTTP front end serves each request on its own thread
-(:class:`http.server.ThreadingHTTPServer`), so every counter here must
-tolerate concurrent increments.  Verdict and reason-code tallies reuse
+(:class:`http.server.ThreadingHTTPServer`) and proves on a pool of
+sessions, so every counter here must tolerate concurrent increments.
+Verdict and reason-code tallies reuse
 :class:`~repro.udp.trace.ReasonTally`; endpoint and error counts keep
 their own lock.  A snapshot combines the server-level counters with the
-process-wide memo caches (:func:`repro.cache_stats`) and the owning
-session's compile-cache occupancy (:meth:`repro.session.Session.cache_info`),
-so one ``GET /stats`` answers "how warm is this service" end to end.
+pool's per-member and rolled-up view (tallies, compile-cache occupancy,
+shared-store hit/miss — :meth:`repro.server.pool.SessionPool.stats`),
+this process's memo caches (:func:`repro.cache_stats`), and the
+admission gate's state, so one ``GET /stats`` answers "how warm and how
+loaded is this service" end to end.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
 from repro.hashcons import cache_stats
-from repro.session import Session, VerifyResult
+from repro.session import VerifyResult
 from repro.udp.trace import ReasonTally
 
 
@@ -32,6 +35,7 @@ class ServerStats:
         self._endpoints: Dict[str, int] = {}
         self._bad_requests = 0
         self._internal_errors = 0
+        self._saturated = 0
 
     # -- recording ---------------------------------------------------------
 
@@ -42,6 +46,10 @@ class ServerStats:
     def record_result(self, result: VerifyResult) -> None:
         self.tally.record(result.verdict, result.reason_code)
 
+    def record_result_record(self, record: Mapping[str, object]) -> None:
+        """Tally a result already in wire form (the pool speaks JSON)."""
+        self.tally.record_json(record)  # foreign record shape: skip tally
+
     def record_bad_request(self) -> None:
         with self._lock:
             self._bad_requests += 1
@@ -50,18 +58,29 @@ class ServerStats:
         with self._lock:
             self._internal_errors += 1
 
+    def record_saturated(self) -> None:
+        with self._lock:
+            self._saturated += 1
+
     # -- views -------------------------------------------------------------
 
     @property
     def uptime_seconds(self) -> float:
         return time.monotonic() - self._started_monotonic
 
-    def snapshot(self, session: Optional[Session] = None) -> Dict[str, object]:
-        """The ``GET /stats`` payload (plain JSON-serializable dicts)."""
+    def snapshot(self, pool=None, gate=None) -> Dict[str, object]:
+        """The ``GET /stats`` payload (plain JSON-serializable dicts).
+
+        ``pool`` contributes the per-member breakdown, the rolled-up
+        session view (the ``session`` key kept from the single-session
+        server's schema), and the shared-store counters; ``gate``
+        contributes admission/backpressure state.
+        """
         with self._lock:
             endpoints = dict(sorted(self._endpoints.items()))
             bad_requests = self._bad_requests
             internal_errors = self._internal_errors
+            saturated = self._saturated
         verdicts = self.tally.snapshot()
         out: Dict[str, object] = {
             "uptime_seconds": round(self.uptime_seconds, 3),
@@ -69,6 +88,7 @@ class ServerStats:
             "endpoints": endpoints,
             "bad_requests": bad_requests,
             "internal_errors": internal_errors,
+            "saturated": saturated,
             # Derived from the one snapshot so 'results' always equals the
             # sum of 'verdicts' even while other threads keep recording.
             "results": sum(verdicts["verdicts"].values()),
@@ -76,11 +96,13 @@ class ServerStats:
             "reason_codes": verdicts["reason_codes"],
             "caches": cache_stats(),
         }
-        if session is not None:
-            out["session"] = {
-                "requests": session.stats.requests,
-                **session.cache_info(),
-            }
+        if pool is not None:
+            pool_stats = pool.stats()
+            out["pool"] = pool_stats
+            out["session"] = pool_stats["session"]
+            out["store"] = pool_stats["store"]
+        if gate is not None:
+            out["admission"] = gate.snapshot()
         return out
 
 

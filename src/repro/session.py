@@ -545,7 +545,26 @@ class Session:
         program = parse_program(text)
         session = cls(program.build_catalog(), config)
         session._program = program
+        session.program_text = text
         return session
+
+    def clone(self) -> "Session":
+        """A fresh session over the same catalog and configuration.
+
+        The clone shares the (read-only) catalog object but owns its own
+        compile cache, sub-session cache, and statistics — exactly what a
+        session pool needs for members that prove concurrently.  Warm
+        cache contents are *not* copied; in-process members share the
+        module-level normalize/canonize memo layers anyway, and forked
+        members inherit them copy-on-write.
+        """
+        twin = Session(self.catalog, self.config)
+        if "_program" in self.__dict__:
+            twin._program = self._program
+        text = self.__dict__.get("program_text")
+        if text is not None:
+            twin.program_text = text
+        return twin
 
     # -- caches ------------------------------------------------------------
 

@@ -24,10 +24,12 @@ normalized/canonized and its binders renamed canonically, implementing
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.constraints.model import ConstraintSet
 from repro.hashcons import LRUCache, memoization_enabled
+from repro.hashcons_store import shared_memo_get, shared_memo_put
 from repro.logic.congruence import CongruenceClosure
 from repro.sql.schema import Schema
 from repro.udp.trace import ProofTrace
@@ -66,6 +68,12 @@ _MAX_ROUNDS = 100
 #: cold run's proof steps for replay, exactly like the normalize memo.
 _CANONIZE_CACHE = LRUCache("canonize", maxsize=4096)
 
+#: Recursion depth per thread; the shared cross-process store is only
+#: consulted/fed for root forms (see the twin note in
+#: :mod:`repro.usr.spnf` — inner squash/negation recursion is subsumed
+#: by the root entry).
+_STORE_DEPTH = threading.local()
+
 
 def canonize_form(
     form: NormalForm,
@@ -99,17 +107,31 @@ def canonize_form(
         tuple(sorted(var_schemas.items())),
         apply_squash_invariance,
     )
+    depth = getattr(_STORE_DEPTH, "value", 0)
     hit = _CANONIZE_CACHE.get(key)
+    if hit is None and depth == 0:
+        # Second level: the cross-process shared store (if installed),
+        # re-keyed on the run-stable fingerprint of the same key tuple.
+        hit = shared_memo_get("canonize", key)
+        if hit is not None:
+            _CANONIZE_CACHE.put(key, hit)
     if hit is not None:
         canonized, steps = hit
         if trace is not None:
             trace.steps.extend(steps)
         return canonized
     sub_trace = ProofTrace()
-    canonized = _canonize_form_impl(
-        form, constraints, var_schemas, sub_trace, apply_squash_invariance
-    )
-    _CANONIZE_CACHE.put(key, (canonized, tuple(sub_trace.steps)))
+    _STORE_DEPTH.value = depth + 1
+    try:
+        canonized = _canonize_form_impl(
+            form, constraints, var_schemas, sub_trace, apply_squash_invariance
+        )
+    finally:
+        _STORE_DEPTH.value = depth
+    value = (canonized, tuple(sub_trace.steps))
+    _CANONIZE_CACHE.put(key, value)
+    if depth == 0:
+        shared_memo_put("canonize", key, value)
     if trace is not None:
         trace.steps.extend(sub_trace.steps)
     return canonized

@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 from repro.usr.axioms import AXIOMS
 
@@ -100,6 +100,21 @@ class ReasonTally:
             if reason_code is not None:
                 reason = reason_code.value
                 self._reasons[reason] = self._reasons.get(reason, 0) + 1
+
+    def record_json(self, record: Mapping[str, object]) -> bool:
+        """Tally a result already in wire form (the pool speaks JSON).
+
+        The one shape-tolerant parse both the server-level and
+        per-member tallies share; a record with a missing or unknown
+        verdict/reason code is skipped and reported ``False``.
+        """
+        try:
+            verdict = Verdict(record["verdict"])
+            reason = ReasonCode(record["reason_code"])
+        except (KeyError, TypeError, ValueError):
+            return False
+        self.record(verdict, reason)
+        return True
 
     def total(self) -> int:
         with self._lock:

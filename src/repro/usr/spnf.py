@@ -28,6 +28,7 @@ representative — is normalized once per process.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -39,6 +40,7 @@ from repro.hashcons import (
     cached_structural_hash,
     memoization_enabled,
 )
+from repro.hashcons_store import shared_memo_get, shared_memo_put
 from repro.sql.schema import Schema
 from repro.udp.trace import ProofTrace
 from repro.usr.predicates import AtomPred, EqPred, NePred, Predicate
@@ -374,6 +376,13 @@ def flatten_squash(form: NormalForm) -> NormalForm:
 #: can replay the recorded axiom applications into the caller's trace.
 _NORMALIZE_CACHE = LRUCache("normalize", maxsize=4096)
 
+#: Recursion depth per thread: the shared cross-process store is only
+#: consulted/fed at depth 0 (the root expression of a decision).  Inner
+#: results are subsumed by the root's value — a sibling process hitting
+#: the root entry never recurses at all — so publishing every recursive
+#: level would multiply pickle/IO cost for no extra warming.
+_STORE_DEPTH = threading.local()
+
 
 def normalize(expr: UExpr, trace: Optional[ProofTrace] = None) -> NormalForm:
     """Rewrite ``expr`` into SPNF, memoized by structural identity.
@@ -383,22 +392,39 @@ def normalize(expr: UExpr, trace: Optional[ProofTrace] = None) -> NormalForm:
     exact structure including binder names, so hits are only ever replays
     of the identical input) and appends the cold run's recorded proof
     steps to ``trace``.
+
+    Two memo levels: the private in-process LRU first, then — when a
+    :mod:`repro.hashcons_store` store is installed (session pools) — the
+    cross-process shared store, keyed on the run-stable fingerprint so
+    pool members warm each other instead of each normalizing cold.
     """
     if not memoization_enabled() or isinstance(expr, (_Zero, _One, Pred, Rel)):
         return _normalize_impl(expr, trace)
     # The key is the expression itself: structural equality with cached
-    # hashes is cheaper than a digest, and the memo is per-process (the
-    # run-stable `fingerprint()` exists for keys that cross processes).
+    # hashes is cheaper than a digest; the shared level re-keys on the
+    # run-stable `fingerprint()`, which agrees across processes.
     key = expr
+    depth = getattr(_STORE_DEPTH, "value", 0)
     hit = _NORMALIZE_CACHE.get(key)
+    if hit is None and depth == 0:
+        hit = shared_memo_get("normalize", expr)
+        if hit is not None:
+            _NORMALIZE_CACHE.put(key, hit)
     if hit is not None:
         form, steps = hit
         if trace is not None:
             trace.steps.extend(steps)
         return form
     sub_trace = ProofTrace()
-    form = _normalize_impl(expr, sub_trace)
-    _NORMALIZE_CACHE.put(key, (form, tuple(sub_trace.steps)))
+    _STORE_DEPTH.value = depth + 1
+    try:
+        form = _normalize_impl(expr, sub_trace)
+    finally:
+        _STORE_DEPTH.value = depth
+    value = (form, tuple(sub_trace.steps))
+    _NORMALIZE_CACHE.put(key, value)
+    if depth == 0:
+        shared_memo_put("normalize", expr, value)
     if trace is not None:
         trace.steps.extend(sub_trace.steps)
     return form

@@ -1,20 +1,23 @@
-"""Differential harness: four entry points, one truth.
+"""Differential harness: five entry points, one truth.
 
-The repo now has four parallel ways to decide a query pair — the legacy
-``Solver.check`` shim, ``Session.verify``, ``BatchVerifier.run``, and
-the HTTP server — and nothing but discipline keeps them agreeing.  This
-suite makes the discipline executable: every entry point is driven over
-the full evaluation corpus (all 91 rules: literature, Calcite,
-extensions, and the ``corpus/bugs.py`` negative cases) under the same
-legacy pipeline, and the verdict *and* machine-readable ``reason_code``
-must be identical for every rule.  A drift in any one path fails with
-the rule id and the disagreeing records named.
+The repo now has five parallel ways to decide a query pair — the legacy
+``Solver.check`` shim, ``Session.verify``, ``BatchVerifier.run``, the
+single-member HTTP server, and the pooled HTTP server (N members, shared
+memo store, forked workers where the platform allows) — and nothing but
+discipline keeps them agreeing.  This suite makes the discipline
+executable: every entry point is driven over the full evaluation corpus
+(all 91 rules: literature, Calcite, extensions, and the
+``corpus/bugs.py`` negative cases) under the same legacy pipeline, and
+the verdict *and* machine-readable ``reason_code`` must be identical for
+every rule.  A drift in any one path fails with the rule id and the
+disagreeing records named.
 
 The shared baseline is the per-rule ``Solver`` result (its own catalog
 per rule, exactly how ``test_corpus.py`` established the Fig. 5
-expectations); the other three paths run program-routed sessions, so
-this also exercises sub-session catalog caching against fresh-catalog
-behavior.
+expectations); the other paths run program-routed sessions, so this also
+exercises sub-session catalog caching against fresh-catalog behavior —
+and, for the pooled path, that fanning rules out across pool members
+changes nothing but wall-clock time.
 """
 
 from __future__ import annotations
@@ -61,26 +64,45 @@ def outcome_map_batch():
     }
 
 
-def outcome_map_http():
-    """rule_id -> (verdict, reason_code) via one streamed HTTP batch."""
+def _http_batch_outcomes(server):
     payload = "\n".join(
         json.dumps(request.to_json()) for request in as_verify_requests()
     ) + "\n"
-    with VerificationServer(pipeline=PipelineConfig.legacy()) as server:
-        http_request = urllib.request.Request(
-            server.url + "/verify/batch",
-            data=payload.encode("utf-8"),
-            headers={"Content-Type": "application/x-ndjson"},
-        )
-        with urllib.request.urlopen(http_request, timeout=300) as response:
-            assert response.status == 200
-            lines = response.read().decode("utf-8").splitlines()
+    http_request = urllib.request.Request(
+        server.url + "/verify/batch",
+        data=payload.encode("utf-8"),
+        headers={"Content-Type": "application/x-ndjson"},
+    )
+    with urllib.request.urlopen(http_request, timeout=300) as response:
+        assert response.status == 200
+        lines = response.read().decode("utf-8").splitlines()
     records = [json.loads(line) for line in lines]
     assert not any("error" in record for record in records)
     return {
         record["id"]: (record["verdict"], record["reason_code"])
         for record in records
     }
+
+
+def outcome_map_http():
+    """rule_id -> (verdict, reason_code) via one streamed HTTP batch."""
+    with VerificationServer(pipeline=PipelineConfig.legacy()) as server:
+        return _http_batch_outcomes(server)
+
+
+def outcome_map_pool_http():
+    """rule_id -> (verdict, reason_code) via the pooled server (2 warm
+    members, forked workers + shared memo store where fork exists)."""
+    with VerificationServer(
+        pipeline=PipelineConfig.legacy(), pool_size=2, pool_mode="auto"
+    ) as server:
+        outcomes = _http_batch_outcomes(server)
+        spread = [m.requests for m in server.pool.members]
+        assert sum(spread) >= len(RULES), spread
+        assert all(count > 0 for count in spread), (
+            f"pool did not dispatch across members: {spread}"
+        )
+        return outcomes
 
 
 @pytest.fixture(scope="module")
@@ -90,6 +112,7 @@ def outcomes():
         "session": outcome_map_session(),
         "batch": outcome_map_batch(),
         "http": outcome_map_http(),
+        "pool_http": outcome_map_pool_http(),
     }
 
 
@@ -99,7 +122,7 @@ def test_corpus_is_the_full_91_rules(outcomes):
         assert sorted(mapping) == sorted(RULE_IDS), f"{name} missed rules"
 
 
-@pytest.mark.parametrize("path", ["session", "batch", "http"])
+@pytest.mark.parametrize("path", ["session", "batch", "http", "pool_http"])
 def test_entry_point_matches_solver_verdict_and_reason_code(outcomes, path):
     baseline, candidate = outcomes["solver"], outcomes[path]
     drift = {
@@ -112,7 +135,7 @@ def test_entry_point_matches_solver_verdict_and_reason_code(outcomes, path):
     )
 
 
-def test_all_four_entry_points_pairwise_identical(outcomes):
+def test_all_entry_points_pairwise_identical(outcomes):
     names = sorted(outcomes)
     for rule_id in RULE_IDS:
         answers = {name: outcomes[name][rule_id] for name in names}
@@ -133,7 +156,7 @@ def test_negative_cases_stay_negative_everywhere(outcomes):
 
 
 def test_every_entry_point_meets_the_corpus_expectations(outcomes):
-    """Identity is not enough — all four must also be *right* (Fig. 5)."""
+    """Identity is not enough — every path must also be *right* (Fig. 5)."""
     expected = {
         rule.rule_id: rule.expectation.value
         for rule in RULES

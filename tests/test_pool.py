@@ -1,0 +1,514 @@
+"""Concurrency stress tests of the session pool and its HTTP front end.
+
+The pool's contract has four load-bearing claims, each hammered here
+over real HTTP from many client threads:
+
+* **Verdict identity** — answers through an N-member pool (thread *and*
+  forked-process members) are verdict- and reason-code-identical to the
+  single-session differential baseline (``Session.verify`` /
+  ``Solver.check``), per request id.
+* **No cross-talk** — every response carries exactly the id, the
+  verdict, and the per-request pipeline behavior of *its* request, no
+  matter how the scheduler interleaves members.
+* **Ordering** — ``/verify/batch`` output equals the single-member
+  server's output record-for-record, in input order, malformed lines
+  included.
+* **Backpressure** — past the admission bound the server answers a
+  structured 503 with ``Retry-After`` (and keeps ``/healthz`` alive),
+  then recovers; queued requests within the bound wait and succeed.
+
+Plus the pool-only mechanics: forked members that die mid-request are
+respawned after answering a structured error record, and process-mode
+members warm each other through the shared memo store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.server import VerificationServer
+from repro.server.pool import (
+    AdmissionGate,
+    SessionPool,
+    default_pool_size,
+    resolve_pool_mode,
+)
+from repro.session import (
+    PipelineConfig,
+    Session,
+    TacticOutcome,
+    _TACTICS,
+    register_tactic,
+)
+from repro.udp.trace import ReasonCode, Verdict
+
+from tests.conftest import RS_PROGRAM
+
+#: Pool size the stress scenarios run with (the CI ``server-stress`` job
+#: exports UDP_POOL_TEST_SIZE=4 to pin the issue's ``--pool-size 4``).
+STRESS_POOL_SIZE = max(2, int(os.environ.get("UDP_POOL_TEST_SIZE", "4")))
+CLIENT_THREADS = 8
+
+PROCESS_MODE_AVAILABLE = resolve_pool_mode("auto", 2) == "process"
+needs_fork = pytest.mark.skipif(
+    not PROCESS_MODE_AVAILABLE, reason="fork start method unavailable"
+)
+
+# -- test-only tactics (registered before any pool forks) ---------------------
+
+if "test-sleep" not in _TACTICS:
+
+    @register_tactic("test-sleep")
+    def _tactic_sleep(session, task, config):
+        time.sleep(0.4)
+        return TacticOutcome(
+            verdict=Verdict.NOT_PROVED,
+            reason_code=ReasonCode.NO_ISOMORPHISM,
+            reason="slept",
+            conclusive=True,
+        )
+
+
+if "test-crash" not in _TACTICS:
+
+    @register_tactic("test-crash")
+    def _tactic_crash(session, task, config):
+        os._exit(17)  # simulate a member process dying mid-proof
+
+
+# -- shared workload ----------------------------------------------------------
+
+#: Ten distinct pairs with known outcomes under the default pipeline.
+PAIRS = {}
+for n in range(5):
+    PAIRS[f"eq-{n}"] = (
+        f"SELECT * FROM r x WHERE x.a = {n} AND x.b = {n + 10}",
+        f"SELECT * FROM r x WHERE x.b = {n + 10} AND x.a = {n}",
+    )
+    PAIRS[f"neq-{n}"] = (
+        f"SELECT * FROM r x WHERE x.a = {n}",
+        f"SELECT * FROM r x WHERE x.a = {n + 100}",
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """request key -> (verdict, reason_code) via one plain Session."""
+    session = Session.from_program_text(RS_PROGRAM)
+    return {
+        key: (result.verdict.value, result.reason_code.value)
+        for key, pair in PAIRS.items()
+        for result in [session.verify(pair[0], pair[1])]
+    }
+
+
+def post_json(url, obj, timeout=60):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(obj).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read()), dict(
+                response.headers
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+def get_json(url, timeout=30):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def batch_records(server, lines, query=""):
+    request = urllib.request.Request(
+        server.url + "/verify/batch" + query,
+        data=("\n".join(lines) + "\n").encode("utf-8"),
+        headers={"Content-Type": "application/x-ndjson"},
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        assert response.status == 200
+        payload = response.read().decode("utf-8")
+    return [json.loads(line) for line in payload.splitlines()]
+
+
+# -- verdict identity + no cross-talk under thread hammering ------------------
+
+
+def test_stress_clients_verdict_identity_and_no_crosstalk(baseline):
+    """≥8 client threads × mixed pairs: every answer matches its id's
+    baseline verdict and reason code — concurrency may reorder work but
+    never swap or corrupt answers."""
+    rounds = 5
+    with VerificationServer(
+        Session.from_program_text(RS_PROGRAM),
+        pool_size=STRESS_POOL_SIZE,
+        pool_mode="thread",
+    ) as server:
+        results = []
+        errors = []
+
+        def client(worker):
+            try:
+                for round_no in range(rounds):
+                    key = list(PAIRS)[(worker + round_no) % len(PAIRS)]
+                    left, right = PAIRS[key]
+                    request_id = f"{key}#{worker}.{round_no}"
+                    status, record, _ = post_json(
+                        server.url + "/verify",
+                        {"id": request_id, "left": left, "right": right},
+                    )
+                    results.append((key, request_id, status, record))
+            except Exception as error:  # pragma: no cover - fail loudly
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(CLIENT_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        assert len(results) == CLIENT_THREADS * rounds
+        for key, request_id, status, record in results:
+            assert status == 200
+            assert record["id"] == request_id  # the id echo: no swapped answers
+            assert (record["verdict"], record["reason_code"]) == baseline[key], (
+                f"{request_id} drifted from the single-session baseline"
+            )
+        stats = get_json(server.url + "/stats")
+        assert stats["results"] == len(results)
+        pool = stats["pool"]
+        assert pool["size"] == STRESS_POOL_SIZE
+        assert sum(m["requests"] for m in pool["members"]) == len(results)
+        # The idle queue rotates members, so sequential-ish load still
+        # spreads: more than one member must have proved something.
+        assert sum(1 for m in pool["members"] if m["requests"] > 0) >= 2
+
+
+def test_per_request_pipeline_isolation_under_concurrency():
+    """Concurrent clients with *different* per-request pipelines on the
+    same pair each get their own pipeline's answer — member reuse must
+    not leak one request's configuration into another's."""
+    neq = ("SELECT * FROM r x WHERE x.a = 1", "SELECT * FROM r x WHERE x.a = 2")
+    with VerificationServer(
+        Session.from_program_text(RS_PROGRAM),
+        pool_size=STRESS_POOL_SIZE,
+        pool_mode="thread",
+    ) as server:
+        outcomes = []
+        errors = []
+
+        def client(i):
+            try:
+                wants_refutation = i % 2 == 0
+                payload = {"id": f"c{i}", "left": neq[0], "right": neq[1]}
+                if wants_refutation:
+                    payload["pipeline"] = "udp-prove,model-check"
+                else:
+                    payload["pipeline"] = "udp-prove"
+                status, record, _ = post_json(server.url + "/verify", payload)
+                outcomes.append((wants_refutation, status, record))
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(12)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors and len(outcomes) == 12
+        for wants_refutation, status, record in outcomes:
+            assert status == 200
+            assert record["verdict"] == "not_proved"
+            if wants_refutation:
+                assert record["reason_code"] == "counterexample-found"
+                assert record["tactics_tried"] == ["udp-prove", "model-check"]
+            else:
+                assert record["reason_code"] == "no-isomorphism"
+                assert record["tactics_tried"] == ["udp-prove"]
+
+
+# -- batch ordering -----------------------------------------------------------
+
+
+def test_pooled_batch_identical_to_single_member_baseline():
+    """The same batch through a pool and through one member must produce
+    the same records in the same (input) order — including the malformed
+    lines — with only the timings differing."""
+    lines = []
+    for index, (key, (left, right)) in enumerate(sorted(PAIRS.items())):
+        lines.append(json.dumps({"id": key, "left": left, "right": right}))
+        if index % 3 == 1:
+            lines.append(f"malformed line {index}")
+        if index % 4 == 2:
+            lines.append(json.dumps({"id": f"partial-{index}", "left": left}))
+    lines.append("")  # blank: skipped, not answered
+
+    def strip(record):
+        record = dict(record)
+        record.pop("elapsed_seconds", None)
+        return record
+
+    with VerificationServer(
+        Session.from_program_text(RS_PROGRAM), pool_size=1, pool_mode="thread"
+    ) as single:
+        expected = [strip(r) for r in batch_records(single, lines)]
+    with VerificationServer(
+        Session.from_program_text(RS_PROGRAM),
+        pool_size=STRESS_POOL_SIZE,
+        pool_mode="thread",
+    ) as pooled:
+        for window in ("", "?window=2", "?window=64"):
+            got = [strip(r) for r in batch_records(pooled, lines, window)]
+            assert got == expected, f"batch drift at window {window!r}"
+
+
+# -- process members ----------------------------------------------------------
+
+
+@needs_fork
+def test_process_pool_verdict_identity_on_corpus_subset():
+    """Forked members answer the corpus subset exactly like Solver.check
+    (the legacy pipeline) — the acceptance bar for pooled proving."""
+    from repro import Solver
+    from repro.corpus import all_rules
+
+    rules = [r for r in all_rules() if r.dataset in ("bugs", "literature")][:20]
+    expected = {}
+    for rule in rules:
+        solver = Solver.from_program_text(rule.program)
+        outcome = solver.check(rule.left, rule.right)
+        expected[rule.rule_id] = (
+            outcome.verdict.value,
+            outcome.reason_code.value,
+        )
+    lines = [
+        json.dumps(
+            {
+                "id": rule.rule_id,
+                "left": rule.left,
+                "right": rule.right,
+                "program": rule.program,
+            }
+        )
+        for rule in rules
+    ]
+    with VerificationServer(
+        pipeline=PipelineConfig.legacy(), pool_size=2, pool_mode="process"
+    ) as server:
+        assert server.pool.mode == "process"
+        records = batch_records(server, lines)
+    assert [r["id"] for r in records] == [rule.rule_id for rule in rules]
+    drift = {
+        r["id"]: (expected[r["id"]], (r["verdict"], r["reason_code"]))
+        for r in records
+        if (r["verdict"], r["reason_code"]) != expected[r["id"]]
+    }
+    assert not drift, f"process pool drifted from Solver.check: {drift}"
+
+
+@needs_fork
+def test_dead_process_member_answers_error_and_respawns():
+    pool = SessionPool(
+        1, mode="process", session=Session.from_program_text(RS_PROGRAM)
+    )
+    try:
+        record = pool.verify_json(
+            {
+                "id": "boom",
+                "left": "SELECT * FROM r x",
+                "right": "SELECT * FROM r x",
+                "pipeline": "test-crash",
+            }
+        )
+        assert record["verdict"] == "error"
+        assert record["id"] == "boom"
+        assert "died mid-request" in record["reason"]
+        # The respawned member keeps serving.
+        record = pool.verify_json(
+            {
+                "id": "after",
+                "left": "SELECT * FROM r x",
+                "right": "SELECT * FROM r x",
+            }
+        )
+        assert record["verdict"] == "proved"
+        assert pool.members[0].restarts == 1
+    finally:
+        pool.close()
+
+
+@needs_fork
+def test_shared_store_warms_the_sibling_member():
+    """Member 0 proves a never-seen pair; the FIFO idle queue hands the
+    identical repeat to member 1, whose private caches are cold — it must
+    find member 0's normalize/canonize results in the shared store."""
+    pool = SessionPool(
+        2, mode="process", session=Session.from_program_text(RS_PROGRAM)
+    )
+    try:
+        assert pool.store is not None
+        # Constants nothing else in the suite uses: cold in every cache.
+        pair = {
+            "left": "SELECT * FROM r x WHERE x.a = 777001 AND x.b = 777002",
+            "right": "SELECT * FROM r x WHERE x.b = 777002 AND x.a = 777001",
+        }
+        first = pool.verify_json(dict(pair, id="warm-0"))
+        second = pool.verify_json(dict(pair, id="warm-1"))
+        assert first["verdict"] == second["verdict"] == "proved"
+        assert first["reason_code"] == second["reason_code"]
+        members = {m["id"]: m for m in pool.stats()["members"]}
+        assert members[0]["requests"] == 1 and members[1]["requests"] == 1
+        assert members[0]["store"]["publishes"] > 0, "member 0 published nothing"
+        assert members[1]["store"]["hits"] > 0, (
+            "member 1 re-proved cold instead of hitting the shared store: "
+            f"{members[1]['store']}"
+        )
+    finally:
+        pool.close()
+
+
+# -- backpressure -------------------------------------------------------------
+
+
+SLOW_REQUEST = {
+    "left": "SELECT * FROM r x WHERE x.a = 900001",
+    "right": "SELECT * FROM r x WHERE x.a = 900002",
+    "pipeline": "test-sleep",
+}
+
+
+def test_saturation_returns_structured_503_with_retry_after():
+    with VerificationServer(
+        Session.from_program_text(RS_PROGRAM),
+        pool_size=1,
+        pool_mode="thread",
+        max_inflight=1,
+        max_queued=0,
+        admission_timeout=0.0,
+        retry_after=7,
+    ) as server:
+        release = threading.Event()
+        slow_status = []
+
+        def slow_client():
+            status, _, _ = post_json(
+                server.url + "/verify", dict(SLOW_REQUEST, id="slow")
+            )
+            slow_status.append(status)
+            release.set()
+
+        thread = threading.Thread(target=slow_client)
+        thread.start()
+        time.sleep(0.1)  # the slow request is now holding the only slot
+        status, payload, headers = post_json(
+            server.url + "/verify", dict(SLOW_REQUEST, id="rejected")
+        )
+        assert status == 503
+        assert payload["error"]["code"] == "saturated"
+        assert payload["error"]["retry_after_seconds"] == 7
+        assert headers.get("Retry-After") == "7"
+        # Liveness endpoints stay answerable while proving is saturated.
+        assert get_json(server.url + "/healthz")["status"] == "ok"
+        release.wait(timeout=30)
+        thread.join(timeout=30)
+        assert slow_status == [200]
+        # Capacity recovered: the next request is served, and /stats
+        # remembers the shed load.
+        deadline = time.monotonic() + 10
+        while True:
+            status, record, _ = post_json(
+                server.url + "/verify",
+                {
+                    "id": "recovered",
+                    "left": "SELECT * FROM r x",
+                    "right": "SELECT * FROM r x",
+                },
+            )
+            if status == 200 or time.monotonic() > deadline:
+                break
+            time.sleep(0.05)
+        assert status == 200 and record["verdict"] == "proved"
+        stats = get_json(server.url + "/stats")
+        assert stats["saturated"] >= 1
+        assert stats["admission"]["rejected"] >= 1
+        assert stats["admission"]["max_inflight"] == 1
+
+
+def test_queued_request_within_bound_waits_and_succeeds():
+    with VerificationServer(
+        Session.from_program_text(RS_PROGRAM),
+        pool_size=1,
+        pool_mode="thread",
+        max_inflight=1,
+        max_queued=1,
+        admission_timeout=10.0,
+    ) as server:
+        statuses = []
+
+        def client(request_id):
+            status, _, _ = post_json(
+                server.url + "/verify", dict(SLOW_REQUEST, id=request_id)
+            )
+            statuses.append(status)
+
+        threads = [
+            threading.Thread(target=client, args=(f"q{i}",)) for i in range(2)
+        ]
+        threads[0].start()
+        time.sleep(0.1)
+        threads[1].start()  # waits in the admission queue, must not 503
+        for thread in threads:
+            thread.join(timeout=60)
+        assert statuses == [200, 200]
+
+
+def test_admission_gate_unit():
+    gate = AdmissionGate(2, max_queued=1, wait_timeout=0.0)
+    assert gate.try_enter() and gate.try_enter()
+    assert not gate.try_enter()  # full, no waiting allowed
+    gate.leave()
+    assert gate.try_enter()
+    snapshot = gate.snapshot()
+    assert snapshot["rejected"] == 1
+    assert snapshot["admitted"] == 3
+    assert snapshot["peak_inflight"] == 2
+
+    waiter = AdmissionGate(1, max_queued=1, wait_timeout=5.0)
+    assert waiter.try_enter()
+    admitted = []
+    thread = threading.Thread(
+        target=lambda: admitted.append(waiter.try_enter())
+    )
+    thread.start()
+    time.sleep(0.1)
+    waiter.leave()  # wakes the queued caller within its timeout
+    thread.join(timeout=10)
+    assert admitted == [True]
+
+
+# -- mode resolution ----------------------------------------------------------
+
+
+def test_pool_mode_resolution():
+    assert resolve_pool_mode("thread", 8) == "thread"
+    assert resolve_pool_mode("auto", 1) == "thread"
+    if PROCESS_MODE_AVAILABLE:
+        assert resolve_pool_mode("auto", 2) == "process"
+    with pytest.raises(ValueError, match="unknown pool mode"):
+        resolve_pool_mode("fibers", 2)
+    assert default_pool_size() >= 1

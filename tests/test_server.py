@@ -5,9 +5,13 @@ ephemeral port in a background thread and talks to it over actual HTTP
 (urllib) — no handler mocking.  Covered: single and batch round-trips,
 JSON schema stability of the ``VerifyResult`` wire record, structured
 400s for malformed input (never a traceback body), in-order error
-isolation inside batches, per-request pipeline overrides, ``/healthz``,
-advancing ``/stats`` counters, and concurrent clients against the shared
-session.
+isolation inside batches, per-request pipeline overrides, the
+``POST /corpus`` replay route, ``/healthz``, advancing ``/stats``
+counters (including the pool/admission/store sections), and concurrent
+clients against the session pool.  Pool-specific concurrency behavior
+(multi-member stress, saturation 503s, process members) lives in
+``tests/test_pool.py``; body-framing properties in
+``tests/test_server_fuzz.py``.
 """
 
 from __future__ import annotations
@@ -49,7 +53,12 @@ RESULT_KEYS = {
 
 @pytest.fixture(scope="module")
 def server():
-    with VerificationServer(Session.from_program_text(RS_PROGRAM)) as srv:
+    # max_inflight is raised past the concurrency tests' burst size: this
+    # module tests request/response semantics, not backpressure (which
+    # tests/test_pool.py covers against a deliberately tight gate).
+    with VerificationServer(
+        Session.from_program_text(RS_PROGRAM), max_inflight=32
+    ) as srv:
         yield srv
 
 
@@ -85,6 +94,8 @@ def test_healthz(server):
     assert status == 200
     assert payload["status"] == "ok"
     assert payload["uptime_seconds"] >= 0
+    assert payload["pool_size"] == 1
+    assert payload["pool_mode"] in ("thread", "process")
 
 
 def test_unknown_route_is_structured_404(server):
@@ -298,6 +309,54 @@ def test_stats_exposes_cache_occupancy(server):
     assert "caches" in stats  # the process-wide memo layers
     assert stats["session"]["compile_cache"]["entries"] >= 2
     assert stats["session"]["requests"] >= 1
+
+
+def test_stats_exposes_pool_and_admission_sections(server):
+    post_verify(server, {"left": EQ[0], "right": EQ[1]})
+    _, stats = get(server, "/stats")
+    pool = stats["pool"]
+    assert pool["size"] == 1 and len(pool["members"]) == 1
+    member = pool["members"][0]
+    assert member["requests"] >= 1
+    assert member["verdicts"].get("proved", 0) >= 1
+    # Rolled-up tallies equal the member sums on a 1-member pool.
+    assert pool["verdicts"] == member["verdicts"]
+    assert pool["reason_codes"] == member["reason_codes"]
+    admission = stats["admission"]
+    assert admission["max_inflight"] >= 1
+    assert admission["admitted"] >= 1
+    assert "store" in stats  # installed: false on a thread pool by default
+    assert stats["store"]["installed"] in (True, False)
+
+
+# -- POST /corpus -------------------------------------------------------------
+
+
+def test_corpus_replay_returns_summary_and_feeds_stats(server):
+    _, before = get(server, "/stats")
+    status, summary = post(server, "/corpus?dataset=bugs", b"")
+    assert status == 200
+    assert summary["dataset"] == "bugs"
+    assert summary["rules"] == 3
+    assert summary["pool_size"] == 1
+    assert sum(summary["verdicts"].values()) == 3
+    assert summary["verdicts"].get("proved", 0) == 0  # bugs must not prove
+    assert summary["elapsed_seconds"] >= 0
+    _, after = get(server, "/stats")
+    assert after["results"] == before["results"] + 3
+    assert after["endpoints"]["corpus"] == before["endpoints"].get("corpus", 0) + 1
+
+
+def test_corpus_unknown_dataset_is_structured_400(server):
+    status, payload = post(server, "/corpus?dataset=figments", b"")
+    assert status == 400
+    assert "figments" in payload["error"]["reason"]
+
+
+def test_corpus_get_is_structured_405(server):
+    status, payload = get_error(server, "/corpus")
+    assert status == 405
+    assert payload["error"]["code"] == "method-not-allowed"
 
 
 # -- the shared session under concurrency ------------------------------------
