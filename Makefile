@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-server test-differential server-stress bench bench-smoke bench-gate batch-corpus serve
+.PHONY: test test-server test-differential server-stress bench bench-smoke bench-gate bench-kernel batch-corpus serve
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -42,9 +42,16 @@ bench-smoke:
 ## CI perf-regression gate: fail when the memoized corpus pass regresses
 ## more than 2x against the committed baseline, then record pooled-vs-
 ## single-member server throughput (>= 1.5x enforced on >= 2 cores).
-bench-gate:
+bench-gate: bench-kernel
 	$(PYTHON) benchmarks/bench_fig7_runtime.py --gate benchmarks/fig7_baseline.json --workers 4
 	$(PYTHON) benchmarks/bench_pool_server.py --gate
+
+## Decision-kernel gate (also a bench-gate prerequisite): the canonical-
+## digest kernel must beat the legacy kernel >= 5x on the adversarial
+## self-join suite and stay within 1.05x of it on the cold (memo-cleared)
+## 91-rule corpus pass.
+bench-kernel:
+	$(PYTHON) benchmarks/bench_kernel.py --gate benchmarks/fig7_baseline.json
 
 ## One batch-service pass over the built-in corpus, results to stdout.
 batch-corpus:

@@ -44,13 +44,52 @@ def find_homomorphism(
     source_vars = list(source.vars)
     schema_of_target = dict(target.vars)
 
+    # Signature pruning.  A source variable that is itself the argument of
+    # a relation atom ``R(v)`` can only map onto an image congruent to the
+    # argument of some ``R`` atom of the target — ``check`` would reject
+    # anything else — so that condition filters candidates exactly (no
+    # completeness loss).  Among the survivors, images that cover *more*
+    # of the source variable's relation names are tried first: the nested
+    # containment loops of SDP spend their time on failed assignments,
+    # and the witness, when one exists, almost always reuses atoms.
+    def direct_rel_names(term: NormalTerm) -> Dict[str, List[str]]:
+        out: Dict[str, List[str]] = {name: [] for name, _ in term.vars}
+        for rel_name, arg in term.rels:
+            if isinstance(arg, TupleVar) and arg.name in out:
+                out[arg.name].append(rel_name)
+        return out
+
+    source_feeds = direct_rel_names(source)
+    target_feeds = direct_rel_names(target)
+
+    def feeds_congruent(target_name: str, rel_name: str) -> bool:
+        image = TupleVar(target_name)
+        return any(
+            other_name == rel_name and closure.equal(image, other_arg)
+            for other_name, other_arg in target.rels
+        )
+
     candidates: List[List[str]] = []
     for name, schema in source_vars:
+        required = sorted(set(source_feeds[name]))
         options = [
             target_name
             for target_name in target_vars
             if schema_of_target[target_name] == schema
+            and all(
+                feeds_congruent(target_name, rel_name)
+                for rel_name in required
+            )
         ]
+        if required:
+            # Prefer images with the same direct relation signature: the
+            # witness homomorphism usually maps a join variable onto a
+            # variable playing the same role, so try those first.
+            wanted = sorted(source_feeds[name])
+            options.sort(
+                key=lambda target_name: sorted(target_feeds[target_name])
+                != wanted
+            )
         candidates.append(options)
 
     assignment: Dict[str, str] = {}

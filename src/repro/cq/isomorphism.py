@@ -10,20 +10,72 @@ variables makes them equal, where equality of the factor lists is checked
 * for squash parts — by the injected SDP comparator;
 * for negation parts — by the injected (recursive) UDP comparator.
 
-The bijection search is pruned by per-variable signatures (schema + the
-multiset of relation names the variable feeds).
+The kernel runs in one of three modes (:func:`set_kernel_mode`):
+
+``digest`` (default)
+    Canonical-labeling fast path first: if the two terms' run-stable
+    canonical digests (:mod:`repro.cq.labeling`) agree, they are
+    alpha-equivalent and the search is skipped entirely.  Otherwise the
+    refinement-colored backtracking search below runs.
+
+``search``
+    The same search without the digest short-circuit — the differential
+    reference for the fast path.
+
+``legacy``
+    The pre-digest kernel: per-candidate term renaming and congruence
+    closures rebuilt at every leaf.  Kept as the benchmark baseline
+    (``benchmarks/bench_kernel.py``) and as a differential oracle.
+
+The search itself builds both congruence closures **once per term pair**
+and evaluates every candidate bijection through an incremental variable
+mapping (values are substituted individually; no renamed term is
+materialized until the factor lists already match), with forward
+checking: a right-hand predicate or relation atom is tested as soon as
+the last binder it mentions is assigned, so doomed branches die near the
+root instead of at the leaves.  Candidate targets are filtered by the
+same conservative per-variable signatures as before (schema + the
+multiset of relation names the variable feeds — congruence-blind filters
+must stay coarse) and *ordered* by refinement color, which finds the
+witness bijection first on equivalent pairs.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.cq.labeling import DIGEST_MIN_VARS, refined_binder_colors, term_digest
 from repro.logic.congruence import CongruenceClosure
 from repro.usr.predicates import AtomPred, EqPred, NePred
 from repro.usr.spnf import NormalForm, NormalTerm, substitute_term
+from repro.usr.substitute import subst_value
 from repro.usr.values import TupleVar, ValueExpr
+
+KERNEL_MODES = ("digest", "search", "legacy")
+
+_kernel_mode = "digest"
+
+
+def set_kernel_mode(mode: str) -> str:
+    """Select the matching kernel; returns the previous mode.
+
+    ``digest`` is the production kernel.  ``search`` and ``legacy``
+    exist for differential testing and benchmarking — all three must
+    accept exactly the same term pairs.
+    """
+    global _kernel_mode
+    if mode not in KERNEL_MODES:
+        raise ValueError(
+            f"unknown kernel mode {mode!r}; expected one of {KERNEL_MODES}"
+        )
+    previous = _kernel_mode
+    _kernel_mode = mode
+    return previous
+
+
+def kernel_mode() -> str:
+    return _kernel_mode
 
 
 @dataclass
@@ -62,7 +114,12 @@ def _pred_values(pred) -> Tuple[ValueExpr, ...]:
 
 
 def _var_signature(term: NormalTerm, name: str) -> Tuple:
-    """A bijection-invariant fingerprint of a summation variable."""
+    """A bijection-invariant fingerprint of a summation variable.
+
+    Deliberately coarse: it filters candidate targets, and the final
+    matching works modulo congruence, which syntax-level data (beyond
+    this) cannot see without losing completeness.
+    """
     rel_names = sorted(
         rel_name
         for rel_name, arg in term.rels
@@ -99,35 +156,359 @@ def terms_isomorphic(
     if (left.neg_part is None) != (right.neg_part is None):
         return False
 
-    # Candidate target variables for each right-hand binder.
-    left_vars = list(left.vars)
-    right_vars = list(right.vars)
-    candidates: List[List[str]] = []
-    for right_name, right_schema in right_vars:
+    mode = _kernel_mode
+    if mode == "digest":
+        if left == right:
+            context.tick()
+            return True
+        left_digest = left.__dict__.get("_canon_digest")
+        right_digest = right.__dict__.get("_canon_digest")
+        if (
+            (left_digest is None or right_digest is None)
+            and len(left.vars) >= DIGEST_MIN_VARS
+        ):
+            left_digest = term_digest(left)
+            right_digest = term_digest(right)
+        if (
+            left_digest is not None
+            and right_digest is not None
+            and left_digest == right_digest
+        ):
+            context.tick()
+            return True
+    if mode == "legacy":
+        return _legacy_search(left, right, context)
+    return _search(left, right, context)
+
+
+def _apply_mapping(
+    value: ValueExpr, mapping: Dict[str, ValueExpr]
+) -> ValueExpr:
+    """``subst_value`` with a cheap disjointness guard.
+
+    Most factor values touch only one or two binders; skipping the
+    rebuild when a value's (cached) free variables miss the mapping
+    keeps the per-candidate cost near a dictionary probe.
+    """
+    if not mapping:
+        return value
+    free = value.free_tuple_vars()
+    if not free or not (free & mapping.keys()):
+        return value
+    return subst_value(value, mapping)
+
+
+def _candidate_lists(
+    left: NormalTerm, right: NormalTerm, ordered: bool
+) -> Optional[List[Tuple[str, List[str]]]]:
+    """Per right-binder candidate left binders, or ``None`` when one is empty.
+
+    The filter (schema + signature equality) is shared by every kernel
+    mode — it defines the accepted relation.  ``ordered`` additionally
+    sorts each list so refinement-color matches come first, which is a
+    pure search heuristic.
+    """
+    left_sigs = {
+        name: _var_signature(left, name) for name, _ in left.vars
+    }
+    schema_of_left = dict(left.vars)
+    out: List[Tuple[str, List[str]]] = []
+    # Refinement colors only earn their keep once the candidate lists
+    # are long enough for ordering to matter.
+    ordered = ordered and len(right.vars) >= DIGEST_MIN_VARS
+    left_colors = refined_binder_colors(left) if ordered else {}
+    right_colors = refined_binder_colors(right) if ordered else {}
+    for right_name, right_schema in right.vars:
         right_sig = _var_signature(right, right_name)
         options = [
             left_name
-            for left_name, left_schema in left_vars
-            if left_schema == right_schema
-            and _var_signature(left, left_name) == right_sig
+            for left_name, _ in left.vars
+            if schema_of_left[left_name] == right_schema
+            and left_sigs[left_name] == right_sig
         ]
         if not options:
-            return False
-        candidates.append(options)
+            return None
+        if ordered:
+            color = right_colors[right_name]
+            options.sort(
+                key=lambda left_name: 0 if left_colors[left_name] == color else 1
+            )
+        out.append((right_name, options))
+    return out
 
+
+# ---------------------------------------------------------------------------
+# The refinement-colored, forward-checked search (modes digest/search)
+# ---------------------------------------------------------------------------
+
+
+def _search(left: NormalTerm, right: NormalTerm, context: MatchContext) -> bool:
+    closure_left = build_closure_from_preds(left)
+    closure_right = build_closure_from_preds(right)
+    if not right.vars:
+        context.tick()
+        return _mapped_terms_equal(
+            left, right, {}, {}, closure_left, closure_right, context
+        )
+    candidates = _candidate_lists(left, right, ordered=True)
+    if candidates is None:
+        return False
+    # Most-constrained-first assignment order cuts the branching early.
+    sequence = sorted(candidates, key=lambda entry: len(entry[1]))
+    step_of = {name: step for step, (name, _) in enumerate(sequence)}
+    right_bound = set(step_of)
+
+    def ready_step(names) -> int:
+        steps = [step_of[n] for n in names if n in right_bound]
+        return max(steps) if steps else -1
+
+    pred_buckets: List[List] = [[] for _ in sequence]
+    upfront_preds = []
+    for pred in right.preds:
+        step = ready_step(pred.free_tuple_vars())
+        (pred_buckets[step] if step >= 0 else upfront_preds).append(pred)
+    rel_buckets: List[List] = [[] for _ in sequence]
+    upfront_rels = []
+    for atom in right.rels:
+        step = ready_step(atom[1].free_tuple_vars())
+        (rel_buckets[step] if step >= 0 else upfront_rels).append(atom)
+
+    fwd: Dict[str, ValueExpr] = {}  # right binder -> TupleVar(left binder)
+    used = set()
+
+    def mapped(value: ValueExpr) -> ValueExpr:
+        return _apply_mapping(value, fwd)
+
+    def pred_holds_forward(pred) -> bool:
+        """Forward check of a fully assigned right predicate.
+
+        Complete pruning: at any *successful* leaf the equality parts
+        are mutually entailed, so ``closure_left`` and the (renamed)
+        right closure agree wherever both are defined — a predicate that
+        already fails under ``closure_left`` cannot be rescued later.
+        """
+        if isinstance(pred, EqPred):
+            return closure_left.equal(mapped(pred.left), mapped(pred.right))
+        return _atoms_covered_mapped(
+            (pred,), left.preds, closure_left, mapped, lambda v: v
+        )
+
+    def rel_exists_forward(atom) -> bool:
+        rel_name, arg = atom
+        image = mapped(arg)
+        return any(
+            other_name == rel_name and closure_left.equal(left_arg, image)
+            for other_name, left_arg in left.rels
+        )
+
+    if not all(pred_holds_forward(p) for p in upfront_preds):
+        return False
+    if not all(rel_exists_forward(a) for a in upfront_rels):
+        return False
+
+    def assign(step: int) -> bool:
+        context.tick()
+        if step == len(sequence):
+            inv = {
+                image.name: TupleVar(name) for name, image in fwd.items()
+            }
+            return _mapped_terms_equal(
+                left, right, dict(fwd), inv, closure_left, closure_right,
+                context,
+            )
+        right_name, options = sequence[step]
+        for target in options:
+            if target in used:
+                continue
+            fwd[right_name] = TupleVar(target)
+            used.add(target)
+            if (
+                all(pred_holds_forward(p) for p in pred_buckets[step])
+                and all(rel_exists_forward(a) for a in rel_buckets[step])
+                and assign(step + 1)
+            ):
+                return True
+            del fwd[right_name]
+            used.discard(target)
+        return False
+
+    return assign(0)
+
+
+def _mapped_terms_equal(
+    left: NormalTerm,
+    right: NormalTerm,
+    fwd: Dict[str, ValueExpr],
+    inv: Dict[str, ValueExpr],
+    closure_left: CongruenceClosure,
+    closure_right: CongruenceClosure,
+    context: MatchContext,
+) -> bool:
+    """The authoritative leaf check under a complete binder bijection.
+
+    Semantically identical to renaming ``right`` with ``fwd`` and
+    running :func:`_terms_equal_after_renaming`: a query against the
+    renamed term's closure is a query against ``closure_right`` with the
+    inverse mapping applied to the operands, so neither the renamed term
+    nor its closure is ever materialized.  The one exception is the
+    squash/negation comparison, which hands real forms to the injected
+    comparators — built only after every factor-list check has passed.
+    """
+
+    def fmap(value: ValueExpr) -> ValueExpr:
+        return _apply_mapping(value, fwd)
+
+    def imap(value: ValueExpr) -> ValueExpr:
+        return _apply_mapping(value, inv)
+
+    # Equalities: each side's equalities must hold in the other's closure.
+    for pred in left.preds:
+        if isinstance(pred, EqPred) and not closure_right.equal(
+            imap(pred.left), imap(pred.right)
+        ):
+            return False
+    for pred in right.preds:
+        if isinstance(pred, EqPred) and not closure_left.equal(
+            fmap(pred.left), fmap(pred.right)
+        ):
+            return False
+    # Inequalities and uninterpreted atoms, both directions; each source
+    # side's own closure witnesses the congruence (see _atoms_covered).
+    if not _atoms_covered_mapped(
+        left.preds, right.preds, closure_left, lambda v: v, fmap
+    ):
+        return False
+    if not _atoms_covered_mapped(
+        right.preds, left.preds, closure_right, lambda v: v, imap
+    ):
+        return False
+    if not _relations_match_mapped(
+        left, right, closure_left, closure_right, fmap, imap
+    ):
+        return False
+    if left.squash_part is not None or left.neg_part is not None:
+        renamed = _rename_bound(right, fwd) if fwd else right
+        if left.squash_part is not None:
+            if not context.squash_equiv(left.squash_part, renamed.squash_part):
+                return False
+        if left.neg_part is not None:
+            if not context.form_equiv(left.neg_part, renamed.neg_part):
+                return False
+    return True
+
+
+def _atoms_covered_mapped(
+    source_preds: Sequence,
+    target_preds: Sequence,
+    closure: CongruenceClosure,
+    source_map: Callable[[ValueExpr], ValueExpr],
+    target_map: Callable[[ValueExpr], ValueExpr],
+) -> bool:
+    """Every non-equality atom of the source appears in the target,
+    modulo the source's closure, with both sides mapped into the
+    closure's namespace first."""
+    for pred in source_preds:
+        if isinstance(pred, EqPred):
+            continue
+        if isinstance(pred, NePred):
+            a, b = source_map(pred.left), source_map(pred.right)
+            found = any(
+                isinstance(other, NePred)
+                and (
+                    (
+                        closure.equal(a, target_map(other.left))
+                        and closure.equal(b, target_map(other.right))
+                    )
+                    or (
+                        closure.equal(a, target_map(other.right))
+                        and closure.equal(b, target_map(other.left))
+                    )
+                )
+                for other in target_preds
+            )
+            if not found:
+                return False
+            continue
+        if isinstance(pred, AtomPred):
+            args = tuple(source_map(a) for a in pred.args)
+            found = any(
+                isinstance(other, AtomPred)
+                and other.name == pred.name
+                and len(other.args) == len(args)
+                and all(
+                    closure.equal(a, target_map(b))
+                    for a, b in zip(args, other.args)
+                )
+                for other in target_preds
+            )
+            if not found:
+                return False
+    return True
+
+
+def _relations_match_mapped(
+    left: NormalTerm,
+    right: NormalTerm,
+    closure_left: CongruenceClosure,
+    closure_right: CongruenceClosure,
+    fmap: Callable[[ValueExpr], ValueExpr],
+    imap: Callable[[ValueExpr], ValueExpr],
+) -> bool:
+    """Multiset bijection between relation atoms modulo congruence."""
+    if len(left.rels) != len(right.rels):
+        return False
+    remaining = list(range(len(right.rels)))
+
+    def match(index: int) -> bool:
+        if index == len(left.rels):
+            return True
+        left_name, left_arg = left.rels[index]
+        left_image = imap(left_arg)
+        for pos, right_index in enumerate(remaining):
+            right_name, right_arg = right.rels[right_index]
+            if right_name != left_name:
+                continue
+            if not (
+                closure_left.equal(left_arg, fmap(right_arg))
+                or closure_right.equal(left_image, right_arg)
+            ):
+                continue
+            remaining.pop(pos)
+            if match(index + 1):
+                return True
+            remaining.insert(pos, right_index)
+        return False
+
+    return match(0)
+
+
+# ---------------------------------------------------------------------------
+# The legacy kernel (per-candidate rename + closure rebuild)
+# ---------------------------------------------------------------------------
+
+
+def _legacy_search(
+    left: NormalTerm, right: NormalTerm, context: MatchContext
+) -> bool:
+    if not right.vars:
+        context.tick()
+        return _terms_equal_after_renaming(left, right, context)
+    candidates = _candidate_lists(left, right, ordered=False)
+    if candidates is None:
+        return False
     used: Dict[str, str] = {}
 
     def assign(index: int) -> bool:
-        if index == len(right_vars):
+        if index == len(candidates):
             context.tick()
             mapping = {
                 right_name: TupleVar(used[right_name])
-                for right_name, _ in right_vars
+                for right_name, _ in right.vars
             }
             renamed = _rename_bound(right, mapping)
             return _terms_equal_after_renaming(left, renamed, context)
-        right_name, _ = right_vars[index]
-        for target in candidates[index]:
+        right_name, options = candidates[index]
+        for target in options:
             if target in used.values():
                 continue
             used[right_name] = target
@@ -136,9 +517,6 @@ def terms_isomorphic(
             del used[right_name]
         return False
 
-    if not right_vars:
-        context.tick()
-        return _terms_equal_after_renaming(left, right, context)
     return assign(0)
 
 
@@ -191,10 +569,17 @@ def _predicates_mutually_entailed(
         ):
             return False
     # Inequalities and uninterpreted atoms: match up to congruence, in both
-    # directions (an atom is its own proof obligation).
+    # directions (an atom is its own proof obligation).  Each direction is
+    # witnessed by the *source* side's closure — the side whose atom is
+    # being discharged rewrites it with its own equalities.  (The reverse
+    # call below used to pass ``closure_left`` too; once the equality
+    # parts are mutually entailed the two closures induce the same
+    # congruence, so the verdicts agree in context, but the right side's
+    # closure is the natural witness and the only correct choice if this
+    # predicate check is ever used standalone.)
     if not _atoms_covered(left, right, closure_left):
         return False
-    if not _atoms_covered(right, left, closure_left):
+    if not _atoms_covered(right, left, closure_right):
         return False
     return True
 
@@ -203,40 +588,9 @@ def _atoms_covered(
     source: NormalTerm, target: NormalTerm, closure: CongruenceClosure
 ) -> bool:
     """Every non-equality atom of ``source`` appears in ``target`` mod closure."""
-    for pred in source.preds:
-        if isinstance(pred, EqPred):
-            continue
-        if isinstance(pred, NePred):
-            found = any(
-                isinstance(other, NePred)
-                and (
-                    (
-                        closure.equal(pred.left, other.left)
-                        and closure.equal(pred.right, other.right)
-                    )
-                    or (
-                        closure.equal(pred.left, other.right)
-                        and closure.equal(pred.right, other.left)
-                    )
-                )
-                for other in target.preds
-            )
-            if not found:
-                return False
-            continue
-        if isinstance(pred, AtomPred):
-            found = any(
-                isinstance(other, AtomPred)
-                and other.name == pred.name
-                and len(other.args) == len(pred.args)
-                and all(
-                    closure.equal(a, b) for a, b in zip(pred.args, other.args)
-                )
-                for other in target.preds
-            )
-            if not found:
-                return False
-    return True
+    return _atoms_covered_mapped(
+        source.preds, target.preds, closure, lambda v: v, lambda v: v
+    )
 
 
 def _relations_match(
@@ -246,27 +600,17 @@ def _relations_match(
     closure_right: CongruenceClosure,
 ) -> bool:
     """Multiset bijection between relation atoms modulo congruence."""
-    remaining = list(range(len(right.rels)))
+    identity = lambda value: value  # noqa: E731 - tiny local adapter
+    return _relations_match_mapped(
+        left, right, closure_left, closure_right, identity, identity
+    )
 
-    def match(index: int) -> bool:
-        if index == len(left.rels):
-            return True
-        left_name, left_arg = left.rels[index]
-        for pos, right_index in enumerate(remaining):
-            right_name, right_arg = right.rels[right_index]
-            if right_name != left_name:
-                continue
-            if not (
-                closure_left.equal(left_arg, right_arg)
-                or closure_right.equal(left_arg, right_arg)
-            ):
-                continue
-            remaining.pop(pos)
-            if match(index + 1):
-                return True
-            remaining.insert(pos, right_index)
-        return False
 
-    if len(left.rels) != len(right.rels):
-        return False
-    return match(0)
+__all__ = [
+    "KERNEL_MODES",
+    "MatchContext",
+    "build_closure_from_preds",
+    "kernel_mode",
+    "set_kernel_mode",
+    "terms_isomorphic",
+]

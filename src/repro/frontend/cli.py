@@ -174,6 +174,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--member-timeout", type=float, default=0.0,
+        help=(
+            "hard per-pair deadline (seconds) after which a wedged "
+            "process member is killed and respawned; 0 = derive from "
+            "the pipeline budgets plus a grace margin (default)"
+        ),
+    )
+    parser.add_argument(
         "--max-inflight", type=int, default=0,
         help=(
             "admission bound: concurrent proving requests before 503s; "
@@ -289,6 +297,7 @@ def run_serve(argv: List[str]) -> int:
             quiet=args.quiet,
             pool_size=args.pool_size or None,
             pool_mode=args.pool_mode,
+            member_timeout=args.member_timeout or None,
             shared_store=False if args.no_shared_store else None,
             max_inflight=args.max_inflight or None,
             max_queued=None if args.max_queued < 0 else args.max_queued,

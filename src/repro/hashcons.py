@@ -77,9 +77,17 @@ def cached_structural_hash(cls):
         # `hash`; letting it survive pickling would break the
         # `a == b ⇒ hash(a) == hash(b)` contract in a process with a
         # different PYTHONHASHSEED.  The `_fingerprint`/`_str` caches are
-        # seed-independent and safe to carry along.
+        # seed-independent and safe to carry along.  The canonical-
+        # labeling caches (`_canonical` is a whole renamed twin of the
+        # node, `_refined_colors` a per-binder color map) are stripped
+        # too — not for correctness (they are run-stable) but for size:
+        # carrying them would roughly double every value published to
+        # the cross-process shared memo store.  `_canon_digest` is one
+        # small hex string and rides along.
         state = dict(self.__dict__)
         state.pop("_hash", None)
+        state.pop("_canonical", None)
+        state.pop("_refined_colors", None)
         return state
 
     cls.__hash__ = __hash__

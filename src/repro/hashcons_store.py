@@ -63,8 +63,10 @@ _MAGIC = b"UDPSTOR1"
 _HEADER = struct.Struct("<8sQ")  # magic, epoch
 _RECORD = struct.Struct("<II")  # key length, payload length
 
-#: Default bound on the store file; appends past it are dropped (the
-#: private LRUs still work, the fleet just stops warming each other).
+#: Default bound on the store file; an append that would exceed it
+#: triggers an LRU-style compaction (newest records kept, to half the
+#: cap) under the exclusive lock, so long-lived services keep warming
+#: each other instead of silently stopping appends.
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
 
@@ -104,6 +106,7 @@ class SharedMemoStore:
         self.publishes = 0
         self.dropped = 0
         self.refreshes = 0
+        self.compactions = 0
         with self._lock:
             self._ensure_open()
 
@@ -255,17 +258,99 @@ class SharedMemoStore:
                     if epoch != self._epoch:
                         self._reset_local(epoch)
                     size = os.fstat(self._fd).st_size
+                    if size < _HEADER.size:
+                        # Self-heal a headerless file (a writer crashed at
+                        # the worst moment): restore the header before
+                        # appending, or the first record would land where
+                        # the header belongs and poison every reader.
+                        os.pwrite(
+                            self._fd, _HEADER.pack(_MAGIC, self._epoch), 0
+                        )
+                        size = _HEADER.size
                     if size + len(record) > self.max_bytes:
-                        self.dropped += 1
-                        return
-                    os.pwrite(self._fd, record, size)
-                    self._size = size + len(record)
+                        if not self._compact_locked(record):
+                            self.dropped += 1
+                            return
+                        self.compactions += 1
+                    else:
+                        os.pwrite(self._fd, record, size)
+                        self._size = size + len(record)
                 finally:
                     self._funlock()
                 self._objects[key] = value
                 self.publishes += 1
             except OSError:
                 self.dropped += 1
+
+    def _compact_locked(self, record: bytes) -> bool:
+        """LRU-style rewrite when the size cap is hit; appends ``record``.
+
+        Called under the exclusive ``flock``.  File order is append
+        order, so the newest records (deduplicated by key, last
+        occurrence wins) are kept up to half the cap — long-lived
+        services keep warming each other forever instead of silently
+        losing the second memo level.  The epoch is bumped so every
+        other process drops its (now offset-stale) local view and
+        relearns the survivors from the compacted file.  Returns
+        ``False`` only when ``record`` alone can never fit.
+        """
+        if _HEADER.size + len(record) > self.max_bytes:
+            return False
+        size = os.fstat(self._fd).st_size
+        data = os.pread(self._fd, max(0, size - _HEADER.size), _HEADER.size)
+        view = memoryview(data)
+        consumed = 0
+        spans = []  # (key bytes, start, end) into ``data``, append order
+        while len(view) - consumed >= _RECORD.size:
+            key_len, val_len = _RECORD.unpack_from(view, consumed)
+            end = consumed + _RECORD.size + key_len + val_len
+            if end > len(view):
+                break  # torn tail from a crashed writer: discard
+            start = consumed + _RECORD.size  # first key byte
+            spans.append(
+                (bytes(view[start : start + key_len]), start, end)
+            )
+            consumed = end
+        # Newest-wins dedupe from the tail; survivors stay as spans into
+        # the single read buffer, so peak memory is the file plus the
+        # kept half rather than several full copies.
+        budget = max(self.max_bytes // 2, _HEADER.size + len(record))
+        kept: list = []
+        seen = set()
+        total = _HEADER.size + len(record)
+        for key, start, end in reversed(spans):
+            if key in seen:
+                continue
+            if total + (end - start) + _RECORD.size > budget:
+                break
+            seen.add(key)
+            total += (end - start) + _RECORD.size
+            kept.append((key, start, end))
+        kept.reverse()
+        epoch = self._read_epoch() + 1
+        payload = (
+            _HEADER.pack(_MAGIC, epoch)
+            + b"".join(bytes(view[start - _RECORD.size : end])
+                       for _, start, end in kept)
+            + record
+        )
+        # Overwrite-then-shrink, never truncate-then-write: a process
+        # killed between the two calls (the pool's hard member timeout
+        # SIGKILLs at arbitrary points) must leave a valid header.  The
+        # worst crash artifact is a stale tail after the new payload,
+        # which record parsing skips as a torn/garbled tail.
+        os.pwrite(self._fd, payload, 0)
+        os.ftruncate(self._fd, len(payload))
+        self._reset_local(epoch)
+        self._size = len(payload)
+        # Re-index the survivors locally (the bytes are already in hand);
+        # the appended record's key is entered by the caller.
+        for key, start, end in kept:
+            self._blobs[key.decode("utf-8", "replace")] = bytes(
+                view[start + len(key) : end]
+            )
+        self._offset = self._size
+        return True
 
     def clear(self) -> None:
         """Drop every entry and bump the epoch (all processes notice)."""
@@ -275,8 +360,10 @@ class SharedMemoStore:
                 self._flock(fcntl.LOCK_EX) if fcntl else None
                 try:
                     epoch = self._read_epoch() + 1
-                    os.ftruncate(self._fd, 0)
+                    # Header first, then shrink (see _compact_locked): a
+                    # crash in between leaves a parseable file.
                     os.pwrite(self._fd, _HEADER.pack(_MAGIC, epoch), 0)
+                    os.ftruncate(self._fd, _HEADER.size)
                     self._size = _HEADER.size
                 finally:
                     self._funlock()
@@ -327,6 +414,7 @@ class SharedMemoStore:
                 "publishes": self.publishes,
                 "dropped": self.dropped,
                 "refreshes": self.refreshes,
+                "compactions": self.compactions,
             }
 
 

@@ -128,6 +128,7 @@ class VerificationServer:
         pool: Optional[SessionPool] = None,
         pool_size: Optional[int] = 1,
         pool_mode: str = "auto",
+        member_timeout: Optional[float] = None,
         shared_store=None,
         max_inflight: Optional[int] = None,
         max_queued: Optional[int] = None,
@@ -148,6 +149,7 @@ class VerificationServer:
                 session=session,
                 pipeline=pipeline,
                 shared_store=shared_store,
+                member_timeout=member_timeout,
             )
             self._owns_pool = True
         self.window = max(1, int(window))

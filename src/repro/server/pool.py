@@ -80,6 +80,12 @@ from repro.udp.trace import ReasonCode, ReasonTally, Verdict
 
 POOL_MODES = ("auto", "thread", "process")
 
+#: Slack added on top of the cooperative pipeline budget before a
+#: process member is declared wedged and killed.  The cooperative
+#: budget fires inside the engine in the normal case; the hard deadline
+#: only exists for loops that stop reaching the budget checks.
+HARD_TIMEOUT_GRACE = 30.0
+
 
 def error_record(code: str, reason: str, **fields: object) -> Dict[str, object]:
     """The structured error envelope every non-result answer uses."""
@@ -194,6 +200,18 @@ def _error_result_record(
     ).to_json()
 
 
+def _timeout_result_record(
+    obj: Mapping[str, object], reason: str
+) -> Dict[str, object]:
+    """A structured ``timeout`` result for a hard-killed wedged member."""
+    return VerifyResult(
+        request_id=str(obj.get("id", "")),
+        verdict=Verdict.TIMEOUT,
+        reason_code=ReasonCode.BUDGET_EXHAUSTED,
+        reason=reason,
+    ).to_json()
+
+
 def _close_inherited_fds(conn) -> None:
     """Drop every descriptor a forked worker inherited except its pipe.
 
@@ -269,6 +287,7 @@ class _MemberBase:
         self.requests = 0
         self.failures = 0
         self.restarts = 0
+        self.hard_timeouts = 0
 
     def _record(self, record: Mapping[str, object]) -> None:
         self.requests += 1
@@ -282,6 +301,7 @@ class _MemberBase:
             "requests": self.requests,
             "failures": self.failures,
             "restarts": self.restarts,
+            "hard_timeouts": self.hard_timeouts,
             "verdicts": tallies["verdicts"],
             "reason_codes": tallies["reason_codes"],
             **self.info(),
@@ -290,7 +310,10 @@ class _MemberBase:
     # subclass API ---------------------------------------------------------
 
     def run_json(
-        self, obj: Mapping[str, object], spec: Optional[str]
+        self,
+        obj: Mapping[str, object],
+        spec: Optional[str],
+        deadline: Optional[float] = None,
     ) -> Dict[str, object]:
         raise NotImplementedError
 
@@ -302,7 +325,13 @@ class _MemberBase:
 
 
 class _ThreadMember(_MemberBase):
-    """An in-process session; exclusivity is the idle queue's job."""
+    """An in-process session; exclusivity is the idle queue's job.
+
+    Thread members cannot be hard-killed (Python offers no safe way to
+    terminate a thread), so the ``deadline`` is ignored here — their
+    isolation remains the cooperative pipeline budget.  Deployments that
+    need wedge-proof isolation run ``process`` members.
+    """
 
     mode = "thread"
 
@@ -312,7 +341,10 @@ class _ThreadMember(_MemberBase):
         self._configs: Dict[str, PipelineConfig] = {}
 
     def run_json(
-        self, obj: Mapping[str, object], spec: Optional[str]
+        self,
+        obj: Mapping[str, object],
+        spec: Optional[str],
+        deadline: Optional[float] = None,
     ) -> Dict[str, object]:
         try:
             record = _decide_json(self.session, self._configs, obj, spec)
@@ -354,10 +386,32 @@ class _ProcessMember(_MemberBase):
         child_conn.close()
 
     def run_json(
-        self, obj: Mapping[str, object], spec: Optional[str]
+        self,
+        obj: Mapping[str, object],
+        spec: Optional[str],
+        deadline: Optional[float] = None,
     ) -> Dict[str, object]:
         try:
             self._conn.send(("verify", dict(obj), spec))
+            if deadline is not None and not self._conn.poll(deadline):
+                # The worker is wedged (alive but not answering): a loop
+                # that stopped reaching the cooperative budget checks.
+                # Kill it, respawn from the warm prototype, and answer a
+                # structured timeout so the reader thread is never held
+                # hostage by one bad pair.
+                self.failures += 1
+                self.hard_timeouts += 1
+                self.restarts += 1
+                record = _timeout_result_record(
+                    obj,
+                    f"pool member {self.member_id} exceeded the hard "
+                    f"deadline of {deadline:.1f}s; member killed and "
+                    "respawned",
+                )
+                self._kill()
+                self._spawn()
+                self._record(record)
+                return record
             status, payload, info = self._conn.recv()
         except (EOFError, BrokenPipeError, OSError) as err:
             # The worker died mid-request (crash, OOM kill, ...): answer
@@ -388,6 +442,21 @@ class _ProcessMember(_MemberBase):
 
     def info(self) -> Dict[str, object]:
         return dict(self.last_info)
+
+    def _kill(self) -> None:
+        """Tear the worker down without waiting for cooperation."""
+        try:
+            self._proc.terminate()
+            self._proc.join(timeout=5)
+            if self._proc.is_alive():  # pragma: no cover - stuck in a syscall
+                self._proc.kill()
+                self._proc.join(timeout=5)
+        except (OSError, AttributeError):  # pragma: no cover - defensive
+            pass
+        try:
+            self._conn.close()
+        except OSError:
+            pass
 
     def close(self) -> None:
         try:
@@ -431,6 +500,7 @@ class SessionPool:
         program: Optional[str] = None,
         shared_store=None,
         store_path: Optional[str] = None,
+        member_timeout: Optional[float] = None,
     ) -> None:
         if session is not None and pipeline is not None:
             raise ValueError(
@@ -449,6 +519,13 @@ class SessionPool:
         self._prototype = prototype
         self.config = prototype.config
         self._configs: Dict[str, PipelineConfig] = {}
+        # Hard per-pair isolation: process members that fail to answer
+        # within this many seconds are killed and respawned (None derives
+        # the deadline from the pipeline budgets per request).  Thread
+        # members rely on the cooperative budget alone.
+        self.member_timeout = (
+            None if member_timeout is None else max(0.1, float(member_timeout))
+        )
 
         # The shared store must be installed *before* members fork so
         # they inherit it.  None = auto (process mode only), False = off,
@@ -554,12 +631,39 @@ class SessionPool:
 
     # -- dispatch ----------------------------------------------------------
 
+    def _hard_deadline(
+        self, obj: Mapping[str, object], spec: Optional[str]
+    ) -> float:
+        """Seconds a member may spend on this item before being killed.
+
+        Explicit ``member_timeout`` wins; otherwise the deadline is the
+        sum of the effective pipeline's per-tactic budgets (honoring a
+        per-request ``timeout_seconds`` override) plus a grace margin —
+        generous enough that the cooperative budget always fires first
+        on a healthy member.
+        """
+        if self.member_timeout is not None:
+            return self.member_timeout
+        try:
+            config = self.config_for(spec)
+            override = obj.get("timeout_seconds")
+            if override is not None:
+                budget = float(override) * max(1, len(config.tactics))
+            else:
+                budget = sum(
+                    config.budget_for(tactic) for tactic in config.tactics
+                )
+        except (TypeError, ValueError):  # pragma: no cover - validated upstream
+            budget = 0.0
+        return max(1.0, budget) + HARD_TIMEOUT_GRACE
+
     def _dispatch(
         self, obj: Mapping[str, object], spec: Optional[str]
     ) -> Dict[str, object]:
+        deadline = self._hard_deadline(obj, spec)
         member = self._idle.get()
         try:
-            return member.run_json(obj, spec)
+            return member.run_json(obj, spec, deadline)
         finally:
             self._idle.put(member)
 
@@ -751,7 +855,13 @@ class SessionPool:
             else:
                 # Each member process owns its counters; sum the
                 # last-known views and keep the parent's entry count.
-                rollup = {"hits": 0, "misses": 0, "publishes": 0, "dropped": 0}
+                rollup = {
+                    "hits": 0,
+                    "misses": 0,
+                    "publishes": 0,
+                    "dropped": 0,
+                    "compactions": 0,
+                }
                 for snapshot in members:
                     member_store = snapshot.get("store") or {}
                     for key in rollup:
@@ -762,6 +872,7 @@ class SessionPool:
             "size": self.size,
             "mode": self.mode,
             "requests": sum(m["requests"] for m in members),
+            "hard_timeouts": sum(m["hard_timeouts"] for m in members),
             "verdicts": dict(sorted(verdicts.items())),
             "reason_codes": dict(sorted(reasons.items())),
             "members": members,

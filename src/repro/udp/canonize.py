@@ -227,52 +227,34 @@ def canonize_term(
 
 
 def canonical_rename_form(form: NormalForm) -> NormalForm:
-    """Rename every binder positionally and sort terms deterministically.
+    """Canonically rename every binder and sort terms deterministically.
 
     Two structurally isomorphic normal forms (same shapes, different fresh
     variable numbers) become syntactically identical, which is what lets the
     congruence procedure compare aggregates as uninterpreted functions of
     their (canonized) subqueries.
 
-    The predicate and relation factor lists were sorted by their rendered
-    strings at :func:`~repro.usr.spnf.make_term` time — i.e. under the
-    *pre-rename* variable names, whose ordering depends on fresh-name
-    numbering.  They are re-sorted here under the canonical ``κi`` names
-    so alpha-variant terms really do become byte-identical.
+    This is the partition-refinement pass of
+    :func:`repro.cq.labeling.canonical_form`: binders are ordered by
+    iterated color refinement over the variable ↔ atom incidence
+    structure (ties broken by budgeted individualization), so the result
+    is invariant under binder renaming *and* binder reordering — the old
+    positional renaming depended on summation order, so alpha-variants
+    that normalized their ``Σ``'s in a different order failed to become
+    byte-identical.  Canonical names are depth-distinct (``λd.i``), which
+    keeps a nested scope from capturing an enclosing scope's renamed
+    references — and live in the aggregate-body namespace
+    (:data:`repro.cq.labeling.AGG_BODY_PREFIX`), disjoint from the
+    digest renamer's ``κd.i``: the renamed forms produced here end up
+    *inside* ``Agg`` values, and a shared namespace would make the
+    digest renamer's substitution capture-freshen aggregate-body binders
+    into run-unstable ``$N`` names.  Predicate and relation factor lists
+    are re-sorted under the canonical names (they were sorted at
+    :func:`~repro.usr.spnf.make_term` time under the pre-rename names).
     """
-    from repro.usr.spnf import _pred_sort_key, _rel_sort_key
+    from repro.cq.labeling import AGG_BODY_PREFIX, canonical_form
 
-    renamed: List[NormalTerm] = []
-    for term in form:
-        mapping: Dict[str, ValueExpr] = {}
-        new_vars = []
-        for position, (name, schema) in enumerate(term.vars):
-            canonical = f"κ{position}"
-            mapping[name] = TupleVar(canonical)
-            new_vars.append((canonical, schema))
-        # substitute_term skips bound names, so rename via a temporary shell
-        # whose binders are already the canonical names.
-        shell = NormalTerm(
-            tuple(new_vars), term.preds, term.rels, term.squash_part, term.neg_part
-        )
-        renamed_term = substitute_term(shell, mapping)
-        squash_part = renamed_term.squash_part
-        if squash_part is not None:
-            squash_part = canonical_rename_form(squash_part)
-        neg_part = renamed_term.neg_part
-        if neg_part is not None:
-            neg_part = canonical_rename_form(neg_part)
-        renamed.append(
-            NormalTerm(
-                renamed_term.vars,
-                tuple(sorted(renamed_term.preds, key=_pred_sort_key)),
-                tuple(sorted(renamed_term.rels, key=_rel_sort_key)),
-                squash_part,
-                neg_part,
-            )
-        )
-    renamed.sort(key=str)
-    return tuple(renamed)
+    return canonical_form(form, prefix=AGG_BODY_PREFIX)
 
 
 def _canonical_agg(

@@ -19,15 +19,19 @@ and UCQ under set semantics (Theorem 5.5: homomorphism containment).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.constraints.model import ConstraintSet
 from repro.cq.homomorphism import find_homomorphism
-from repro.cq.isomorphism import MatchContext, terms_isomorphic
+from repro.cq.isomorphism import MatchContext, kernel_mode, terms_isomorphic
+from repro.cq.labeling import DIGEST_MIN_VARS, form_digest, term_digest
 from repro.cq.minimize import minimize_term
 from repro.errors import DecisionTimeout
+from repro.hashcons import LRUCache, memoization_enabled
+from repro.hashcons_store import shared_memo_get, shared_memo_put
 from repro.sql.schema import Schema
 from repro.udp.canonize import SchemaEnv, canonize_form
 from repro.udp.trace import DecisionResult, ProofTrace, ReasonCode, Verdict
@@ -35,6 +39,20 @@ from repro.usr.spnf import NormalForm, normalize
 from repro.usr.substitute import substitute_tuple_var
 from repro.usr.terms import QueryDenotation
 from repro.usr.values import TupleVar
+
+#: Memo table for whole TDP matchings: ``(left form digest, right form
+#: digest, sdp strategy) → bool``.  The canonical digests are run-stable
+#: (they ride :func:`repro.hashcons.fingerprint`), so the same key also
+#: works in the cross-process :class:`~repro.hashcons_store.SharedMemoStore`
+#: — a session-pool member can skip a whole backtracking search its
+#: sibling already finished, not just the normalize/canonize prefix.
+_MATCH_CACHE = LRUCache("tdp-match", maxsize=8192)
+
+#: Recursion depth per thread: like the normalize/canonize layers, the
+#: shared store is only consulted/fed for root comparisons — negation
+#: parts recurse through :meth:`_Engine.compare_canonized`, and their
+#: results are subsumed by the root entry.
+_MATCH_DEPTH = threading.local()
 
 
 @dataclass
@@ -100,12 +118,70 @@ class _Engine:
         return self.compare_canonized(left, right)
 
     def compare_canonized(self, left: NormalForm, right: NormalForm) -> bool:
-        """Permutation matching of the two sums of terms (Alg. 2 lines 3-10)."""
+        """Permutation matching of the two sums of terms (Alg. 2 lines 3-10).
+
+        With the digest kernel active the O(n!) permutation search
+        collapses to a multiset comparison of canonical term digests —
+        digest-equal terms are alpha-equivalent, hence isomorphic — and
+        backtracking survives only for the digest-distinct leftovers
+        (refinement ties and congruence-level matches the syntactic
+        digest cannot see).  Completed comparisons are memoized on the
+        two form digests, privately and through the shared memo store.
+        """
         self._tick()
         if len(left) != len(right):
             return False
         if not left:
             return True
+        if kernel_mode() != "digest":
+            return self._match_terms(left, right, digest_stage=False)
+        if not memoization_enabled():
+            # Cold path: digests only pay off past the trivial sizes.
+            worthwhile = len(left) >= 3 or any(
+                len(term.vars) >= DIGEST_MIN_VARS for term in left
+            )
+            return self._match_terms(left, right, digest_stage=worthwhile)
+        key = (form_digest(left), form_digest(right),
+               self._options.sdp_strategy)
+        depth = getattr(_MATCH_DEPTH, "value", 0)
+        hit = _MATCH_CACHE.get(key)
+        if hit is None and depth == 0:
+            hit = shared_memo_get("tdp", key)
+            if hit is not None:
+                _MATCH_CACHE.put(key, hit)
+        if hit is not None:
+            return hit
+        _MATCH_DEPTH.value = depth + 1
+        try:
+            result = self._match_terms(left, right, digest_stage=True)
+        finally:
+            _MATCH_DEPTH.value = depth
+        _MATCH_CACHE.put(key, result)
+        if depth == 0:
+            shared_memo_put("tdp", key, result)
+        return result
+
+    def _match_terms(
+        self, left: NormalForm, right: NormalForm, digest_stage: bool
+    ) -> bool:
+        if digest_stage:
+            buckets: Dict[str, List[int]] = {}
+            for index, term in enumerate(right):
+                buckets.setdefault(term_digest(term), []).append(index)
+            leftover_left: List = []
+            matched = [False] * len(right)
+            for term in left:
+                positions = buckets.get(term_digest(term))
+                if positions:
+                    matched[positions.pop()] = True
+                else:
+                    leftover_left.append(term)
+            if not leftover_left:
+                return True
+            left = tuple(leftover_left)
+            right = tuple(
+                term for index, term in enumerate(right) if not matched[index]
+            )
         used = [False] * len(right)
 
         def match(index: int) -> bool:

@@ -108,6 +108,17 @@ class NormalTerm:
     def bound_names(self) -> frozenset:
         return frozenset(name for name, _ in self.vars)
 
+    def canonical_digest(self) -> str:
+        """Run-stable digest of this term's canonical alpha-variant.
+
+        Delegates to :func:`repro.cq.labeling.term_digest` (imported
+        locally: ``labeling`` builds on this module); equal digests
+        witness a binder bijection making two terms byte-identical.
+        """
+        from repro.cq.labeling import term_digest
+
+        return term_digest(self)
+
     def free_tuple_vars(self) -> frozenset:
         free: frozenset = frozenset()
         for pred in self.preds:
@@ -131,12 +142,21 @@ class NormalTerm:
 # ---------------------------------------------------------------------------
 
 
-def _pred_sort_key(pred: Predicate) -> str:
+def pred_sort_key(pred: Predicate) -> str:
+    """Deterministic order of predicate factors (their rendered strings)."""
     return str(pred)
 
 
-def _rel_sort_key(atom: Tuple[str, ValueExpr]) -> str:
+def rel_sort_key(atom: Tuple[str, ValueExpr]) -> str:
+    """Deterministic order of relation atoms (name + rendered argument)."""
     return f"{atom[0]}({atom[1]})"
+
+
+#: Backwards-compatible aliases; the canonical-labeling kernel
+#: (:mod:`repro.cq.labeling`) re-sorts factor lists with the same keys
+#: after renaming binders, so the two orders can never drift apart.
+_pred_sort_key = pred_sort_key
+_rel_sort_key = rel_sort_key
 
 
 def simplify_predicate(pred: Predicate) -> Optional[bool]:

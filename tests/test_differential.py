@@ -169,3 +169,37 @@ def test_every_entry_point_meets_the_corpus_expectations(outcomes):
             if mapping[rule_id][0] != verdict
         }
         assert not wrong, f"{name} missed expectations: {wrong}"
+
+
+# ---------------------------------------------------------------------------
+# Kernel-mode differential: digest fast path vs search vs legacy
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["search", "legacy"])
+def test_kernel_modes_verdict_identical_on_corpus(outcomes, mode):
+    """The canonical-digest kernel must accept exactly what the plain
+    search and the pre-digest legacy kernel accept: every corpus rule,
+    cold caches, verdict- AND reason-code-identical."""
+    from repro import clear_caches, set_memoization
+    from repro.cq.isomorphism import kernel_mode, set_kernel_mode
+
+    previous = set_kernel_mode(mode)
+    memo_previous = set_memoization(False)
+    clear_caches()
+    try:
+        candidate = outcome_map_solver()
+    finally:
+        set_memoization(memo_previous)
+        set_kernel_mode(previous)
+        clear_caches()
+    baseline = outcomes["solver"]
+    drift = {
+        rule_id: (baseline[rule_id], candidate[rule_id])
+        for rule_id in RULE_IDS
+        if candidate[rule_id] != baseline[rule_id]
+    }
+    assert not drift, (
+        f"kernel mode {mode!r} drifted from the digest kernel on "
+        f"{len(drift)} rule(s): {drift}"
+    )

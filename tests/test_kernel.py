@@ -1,0 +1,430 @@
+"""Canonical-labeling decision kernel: digest invariants and mode identity.
+
+The digest kernel rests on two claims, checked here property-style:
+
+* **Invariance** — permuting binder names, binder order, predicate
+  order, and relation-atom order never changes a term's canonical
+  digest (the refinement pass sees structure, not spelling).
+* **Soundness** — equal digests always mean ``terms_isomorphic`` says
+  yes: a digest is the fingerprint of a genuinely renamed term, so
+  equality exhibits an actual bijection.  (The converse is deliberately
+  not claimed for arbitrary pairs — congruence-level matches are
+  invisible to the syntactic digest and fall back to search.)
+
+Plus the kernel-mode differential (``digest`` / ``search`` / ``legacy``
+accept exactly the same pairs), the closure-direction regression for
+``_atoms_covered``, and the nested-scope capture regression for the
+canonical renamer.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints.model import ConstraintSet
+from repro.cq import isomorphism
+from repro.cq.isomorphism import (
+    MatchContext,
+    build_closure_from_preds,
+    kernel_mode,
+    set_kernel_mode,
+    terms_isomorphic,
+    _atoms_covered,
+)
+from repro.cq.labeling import (
+    canonical_form,
+    canonical_term,
+    form_digest,
+    refined_binder_colors,
+    term_digest,
+)
+from repro.sql.schema import Schema
+from repro.udp.decide import DecisionOptions, _Engine
+from repro.usr.predicates import AtomPred, EqPred, NePred
+from repro.usr.spnf import NormalTerm, make_term, substitute_term
+from repro.usr.values import Attr, ConstVal, TupleVar
+
+
+SCHEMA_R = Schema.of("r", "a:int", "b:int")
+SCHEMA_S = Schema.of("s", "a:int", "b:int")
+
+
+@pytest.fixture(autouse=True)
+def _digest_mode_restored():
+    previous = kernel_mode()
+    yield
+    set_kernel_mode(previous)
+
+
+def fresh_context() -> MatchContext:
+    return _Engine(ConstraintSet(), DecisionOptions(), None)._context
+
+
+# ---------------------------------------------------------------------------
+# Term generators
+# ---------------------------------------------------------------------------
+
+
+def _attr(name: str, field: str) -> Attr:
+    return Attr(TupleVar(name), field)
+
+
+@st.composite
+def terms(draw, min_vars: int = 0, allow_nested: bool = True):
+    """A random well-formed NormalTerm over schema r/s binders."""
+    var_count = draw(st.integers(min_value=min_vars, max_value=4))
+    names = [f"v{i}" for i in range(var_count)]
+    vars_ = tuple(
+        (name, draw(st.sampled_from([SCHEMA_R, SCHEMA_S]))) for name in names
+    )
+    rels = []
+    for name, schema in vars_:
+        for rel_name in draw(
+            st.lists(st.sampled_from(["r", "s"]), min_size=1, max_size=2)
+        ):
+            rels.append((rel_name, TupleVar(name)))
+    preds = []
+    operand = st.one_of(
+        st.sampled_from(names or ["free"]).flatmap(
+            lambda n: st.sampled_from([_attr(n, "a"), _attr(n, "b")])
+        ),
+        st.integers(min_value=0, max_value=3).map(ConstVal),
+    )
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        kind = draw(st.sampled_from(["eq", "ne", "atom"]))
+        left, right = draw(operand), draw(operand)
+        if kind == "eq":
+            preds.append(EqPred(left, right))
+        elif kind == "ne":
+            preds.append(NePred(left, right))
+        else:
+            preds.append(AtomPred("<", (left, right)))
+    squash_part = None
+    neg_part = None
+    if allow_nested and draw(st.booleans()):
+        inner = draw(terms(min_vars=1, allow_nested=False))
+        # Correlate the nested term with an outer binder when one exists.
+        if names and inner.vars:
+            inner = NormalTerm(
+                inner.vars,
+                inner.preds
+                + (EqPred(_attr(inner.vars[0][0], "a"), _attr(names[0], "a")),),
+                inner.rels,
+                None,
+                None,
+            )
+        if draw(st.booleans()):
+            squash_part = (inner,)
+        else:
+            neg_part = (inner,)
+    term = make_term(vars_, tuple(preds), tuple(rels), squash_part, neg_part)
+    return term if term is not None else NormalTerm()
+
+
+def permuted_alpha_variant(term: NormalTerm, seed: int) -> NormalTerm:
+    """Rename binders, permute binder order, shuffle factor lists."""
+    rng = random.Random(seed)
+    names = [name for name, _ in term.vars]
+    fresh = [f"w{seed}x{i}" for i in range(len(names))]
+    rng.shuffle(fresh)
+    mapping = {name: TupleVar(new) for name, new in zip(names, fresh)}
+    schema_of = dict(term.vars)
+    new_vars = [(mapping[name].name, schema_of[name]) for name in names]
+    rng.shuffle(new_vars)
+    shell = NormalTerm(
+        tuple(new_vars), term.preds, term.rels, term.squash_part, term.neg_part
+    )
+    renamed = substitute_term(shell, mapping)
+    preds = list(renamed.preds)
+    rels = list(renamed.rels)
+    rng.shuffle(preds)
+    rng.shuffle(rels)
+    return NormalTerm(
+        renamed.vars,
+        tuple(preds),
+        tuple(rels),
+        renamed.squash_part,
+        renamed.neg_part,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Digest invariance and soundness
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(term=terms(), seed=st.integers(min_value=0, max_value=2**16))
+def test_digest_invariant_under_alpha_and_factor_order(term, seed):
+    variant = permuted_alpha_variant(term, seed)
+    assert term_digest(variant) == term_digest(term)
+    assert canonical_term(variant) == canonical_term(term)
+
+
+@settings(max_examples=120, deadline=None)
+@given(term=terms(), seed=st.integers(min_value=0, max_value=2**16))
+def test_alpha_variants_isomorphic_in_every_mode(term, seed):
+    variant = permuted_alpha_variant(term, seed)
+    for mode in ("digest", "search", "legacy"):
+        set_kernel_mode(mode)
+        assert terms_isomorphic(term, variant, fresh_context()), mode
+
+
+@settings(max_examples=150, deadline=None)
+@given(left=terms(), right=terms())
+def test_digest_equality_implies_isomorphism(left, right):
+    if term_digest(left) == term_digest(right):
+        set_kernel_mode("search")  # force the real search, no digest shortcut
+        assert terms_isomorphic(left, right, fresh_context())
+
+
+@settings(max_examples=150, deadline=None)
+@given(left=terms(), right=terms())
+def test_kernel_modes_accept_identical_pairs(left, right):
+    verdicts = {}
+    for mode in ("digest", "search", "legacy"):
+        set_kernel_mode(mode)
+        verdicts[mode] = terms_isomorphic(left, right, fresh_context())
+    assert len(set(verdicts.values())) == 1, verdicts
+
+
+@settings(max_examples=60, deadline=None)
+@given(term=terms())
+def test_canonical_form_idempotent(term):
+    form = (term,)
+    once = canonical_form(form)
+    assert canonical_form(once) == once
+
+
+# ---------------------------------------------------------------------------
+# compare_canonized: digest multiset matching over unions
+# ---------------------------------------------------------------------------
+
+
+def _chain_term(k: int, names, flip: int = -1) -> NormalTerm:
+    rels = tuple(("r", TupleVar(n)) for n in names)
+    preds = []
+    for i in range(k - 1):
+        if i == flip:
+            preds.append(EqPred(_attr(names[i], "b"), _attr(names[i + 1], "a")))
+        else:
+            preds.append(EqPred(_attr(names[i], "a"), _attr(names[i + 1], "b")))
+    vars_ = tuple((n, SCHEMA_R) for n in names)
+    term = make_term(vars_, tuple(preds), rels, None, None)
+    assert term is not None
+    return term
+
+
+def test_union_matching_collapses_to_digest_multiset():
+    rng = random.Random(11)
+    lefts, rights = [], []
+    for j in range(6):
+        base = _chain_term(4, [f"t{j}_{i}" for i in range(4)])
+        # Tag each union arm with a distinct constant so the arms are
+        # pairwise non-isomorphic.
+        tagged = NormalTerm(
+            base.vars,
+            base.preds + (EqPred(_attr(base.vars[0][0], "a"), ConstVal(j)),),
+            base.rels,
+            None,
+            None,
+        )
+        lefts.append(tagged)
+        rights.append(permuted_alpha_variant(tagged, seed=100 + j))
+    rng.shuffle(rights)
+    engine = _Engine(ConstraintSet(), DecisionOptions(), None)
+    assert engine.compare_canonized(tuple(lefts), tuple(rights))
+    # Swap one arm for a duplicate of another: the multiset mismatches.
+    lopsided = tuple(
+        permuted_alpha_variant(term, seed=200 + index)
+        for index, term in enumerate(lefts[:-1] + [lefts[0]])
+    )
+    assert not engine.compare_canonized(tuple(lefts), lopsided)
+
+
+def test_form_digest_is_order_insensitive():
+    terms_ = [_chain_term(3, [f"a{i}" for i in range(3)]),
+              _chain_term(4, [f"b{i}" for i in range(4)])]
+    assert form_digest(tuple(terms_)) == form_digest(tuple(reversed(terms_)))
+
+
+# ---------------------------------------------------------------------------
+# Satellite regression: _atoms_covered closure direction
+# ---------------------------------------------------------------------------
+
+
+def test_atoms_covered_uses_the_source_side_closure():
+    """The witness closure must come from the side whose atom is being
+    discharged.  Left knows x = y and asserts beta(x); right only has
+    beta(y): covering left's atom in right needs *left's* closure, and
+    right's closure (which knows no equalities) must refuse — if the two
+    calls in ``_predicates_mutually_entailed`` ever swap their witnesses
+    back to one shared closure, this distinguishes them.
+    """
+    x, y = _attr("t", "a"), _attr("t", "b")
+    left = NormalTerm(
+        vars=(("t", SCHEMA_R),),
+        preds=(AtomPred("beta", (x,)), EqPred(x, y)),
+        rels=(("r", TupleVar("t")),),
+    )
+    right = NormalTerm(
+        vars=(("t", SCHEMA_R),),
+        preds=(AtomPred("beta", (y,)),),
+        rels=(("r", TupleVar("t")),),
+    )
+    closure_left = build_closure_from_preds(left)
+    closure_right = build_closure_from_preds(right)
+    # Source = left: its own closure rewrites beta(x) to beta(y).
+    assert _atoms_covered(left, right, closure_left)
+    # The right side's closure has no equalities and cannot witness it.
+    assert not _atoms_covered(left, right, closure_right)
+    # Source = right: beta(y) is found in left only through a closure
+    # that knows x = y — which right's own closure does not.  The fixed
+    # reverse call must therefore reject this pair...
+    assert not _atoms_covered(right, left, closure_right)
+    # ...which is consistent: the equality parts are not mutually
+    # entailed here (left's x = y has no witness in right), so the terms
+    # are not isomorphic under any kernel mode.
+    for mode in ("digest", "search", "legacy"):
+        set_kernel_mode(mode)
+        assert not terms_isomorphic(left, right, fresh_context()), mode
+
+
+def test_mutual_entailment_direction_fix_preserves_verdicts():
+    """When the equality parts *are* mutually entailed, both closures
+    induce the same congruence, so the direction fix cannot flip any
+    in-context verdict: spot-check a congruence-heavy equivalent pair."""
+    left = NormalTerm(
+        vars=(("t", SCHEMA_R),),
+        preds=(
+            AtomPred("beta", (_attr("t", "a"),)),
+            EqPred(_attr("t", "a"), _attr("t", "b")),
+        ),
+        rels=(("r", TupleVar("t")),),
+    )
+    right = NormalTerm(
+        vars=(("u", SCHEMA_R),),
+        preds=(
+            AtomPred("beta", (_attr("u", "b"),)),
+            EqPred(_attr("u", "b"), _attr("u", "a")),
+        ),
+        rels=(("r", TupleVar("u")),),
+    )
+    for mode in ("digest", "search", "legacy"):
+        set_kernel_mode(mode)
+        assert terms_isomorphic(left, right, fresh_context()), mode
+
+
+# ---------------------------------------------------------------------------
+# Satellite regression: nested scopes never capture outer references
+# ---------------------------------------------------------------------------
+
+
+def test_canonical_rename_keeps_outer_references_free_in_nested_parts():
+    """A squash sub-term that references an outer binder must still
+    reference it after canonical renaming: with one flat ``κi`` namespace
+    per level (the old renamer) the outer reference could collide with a
+    nested binder and be captured, silently conflating distinct terms."""
+    inner = NormalTerm(
+        vars=(("w", SCHEMA_R),),
+        preds=(EqPred(_attr("w", "a"), _attr("v", "a")),),
+        rels=(("r", TupleVar("w")),),
+    )
+    outer = NormalTerm(
+        vars=(("v", SCHEMA_R),),
+        preds=(),
+        rels=(("r", TupleVar("v")),),
+        squash_part=(inner,),
+    )
+    rendered = canonical_term(outer)
+    (outer_name, _), = rendered.vars
+    (nested,) = rendered.squash_part
+    assert nested.free_tuple_vars() == frozenset({outer_name})
+    assert nested.vars[0][0] != outer_name
+    # The self-referential variant (inner predicate closed over the
+    # nested binder instead of the outer one) is a genuinely different
+    # term; capture would conflate the two.
+    captured = NormalTerm(
+        vars=(("v", SCHEMA_R),),
+        preds=(),
+        rels=(("r", TupleVar("v")),),
+        squash_part=(
+            NormalTerm(
+                vars=(("w", SCHEMA_R),),
+                preds=(EqPred(_attr("w", "a"), _attr("w", "b")),),
+                rels=(("r", TupleVar("w")),),
+            ),
+        ),
+    )
+    assert term_digest(captured) != term_digest(outer)
+
+
+def test_digest_stable_for_correlated_aggregates():
+    """Aggregate bodies are canonicalized into the λ namespace by
+    ``_canonical_agg``; the digest renamer's κ names must never collide
+    with them, or capture avoidance injects globally fresh ``$N`` names
+    into the 'canonical' term — making digests object-identity- and
+    process-dependent exactly where shared-store keys need stability."""
+    from repro.udp.canonize import canonical_rename_form
+    from repro.usr.spnf import make_term
+    from repro.usr.terms import Pred, Rel, big_sum, mul
+    from repro.usr.values import Agg, ConstVal
+
+    def build():
+        # The body form _canonical_agg would produce, renamed through
+        # canonical_rename_form (λ namespace), correlated with the
+        # outer binder t0 and the lambda variable κλ.
+        body_form = canonical_rename_form(
+            (
+                make_term(
+                    vars=(("w", SCHEMA_R),),
+                    preds=(EqPred(_attr("w", "a"), _attr("t0", "a")),),
+                    rels=(("r", TupleVar("w")),),
+                    squash_part=None,
+                    neg_part=None,
+                ),
+            )
+        )
+        from repro.usr.spnf import form_to_uexpr
+
+        agg = Agg("sum", "κλ", SCHEMA_R, form_to_uexpr(body_form))
+        return NormalTerm(
+            vars=(("t0", SCHEMA_R),),
+            preds=(EqPred(agg, ConstVal(1)),),
+            rels=(("r", TupleVar("t0")),),
+        )
+
+    first, second = build(), build()
+    assert first == second
+    assert canonical_term(first) == canonical_term(second)
+    assert term_digest(first) == term_digest(second)
+    assert "$" not in str(canonical_term(first)), (
+        "capture avoidance freshened an aggregate-body binder — the κ/λ "
+        "namespaces collided"
+    )
+    # And the aggregate-body renamer really does use the λ namespace.
+    assert "λ0.0" in str(canonical_term(first))
+
+
+# ---------------------------------------------------------------------------
+# Refinement quality: candidate ordering data
+# ---------------------------------------------------------------------------
+
+
+def test_refined_colors_distinguish_chain_positions():
+    term = _chain_term(5, [f"c{i}" for i in range(5)])
+    colors = refined_binder_colors(term)
+    assert len(set(colors.values())) == 5, (
+        "color refinement failed to discretize an asymmetric chain"
+    )
+
+
+def test_refined_colors_invariant_under_renaming():
+    term = _chain_term(5, [f"c{i}" for i in range(5)])
+    variant = permuted_alpha_variant(term, seed=5)
+    original = refined_binder_colors(term)
+    renamed = refined_binder_colors(variant)
+    assert sorted(original.values()) == sorted(renamed.values())

@@ -83,6 +83,22 @@ if "test-crash" not in _TACTICS:
         os._exit(17)  # simulate a member process dying mid-proof
 
 
+if "test-wedge" not in _TACTICS:
+
+    @register_tactic("test-wedge")
+    def _tactic_wedge(session, task, config):
+        # A wedged (non-crashing) member: the sleep never reaches the
+        # engine's cooperative budget checks, so only the pool's hard
+        # recv deadline can get the reader thread back.
+        time.sleep(120)
+        return TacticOutcome(
+            verdict=Verdict.NOT_PROVED,
+            reason_code=ReasonCode.NO_ISOMORPHISM,
+            reason="woke up",
+            conclusive=True,
+        )
+
+
 # -- shared workload ----------------------------------------------------------
 
 #: Ten distinct pairs with known outcomes under the default pipeline.
@@ -350,6 +366,78 @@ def test_dead_process_member_answers_error_and_respawns():
         assert pool.members[0].restarts == 1
     finally:
         pool.close()
+
+
+@needs_fork
+def test_wedged_member_hard_timeout_kills_and_respawns():
+    """A member that is alive but not answering (no crash, no budget
+    check reached) must not hold its reader forever: the recv deadline
+    kills it, answers a structured timeout record, and respawns."""
+    pool = SessionPool(
+        1,
+        mode="process",
+        session=Session.from_program_text(RS_PROGRAM),
+        member_timeout=1.0,
+        shared_store=False,
+    )
+    try:
+        started = time.monotonic()
+        record = pool.verify_json(
+            {
+                "id": "wedge",
+                "left": "SELECT * FROM r x",
+                "right": "SELECT * FROM r x",
+                "pipeline": "test-wedge",
+            }
+        )
+        elapsed = time.monotonic() - started
+        assert record["verdict"] == "timeout"
+        assert record["id"] == "wedge"
+        assert record["reason_code"] == ReasonCode.BUDGET_EXHAUSTED.value
+        assert "killed" in record["reason"]
+        assert elapsed < 30, "hard deadline did not fire"
+        member = pool.members[0]
+        assert member.hard_timeouts == 1
+        assert member.restarts == 1
+        # The respawned member keeps serving normal work.
+        record = pool.verify_json(
+            {
+                "id": "after",
+                "left": "SELECT * FROM r x",
+                "right": "SELECT * FROM r x",
+            }
+        )
+        assert record["verdict"] == "proved"
+        assert pool.stats()["hard_timeouts"] == 1
+    finally:
+        pool.close()
+
+
+def test_hard_deadline_derived_from_pipeline_budgets():
+    pool = SessionPool(
+        1, mode="thread", session=Session.from_program_text(RS_PROGRAM)
+    )
+    try:
+        derived = pool._hard_deadline({}, None)
+        budgets = sum(
+            pool.config.budget_for(t) for t in pool.config.tactics
+        )
+        assert derived == pytest.approx(budgets + 30.0)
+        # A per-request override stretches the deadline accordingly.
+        longer = pool._hard_deadline({"timeout_seconds": 120.0}, None)
+        assert longer > derived
+    finally:
+        pool.close()
+    explicit = SessionPool(
+        1,
+        mode="thread",
+        session=Session.from_program_text(RS_PROGRAM),
+        member_timeout=2.5,
+    )
+    try:
+        assert explicit._hard_deadline({}, None) == 2.5
+    finally:
+        explicit.close()
 
 
 @needs_fork
