@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-server test-differential server-stress bench bench-smoke bench-gate bench-kernel batch-corpus serve
+.PHONY: test test-server test-store test-differential server-stress bench bench-smoke bench-gate bench-kernel bench-store batch-corpus serve
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -9,6 +9,11 @@ test:
 ## Server end-to-end suite: boots the HTTP service on an ephemeral port.
 test-server:
 	$(PYTHON) -m pytest -x -q tests/test_server.py
+
+## Durable-store suites: SQLite backend mechanics, verdict-cache
+## replay semantics (both backends), flock-store hardening.
+test-store:
+	$(PYTHON) -m pytest -x -q tests/test_store_sqlite.py tests/test_verdict_cache.py tests/test_memo_store.py
 
 ## Differential corpus check: Solver / Session / BatchVerifier / HTTP /
 ## pooled HTTP must be verdict- and reason-code-identical on all 91 rules.
@@ -52,6 +57,13 @@ bench-gate: bench-kernel
 ## 91-rule corpus pass.
 bench-kernel:
 	$(PYTHON) benchmarks/bench_kernel.py --gate benchmarks/fig7_baseline.json
+
+## Warm-restart gate for the durable verdict cache: a fresh process
+## over a populated store must replay the full 91-rule corpus >= 5x
+## faster than the cold pass, verdict-identical, with zero tactic
+## invocations (both backends; report in benchmarks/out/).
+bench-store:
+	$(PYTHON) benchmarks/bench_store.py --gate
 
 ## One batch-service pass over the built-in corpus, results to stdout.
 batch-corpus:

@@ -88,6 +88,7 @@ from repro.frontend.solver import Solver, VerificationOutcome, prove
 from repro.hashcons import cache_stats, clear_caches, set_memoization
 from repro.hashcons_store import SharedMemoStore, install_shared_store
 from repro.service import BatchPair, BatchRecord, BatchVerifier
+from repro.store import SQLiteMemoStore, open_store
 from repro.session import (
     PipelineConfig,
     Session,
@@ -122,6 +123,7 @@ __all__ = [
     "ReasonCode",
     "ReproError",
     "ResolutionError",
+    "SQLiteMemoStore",
     "Schema",
     "SchemaError",
     "Session",
@@ -138,6 +140,7 @@ __all__ = [
     "clear_caches",
     "decide_equivalence",
     "install_shared_store",
+    "open_store",
     "prove",
     "register_tactic",
     "set_memoization",

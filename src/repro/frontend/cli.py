@@ -142,6 +142,22 @@ def build_batch_parser() -> argparse.ArgumentParser:
         "--no-constraints", action="store_true",
         help="ignore key/foreign-key constraints (ablation)",
     )
+    parser.add_argument(
+        "--store", metavar="PATH",
+        help=(
+            "durable memo + verdict-cache store at this path; a batch "
+            "re-run over the same store answers repeated pairs from the "
+            "verdict cache without re-proving"
+        ),
+    )
+    parser.add_argument(
+        "--store-backend", choices=("auto", "sqlite", "flock"),
+        default="auto",
+        help=(
+            "store implementation: sqlite (WAL database; what auto "
+            "picks) or flock (legacy flat file, POSIX-only)"
+        ),
+    )
     return parser
 
 
@@ -208,6 +224,22 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help=(
             "disable the cross-process shared memo store (process-mode "
             "pools only; members then keep private caches)"
+        ),
+    )
+    parser.add_argument(
+        "--store", metavar="PATH",
+        help=(
+            "durable store path shared by all pool members; verdicts "
+            "survive restarts (a fresh server answers previously "
+            "verified pairs from the verdict cache)"
+        ),
+    )
+    parser.add_argument(
+        "--store-backend", choices=("auto", "sqlite", "flock"),
+        default="auto",
+        help=(
+            "store implementation: sqlite (WAL database; what auto "
+            "picks) or flock (legacy flat file, POSIX-only)"
         ),
     )
     parser.add_argument(
@@ -299,6 +331,8 @@ def run_serve(argv: List[str]) -> int:
             pool_mode=args.pool_mode,
             member_timeout=args.member_timeout or None,
             shared_store=False if args.no_shared_store else None,
+            store_path=args.store,
+            store_backend=args.store_backend,
             max_inflight=args.max_inflight or None,
             max_queued=None if args.max_queued < 0 else args.max_queued,
             admission_timeout=args.admission_timeout,
@@ -387,11 +421,28 @@ def run_batch(argv: List[str]) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    store = previous_store = None
+    if args.store:
+        from repro.hashcons_store import install_shared_store
+        from repro.store import open_store
+
+        # Installed before the verifier starts so forked workers
+        # inherit it; the verdict cache then answers repeated pairs
+        # across batch runs without re-proving.
+        store = open_store(args.store, backend=args.store_backend)
+        previous_store = install_shared_store(store)
     verifier = BatchVerifier(workers=args.workers, pipeline=pipeline)
-    if args.output:
-        records = verifier.run_to_path(pairs, args.output)
-    else:
-        records = verifier.run(pairs, sink=sys.stdout)
+    try:
+        if args.output:
+            records = verifier.run_to_path(pairs, args.output)
+        else:
+            records = verifier.run(pairs, sink=sys.stdout)
+    finally:
+        if store is not None:
+            from repro.hashcons_store import install_shared_store
+
+            install_shared_store(previous_store)
+            store.close()
     counts: dict = {}
     for record in records:
         counts[record.verdict] = counts.get(record.verdict, 0) + 1

@@ -50,7 +50,9 @@ import pickle
 import struct
 import tempfile
 import threading
-from typing import Any, Dict, Optional
+import time
+import warnings
+from typing import Any, Dict, Mapping, Optional
 
 try:
     import fcntl
@@ -62,6 +64,15 @@ from repro.hashcons import fingerprint
 _MAGIC = b"UDPSTOR1"
 _HEADER = struct.Struct("<8sQ")  # magic, epoch
 _RECORD = struct.Struct("<II")  # key length, payload length
+
+#: Key prefix of verdict-cache entries inside the flock store's flat
+#: namespace (the SQLite backend keeps verdicts in their own table).
+_VERDICT_NS = "verdict!"
+
+#: Default TTLs for negative/timeout verdicts — see
+#: :mod:`repro.store.sqlite` for the rationale.
+DEFAULT_NEGATIVE_TTL = 3600.0
+DEFAULT_TIMEOUT_TTL = 300.0
 
 #: Default bound on the store file; an append that would exceed it
 #: triggers an LRU-style compaction (newest records kept, to half the
@@ -77,17 +88,48 @@ class SharedMemoStore:
     processes.  ``path=None`` creates (and owns, i.e. unlinks on
     :meth:`close`) a temporary file; pass an explicit path to share a
     store between independently started processes.
+
+    On platforms without ``fcntl`` there is no cross-process locking to
+    coordinate with, so the store degrades to a **private in-process
+    map** (no file I/O at all) and warns — silently doing unlocked
+    multi-process file writes would be a corruption machine.  Pass
+    ``require_locking=True`` to fail loudly instead.
     """
+
+    backend = "flock"
+    supports_verdicts = True
 
     def __init__(
         self,
         path: Optional[str] = None,
         *,
         max_bytes: int = DEFAULT_MAX_BYTES,
+        negative_ttl: float = DEFAULT_NEGATIVE_TTL,
+        timeout_ttl: float = DEFAULT_TIMEOUT_TTL,
+        require_locking: bool = False,
     ) -> None:
         self._lock = threading.RLock()
         self.max_bytes = int(max_bytes)
-        if path is None:
+        self.negative_ttl = float(negative_ttl)
+        self.timeout_ttl = float(timeout_ttl)
+        self._private = fcntl is None
+        if self._private and require_locking:
+            raise RuntimeError(
+                "SharedMemoStore needs fcntl.flock for cross-process "
+                "coordination and this platform has no fcntl module; "
+                "use the sqlite backend (repro.store.open_store) instead"
+            )
+        if self._private:
+            warnings.warn(
+                "no fcntl module: SharedMemoStore cannot coordinate "
+                "across processes and degrades to a private in-process "
+                "store; use the sqlite backend for sharing",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            path = path or ""
+            self._owns_file = False
+        elif path is None:
             fd, path = tempfile.mkstemp(prefix="udp-memo-", suffix=".store")
             os.close(fd)
             self._owns_file = True
@@ -107,8 +149,11 @@ class SharedMemoStore:
         self.dropped = 0
         self.refreshes = 0
         self.compactions = 0
-        with self._lock:
-            self._ensure_open()
+        self.expired = 0
+        self.torn_truncations = 0
+        if not self._private:
+            with self._lock:
+                self._ensure_open()
 
     # -- file plumbing -----------------------------------------------------
 
@@ -135,7 +180,7 @@ class SharedMemoStore:
         self._pid = pid
         # A forked child inherits a valid local view (copy-on-write of
         # the parent's index); only the descriptor must be private.
-        self._flock(fcntl.LOCK_EX) if fcntl else None
+        self._flock(fcntl.LOCK_EX)
         try:
             if os.fstat(self._fd).st_size < _HEADER.size:
                 os.pwrite(self._fd, _HEADER.pack(_MAGIC, self._epoch), 0)
@@ -190,8 +235,12 @@ class SharedMemoStore:
             key = bytes(
                 view[consumed + _RECORD.size : consumed + _RECORD.size + key_len]
             ).decode("utf-8", "replace")
-            if key not in self._objects and key not in self._blobs:
-                self._blobs[key] = bytes(view[end - val_len : end])
+            # Newest record wins: a re-appended key is a deliberate
+            # replacement (a verdict refreshed after its TTL) or two
+            # processes racing the same publish — either way the later
+            # bytes are at least as fresh as the local view.
+            self._objects.pop(key, None)
+            self._blobs[key] = bytes(view[end - val_len : end])
             consumed = end
         self._offset += consumed
 
@@ -207,9 +256,16 @@ class SharedMemoStore:
         private-LRU *misses*, never the hot path.
         """
         with self._lock:
+            if self._private:
+                value = self._objects.get(key)
+                if value is None:
+                    self.misses += 1
+                    return None
+                self.hits += 1
+                return value
             try:
                 self._ensure_open()
-                self._flock(fcntl.LOCK_SH) if fcntl else None
+                self._flock(fcntl.LOCK_SH)
                 try:
                     epoch = self._read_epoch()
                     if epoch != self._epoch:
@@ -238,11 +294,23 @@ class SharedMemoStore:
                 self.misses += 1
                 return None
 
-    def put(self, key: str, value: Any) -> None:
-        """Publish ``key → value``; idempotent, never raises."""
+    def put(self, key: str, value: Any, *, replace: bool = False) -> None:
+        """Publish ``key → value``; idempotent, never raises.
+
+        ``replace=True`` appends even when the key is already known —
+        the verdict cache refreshing an expired record — and readers'
+        newest-record-wins refresh makes the new value the visible one.
+        """
         with self._lock:
+            if self._private:
+                if replace or key not in self._objects:
+                    self._objects[key] = value
+                    self.publishes += 1
+                return
             try:
-                if key in self._objects or key in self._blobs:
+                if not replace and (
+                    key in self._objects or key in self._blobs
+                ):
                     return
                 try:
                     blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
@@ -252,7 +320,7 @@ class SharedMemoStore:
                 key_bytes = key.encode("utf-8")
                 record = _RECORD.pack(len(key_bytes), len(blob)) + key_bytes + blob
                 self._ensure_open()
-                self._flock(fcntl.LOCK_EX) if fcntl else None
+                self._flock(fcntl.LOCK_EX)
                 try:
                     epoch = self._read_epoch()
                     if epoch != self._epoch:
@@ -267,6 +335,23 @@ class SharedMemoStore:
                             self._fd, _HEADER.pack(_MAGIC, self._epoch), 0
                         )
                         size = _HEADER.size
+                    else:
+                        # Fold the current tail into the local view.
+                        # Under the exclusive lock no writer is mid-
+                        # append, so a leftover partial record can only
+                        # be the artifact of a killed writer: truncate
+                        # it away before appending — a record written
+                        # after a torn tail would be unreachable (every
+                        # reader stops parsing at the tear).
+                        self._refresh_locked()
+                        if self._offset < size:
+                            os.ftruncate(self._fd, self._offset)
+                            self.torn_truncations += 1
+                            size = self._offset
+                            self._size = size
+                    if replace:
+                        self._blobs.pop(key, None)
+                        self._objects.pop(key, None)
                     if size + len(record) > self.max_bytes:
                         if not self._compact_locked(record):
                             self.dropped += 1
@@ -355,9 +440,14 @@ class SharedMemoStore:
     def clear(self) -> None:
         """Drop every entry and bump the epoch (all processes notice)."""
         with self._lock:
+            if self._private:
+                self._epoch += 1
+                self._blobs.clear()
+                self._objects.clear()
+                return
             try:
                 self._ensure_open()
-                self._flock(fcntl.LOCK_EX) if fcntl else None
+                self._flock(fcntl.LOCK_EX)
                 try:
                     epoch = self._read_epoch() + 1
                     # Header first, then shrink (see _compact_locked): a
@@ -398,6 +488,56 @@ class SharedMemoStore:
                 except OSError:
                     pass
 
+    # -- the verdict cache -------------------------------------------------
+    #
+    # Verdict records live in the flat namespace under a ``verdict!``
+    # prefix, stored as ``(record dict, expires_unix | None)`` tuples.
+    # The SQLite backend gives them their own table (and durable
+    # historical tallies); here they share the memo machinery.
+
+    def verdict_get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached verdict record for ``key``, or ``None``."""
+        value = self.get(_VERDICT_NS + key)
+        if value is None:
+            return None
+        try:
+            record, expires = value
+        except (TypeError, ValueError):  # foreign/corrupt entry
+            return None
+        if expires is not None and time.time() >= expires:
+            with self._lock:
+                # Drop the local view so the next lookup re-reads the
+                # tail and can pick up a fresher replacement record.
+                self._objects.pop(_VERDICT_NS + key, None)
+                self._blobs.pop(_VERDICT_NS + key, None)
+                self.expired += 1
+            return None
+        if not isinstance(record, dict):
+            return None
+        return record
+
+    def verdict_put(
+        self,
+        key: str,
+        record: Mapping[str, Any],
+        ttl: Optional[float] = None,
+    ) -> None:
+        """Store (or refresh) a verdict record; ``ttl=None`` is forever."""
+        expires = time.time() + float(ttl) if ttl is not None else None
+        self.put(_VERDICT_NS + key, (dict(record), expires), replace=True)
+
+    def verdict_stats(self) -> Dict[str, Any]:
+        """This process's view of the verdict entries.
+
+        The flock backend keeps no durable tallies (that is what the
+        SQLite backend is for); this reports what the local view knows.
+        """
+        with self._lock:
+            entries = sum(
+                1 for k in self._objects if k.startswith(_VERDICT_NS)
+            ) + sum(1 for k in self._blobs if k.startswith(_VERDICT_NS))
+            return {"entries": entries, "expired": self.expired}
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._objects) + len(self._blobs)
@@ -406,6 +546,8 @@ class SharedMemoStore:
         """This process's view of the store (counters are per-process)."""
         with self._lock:
             return {
+                "backend": self.backend,
+                "locking": "private" if self._private else "flock",
                 "entries": len(self._objects) + len(self._blobs),
                 "bytes": self._size,
                 "epoch": self._epoch,
@@ -415,6 +557,8 @@ class SharedMemoStore:
                 "dropped": self.dropped,
                 "refreshes": self.refreshes,
                 "compactions": self.compactions,
+                "expired": self.expired,
+                "torn_truncations": self.torn_truncations,
             }
 
 
@@ -422,16 +566,19 @@ class SharedMemoStore:
 # The installed store and the memo-layer hooks
 # ---------------------------------------------------------------------------
 
-_ACTIVE: Optional[SharedMemoStore] = None
+#: The installed store: a :class:`SharedMemoStore`, a
+#: :class:`repro.store.sqlite.SQLiteMemoStore`, or anything else with the
+#: same surface.
+_ACTIVE: Optional[Any] = None
 
 
-def install_shared_store(
-    store: Optional[SharedMemoStore],
-) -> Optional[SharedMemoStore]:
+def install_shared_store(store: Optional[Any]) -> Optional[Any]:
     """Make ``store`` the process's active second-level memo (or ``None``
     to uninstall).  Returns the previously installed store.  A store
     installed before ``fork`` is inherited — exactly how a session pool
-    arranges for its members to share one file.
+    arranges for its members to share one file.  Any object with the
+    :class:`SharedMemoStore` surface works; the SQLite backend
+    (:mod:`repro.store.sqlite`) additionally enables the verdict cache.
     """
     global _ACTIVE
     previous = _ACTIVE
@@ -439,7 +586,7 @@ def install_shared_store(
     return previous
 
 
-def active_store() -> Optional[SharedMemoStore]:
+def active_store() -> Optional[Any]:
     return _ACTIVE
 
 
@@ -477,12 +624,79 @@ def clear_active_store() -> None:
         store.clear()
 
 
+# ---------------------------------------------------------------------------
+# The verdict cache hooks (consumed by Session.verify)
+# ---------------------------------------------------------------------------
+
+
+def verdict_cache_enabled() -> bool:
+    """Whether the installed store can answer verdict-cache lookups."""
+    store = _ACTIVE
+    return store is not None and getattr(store, "supports_verdicts", False)
+
+
+def verdict_cache_get(key: str) -> Optional[Mapping[str, Any]]:
+    """The cached verdict record under ``key``, or ``None``."""
+    store = _ACTIVE
+    if store is None:
+        return None
+    getter = getattr(store, "verdict_get", None)
+    if getter is None:
+        return None
+    try:
+        return getter(key)
+    except Exception:  # noqa: BLE001 - the cache must never break proving
+        return None
+
+
+def verdict_ttl_for(store: Any, verdict: str) -> Optional[float]:
+    """The storage TTL policy, shared by every backend.
+
+    Proofs and unsupported-fragment answers are deterministic — keep
+    them forever.  ``not_proved`` is only as durable as the budget that
+    produced it; ``timeout`` is the most transient outcome of all.
+    ``error`` returns ``0`` — the sentinel for *do not store*.
+    """
+    if verdict in ("proved", "unsupported"):
+        return None
+    if verdict == "not_proved":
+        return float(getattr(store, "negative_ttl", DEFAULT_NEGATIVE_TTL))
+    if verdict == "timeout":
+        return float(getattr(store, "timeout_ttl", DEFAULT_TIMEOUT_TTL))
+    return 0.0
+
+
+def verdict_cache_put(
+    key: str, verdict: str, record: Mapping[str, Any]
+) -> None:
+    """Publish a verdict record under the TTL policy for its verdict."""
+    store = _ACTIVE
+    if store is None:
+        return
+    putter = getattr(store, "verdict_put", None)
+    if putter is None:
+        return
+    try:
+        ttl = verdict_ttl_for(store, verdict)
+        if ttl is not None and ttl <= 0:
+            return
+        putter(key, record, ttl)
+    except Exception:  # noqa: BLE001 - the cache must never break proving
+        pass
+
+
 __all__ = [
     "DEFAULT_MAX_BYTES",
+    "DEFAULT_NEGATIVE_TTL",
+    "DEFAULT_TIMEOUT_TTL",
     "SharedMemoStore",
     "active_store",
     "clear_active_store",
     "install_shared_store",
     "shared_memo_get",
     "shared_memo_put",
+    "verdict_cache_enabled",
+    "verdict_cache_get",
+    "verdict_cache_put",
+    "verdict_ttl_for",
 ]

@@ -130,6 +130,8 @@ class VerificationServer:
         pool_mode: str = "auto",
         member_timeout: Optional[float] = None,
         shared_store=None,
+        store_path: Optional[str] = None,
+        store_backend: str = "auto",
         max_inflight: Optional[int] = None,
         max_queued: Optional[int] = None,
         admission_timeout: float = 0.5,
@@ -149,6 +151,8 @@ class VerificationServer:
                 session=session,
                 pipeline=pipeline,
                 shared_store=shared_store,
+                store_path=store_path,
+                store_backend=store_backend,
                 member_timeout=member_timeout,
             )
             self._owns_pool = True

@@ -63,11 +63,7 @@ from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from dataclasses import replace
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
-from repro.hashcons_store import (
-    SharedMemoStore,
-    active_store,
-    install_shared_store,
-)
+from repro.hashcons_store import active_store, install_shared_store
 from repro.session import (
     DEFAULT_WINDOW,
     PipelineConfig,
@@ -500,6 +496,7 @@ class SessionPool:
         program: Optional[str] = None,
         shared_store=None,
         store_path: Optional[str] = None,
+        store_backend: str = "auto",
         member_timeout: Optional[float] = None,
     ) -> None:
         if session is not None and pipeline is not None:
@@ -528,17 +525,22 @@ class SessionPool:
         )
 
         # The shared store must be installed *before* members fork so
-        # they inherit it.  None = auto (process mode only), False = off,
-        # True = on, or pass a SharedMemoStore.
+        # they inherit it.  None = auto (process mode, or whenever an
+        # explicit path/backend asks for durability), False = off,
+        # True = on, or pass a ready store object.  ``store_backend``
+        # picks the implementation (``auto`` resolves to the durable
+        # SQLite backend; ``flock`` is the legacy flat file).
         self._owns_store = False
         self._previous_store = None
         self._installed_store = False
         if shared_store is None:
-            shared_store = self.mode == "process"
+            shared_store = self.mode == "process" or store_path is not None
         if shared_store is False:
-            self.store: Optional[SharedMemoStore] = None
+            self.store = None
         elif shared_store is True:
-            self.store = SharedMemoStore(store_path)
+            from repro.store import open_store  # local: keep import light
+
+            self.store = open_store(store_path, backend=store_backend)
             self._owns_store = True
         else:
             self.store = shared_store
@@ -861,6 +863,8 @@ class SessionPool:
                     "publishes": 0,
                     "dropped": 0,
                     "compactions": 0,
+                    "expired": 0,
+                    "errors": 0,
                 }
                 for snapshot in members:
                     member_store = snapshot.get("store") or {}
@@ -868,6 +872,11 @@ class SessionPool:
                         rollup[key] += member_store.get(key, 0)
                 store.update(self.store.stats())
                 store.update(rollup)
+            verdict_stats = getattr(self.store, "verdict_stats", None)
+            if verdict_stats is not None:
+                # The durable cross-restart view: historical verdict
+                # tallies and hit rates straight from the database.
+                store["verdict_cache"] = verdict_stats()
         return {
             "size": self.size,
             "mode": self.mode,

@@ -29,6 +29,10 @@ class ServerStats:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        # Uptime must come from the monotonic clock: an NTP step or a
+        # manual clock change would otherwise make /healthz report
+        # negative or jumping uptime.  The wall-clock start instant is
+        # kept separately, for display only (``started_unix``).
         self._started_monotonic = time.monotonic()
         self._started_unix = time.time()
         self.tally = ReasonTally()

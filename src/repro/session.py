@@ -30,6 +30,7 @@ compatibility shims over a session.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import time
 from collections import deque
@@ -48,7 +49,12 @@ from typing import (
 
 from repro.constraints.model import ConstraintSet, constraints_from_catalog
 from repro.errors import ReproError, UnsupportedFeatureError
-from repro.hashcons import LRUCache
+from repro.hashcons import LRUCache, fingerprint, memoization_enabled
+from repro.hashcons_store import (
+    verdict_cache_enabled,
+    verdict_cache_get,
+    verdict_cache_put,
+)
 from repro.sql.ast import Query
 from repro.sql.desugar import desugar_query
 from repro.sql.parser import parse_program, parse_query
@@ -239,6 +245,10 @@ class PipelineConfig:
     model_check_attempts: int = 8
     model_check_max_rows: int = 2
     model_check_seed: int = 0
+    #: Consult the durable verdict cache (when a verdict-capable store is
+    #: installed) before running any tactic.  Orthogonal to the verdict
+    #: itself, so excluded from the cache key's config digest.
+    verdict_cache: bool = True
 
     def __post_init__(self) -> None:
         if isinstance(self.tactics, str):
@@ -469,6 +479,92 @@ def _tactic_model_check(
 
 
 # ---------------------------------------------------------------------------
+# The verdict cache: key derivation
+# ---------------------------------------------------------------------------
+#
+# When a verdict-capable store is installed (the SQLite backend, or the
+# flock backend's verdict namespace), Session.verify consults a durable
+# top-level cache before running any tactic, under two key tiers:
+#
+# * **text** — blake2b over the literal program/query texts plus the
+#   pipeline's verdict-affecting knobs.  Consulted before any parsing,
+#   so a resubmitted rule pair answers in O(1) across restarts.
+# * **denot** — blake2b over the compiled denotations' run-stable
+#   fingerprints × ``ConstraintSet.digest()`` × the same knobs.  Catches
+#   reformatted-but-identical submissions; hits backfill the text tier.
+#
+# Epoch invalidation is the store's: ``repro.clear_caches()`` bumps the
+# store epoch in every process, emptying both tiers with the memo map.
+
+
+def _config_digest(config: PipelineConfig) -> str:
+    """Every verdict-affecting pipeline knob, as one stable string.
+
+    ``collect_trace`` and ``verdict_cache`` are excluded — neither can
+    change a verdict or reason code, only the evidence attachments and
+    whether the cache is consulted at all.
+    """
+    return repr(
+        (
+            config.tactics,
+            config.timeout_seconds,
+            config.tactic_budgets,
+            config.use_constraints,
+            config.sdp_strategy,
+            config.require_same_schema,
+            config.model_check_attempts,
+            config.model_check_max_rows,
+            config.model_check_seed,
+        )
+    )
+
+
+def _catalog_digest(catalog: Catalog) -> str:
+    """A run-stable digest of everything a catalog contributes to verdicts.
+
+    ``Catalog`` is a mutable registry, not a dataclass, so it cannot go
+    through :func:`fingerprint` directly; this folds its sorted contents
+    (schemas, tables, views, indexes, key and foreign-key constraints)
+    into one digest instead.
+    """
+    parts = ["catalog"]
+    for name, schema in sorted(catalog._schemas.items()):
+        parts.append(f"schema\x1e{name}\x1e{fingerprint(schema)}")
+    for name, schema in sorted(catalog._tables.items()):
+        parts.append(f"table\x1e{name}\x1e{fingerprint(schema)}")
+    for name, view in sorted(catalog._views.items()):
+        parts.append(f"view\x1e{name}\x1e{fingerprint(view)}")
+    for name, index in sorted(catalog._indexes.items()):
+        parts.append(f"index\x1e{name}\x1e{index!r}")
+    parts.extend(sorted(f"key\x1e{key!r}" for key in catalog.keys))
+    parts.extend(sorted(f"fk\x1e{fk!r}" for fk in catalog.foreign_keys))
+    return hashlib.blake2b(
+        "\x1f".join(parts).encode("utf-8"), digest_size=20
+    ).hexdigest()
+
+
+def _verdict_key(tier: str, *parts: str) -> str:
+    """One cache key: the tier tag plus a digest of its parts."""
+    digest = hashlib.blake2b(digest_size=20)
+    digest.update(tier.encode("utf-8"))
+    for part in parts:
+        digest.update(b"\x1f")
+        digest.update(part.encode("utf-8", "replace"))
+    return f"{tier}:{digest.hexdigest()}"
+
+
+#: Process-wide count of tactic executions.  The warm-restart proof in
+#: the differential suite asserts a verdict-cached corpus pass runs
+#: exactly zero.
+_TACTIC_INVOCATIONS = 0
+
+
+def tactic_invocations() -> int:
+    """How many tactics have executed in this process, ever."""
+    return _TACTIC_INVOCATIONS
+
+
+# ---------------------------------------------------------------------------
 # Session statistics
 # ---------------------------------------------------------------------------
 
@@ -481,6 +577,8 @@ class SessionStats:
     verdicts: Dict[str, int] = field(default_factory=dict)
     reason_codes: Dict[str, int] = field(default_factory=dict)
     concluded_by: Dict[str, int] = field(default_factory=dict)
+    verdict_cache_hits: int = 0
+    verdict_cache_misses: int = 0
 
     def record(self, result: VerifyResult) -> None:
         self.requests += 1
@@ -536,6 +634,7 @@ class Session:
                 "session-compile", self.COMPILE_CACHE_SIZE, register=False
             )
             self.__dict__["_constraints"] = None
+            self.__dict__.pop("_catalog_key", None)
         super().__setattr__(name, value)
 
     @classmethod
@@ -574,6 +673,22 @@ class Session:
             constraints = constraints_from_catalog(self.catalog)
             self.__dict__["_constraints"] = constraints
         return constraints
+
+    def _catalog_token(self) -> str:
+        """A stable token identifying this session's catalog for the
+        text-tier verdict-cache key: the originating program text when
+        known, a structural catalog digest otherwise.  Cached; dropped
+        on catalog rebind (see ``__setattr__``)."""
+        token = self.__dict__.get("_catalog_key")
+        if token is None:
+            text = self.__dict__.get("program_text")
+            token = (
+                "text\x1e" + text
+                if text is not None
+                else _catalog_digest(self.catalog)
+            )
+            self.__dict__["_catalog_key"] = token
+        return token
 
     def _subsessions(self) -> LRUCache:
         cache = self.__dict__.get("_program_sessions")
@@ -738,10 +853,72 @@ class Session:
 
     # -- internals ---------------------------------------------------------
 
+    def _replay_cached(
+        self, key: Optional[str], request: VerifyRequest, started: float
+    ) -> Optional[VerifyResult]:
+        """The cached result under ``key`` rehydrated for this request.
+
+        A replay carries the original verdict, reason code, tactic
+        attribution, and counterexample, but this request's id and a
+        fresh (near-zero) elapsed time.  The axiom trace is not
+        persisted — reproducible by re-verifying with the cache off.
+        Malformed foreign records read as misses.
+        """
+        if key is None:
+            return None
+        record = verdict_cache_get(key)
+        if record is None:
+            return None
+        try:
+            result = VerifyResult.from_json(record)
+        except Exception:  # noqa: BLE001 - foreign/corrupt record
+            return None
+        result.request_id = request.request_id
+        result.elapsed_seconds = time.monotonic() - started
+        self.stats.verdict_cache_hits += 1
+        return result
+
+    def _store_cached(
+        self, key: Optional[str], result: VerifyResult
+    ) -> None:
+        """Publish ``result`` under ``key`` (the store's TTL policy
+        decides retention; ``error`` verdicts are never stored — an
+        internal exception says nothing durable about the pair)."""
+        if key is None or result.verdict is Verdict.ERROR:
+            return
+        record = result.to_json()
+        record.pop("id", None)
+        verdict_cache_put(key, result.verdict.value, record)
+
     def _verify_request(
         self, request: VerifyRequest, config: PipelineConfig
     ) -> VerifyResult:
         started = time.monotonic()
+        use_cache = (
+            config.verdict_cache
+            and memoization_enabled()
+            and verdict_cache_enabled()
+        )
+        text_key = None
+        if (
+            use_cache
+            and isinstance(request.left, str)
+            and isinstance(request.right, str)
+        ):
+            # The exact-text tier answers before any parsing.  AST
+            # inputs skip it: the pretty-printer is not injective, so
+            # rendered text cannot key an AST (see Session.compile).
+            text_key = _verdict_key(
+                "text",
+                request.program or self._catalog_token(),
+                request.left,
+                request.right,
+                _config_digest(config),
+                repr(request.timeout_seconds),
+            )
+            cached = self._replay_cached(text_key, request, started)
+            if cached is not None:
+                return cached
         try:
             owner = self._session_for_program(request.program)
         except ReproError as error:
@@ -764,21 +941,31 @@ class Session:
             left_denotation = owner.compile(request.left)
             right_denotation = owner.compile(request.right)
         except UnsupportedFeatureError as unsupported:
-            return VerifyResult(
+            result = VerifyResult(
                 request_id=request.request_id,
                 verdict=Verdict.UNSUPPORTED,
                 reason_code=ReasonCode.UNSUPPORTED_FEATURE,
                 reason=str(unsupported),
                 elapsed_seconds=time.monotonic() - started,
             )
+            # Parse/compile rejections are deterministic — cache them at
+            # the text tier so unsupported-fragment rules replay too.
+            if text_key is not None:
+                self.stats.verdict_cache_misses += 1
+                self._store_cached(text_key, result)
+            return result
         except ReproError as error:
-            return VerifyResult(
+            result = VerifyResult(
                 request_id=request.request_id,
                 verdict=Verdict.UNSUPPORTED,
                 reason_code=ReasonCode.FRONTEND_ERROR,
                 reason=f"{type(error).__name__}: {error}",
                 elapsed_seconds=time.monotonic() - started,
             )
+            if text_key is not None:
+                self.stats.verdict_cache_misses += 1
+                self._store_cached(text_key, result)
+            return result
         except Exception as error:  # noqa: BLE001 - never-raises contract
             return VerifyResult(
                 request_id=request.request_id,
@@ -787,6 +974,25 @@ class Session:
                 reason=f"{type(error).__name__}: {error}",
                 elapsed_seconds=time.monotonic() - started,
             )
+        denot_key = None
+        if use_cache:
+            # The structural tier: run-stable denotation fingerprints ×
+            # the constraint-set digest × the pipeline knobs.  Catches
+            # the same pair under a reformatted program; a hit here
+            # backfills the text tier so the next replay skips parsing.
+            denot_key = _verdict_key(
+                "denot",
+                fingerprint(left_denotation),
+                fingerprint(right_denotation),
+                owner.constraint_set().digest(),
+                _config_digest(config),
+                repr(request.timeout_seconds),
+            )
+            cached = self._replay_cached(denot_key, request, started)
+            if cached is not None:
+                self._store_cached(text_key, cached)
+                return cached
+            self.stats.verdict_cache_misses += 1
         task = _Task(
             left=request.left,
             right=request.right,
@@ -796,9 +1002,12 @@ class Session:
             constraints=owner.constraint_set(),
             timeout_seconds=request.timeout_seconds,
         )
-        return owner._run_pipeline(
+        result = owner._run_pipeline(
             task, config, config.tactics, started, request.request_id
         )
+        self._store_cached(denot_key, result)
+        self._store_cached(text_key, result)
+        return result
 
     def _run_pipeline(
         self,
@@ -808,11 +1017,13 @@ class Session:
         started: float,
         request_id: str,
     ) -> VerifyResult:
+        global _TACTIC_INVOCATIONS
         tried: List[str] = []
         last: Optional[TacticOutcome] = None
         concluded_by = ""
         for name in tactics:
             tried.append(name)
+            _TACTIC_INVOCATIONS += 1
             try:
                 outcome = _TACTICS[name](self, task, config)
             except Exception as error:  # noqa: BLE001 - isolation contract
@@ -880,4 +1091,5 @@ __all__ = [
     "available_tactics",
     "parse_pipeline_spec",
     "register_tactic",
+    "tactic_invocations",
 ]

@@ -1,0 +1,61 @@
+"""Durable store backends behind the ``SharedMemoStore`` interface.
+
+Two interchangeable backends share one surface (``get``/``put``/
+``clear``/``stats``/``forget_descriptor``/``close`` plus, where
+supported, the ``verdict_get``/``verdict_put``/``verdict_stats`` verdict
+cache):
+
+* ``sqlite`` — :class:`repro.store.sqlite.SQLiteMemoStore`: one WAL-mode
+  database, concurrent readers, ``busy_timeout``-queued writers, durable
+  verdict cache with TTLs and historical tallies.  The default.
+* ``flock`` — :class:`repro.hashcons_store.SharedMemoStore`: the flat
+  append-only file coordinated by BSD ``flock``.  Kept as the fallback
+  for platforms or filesystems where SQLite locking misbehaves (some
+  network mounts); note ``fcntl`` is POSIX-only, so on platforms without
+  it this backend degrades to a private in-process store.
+
+:func:`open_store` is the one place that maps a backend name to a
+class — the pool, the CLI, and the benchmarks all go through it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hashcons_store import SharedMemoStore
+from repro.store.sqlite import SQLiteMemoStore
+
+#: Recognized ``--store-backend`` values; ``auto`` resolves to sqlite.
+STORE_BACKENDS = ("auto", "sqlite", "flock")
+
+
+def open_store(
+    path: Optional[str] = None,
+    *,
+    backend: str = "auto",
+    **kwargs,
+):
+    """Open a store of the requested backend over ``path``.
+
+    ``path=None`` creates a temporary store owned (unlinked on close) by
+    the caller; an explicit path is shared and kept.  Extra keyword
+    arguments go to the backend constructor (``max_bytes``,
+    ``busy_timeout_ms``, ``negative_ttl``, ...); unknown ones raise.
+    """
+    name = (backend or "auto").lower()
+    if name in ("auto", "sqlite"):
+        return SQLiteMemoStore(path, **kwargs)
+    if name == "flock":
+        kwargs.pop("busy_timeout_ms", None)
+        return SharedMemoStore(path, **kwargs)
+    raise ValueError(
+        f"unknown store backend {backend!r}; choose from {STORE_BACKENDS}"
+    )
+
+
+__all__ = [
+    "STORE_BACKENDS",
+    "SQLiteMemoStore",
+    "SharedMemoStore",
+    "open_store",
+]

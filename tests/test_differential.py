@@ -30,7 +30,10 @@ import pytest
 from repro import BatchVerifier, PipelineConfig, Session, Solver
 from repro.corpus import all_rules, as_batch_pairs, as_verify_requests, rules_by_dataset
 from repro.corpus.rules import Expectation
+from repro.hashcons_store import install_shared_store
 from repro.server import VerificationServer
+from repro.session import tactic_invocations
+from repro.store import open_store
 
 RULES = all_rules()
 RULE_IDS = [rule.rule_id for rule in RULES]
@@ -169,6 +172,55 @@ def test_every_entry_point_meets_the_corpus_expectations(outcomes):
             if mapping[rule_id][0] != verdict
         }
         assert not wrong, f"{name} missed expectations: {wrong}"
+
+
+# ---------------------------------------------------------------------------
+# Verdict-cache differential: cold vs warm restart, both store backends
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["flock", "sqlite"])
+def test_warm_restart_replays_the_full_corpus_without_tactics(
+    outcomes, backend, tmp_path
+):
+    """The durable-store acceptance bar: run the corpus cold with a
+    shared store installed, then open a *fresh* store view over the same
+    file (a restarted process) and run it again.  The warm pass must
+    answer all 91 rules from the verdict cache — zero tactic
+    invocations — and be verdict- AND reason-code-identical to the cold
+    pass and to the Solver baseline.  Parametrized over both backends:
+    durability is not allowed to depend on which store file format the
+    deployment picked."""
+    path = str(tmp_path / f"verdicts-{backend}.store")
+    store = open_store(path, backend=backend)
+    previous = install_shared_store(store)
+    try:
+        cold = outcome_map_session()
+    finally:
+        install_shared_store(previous)
+        store.close()
+    assert cold == outcomes["solver"], "cold pass drifted under the store"
+    fresh = open_store(path, backend=backend)
+    previous = install_shared_store(fresh)
+    try:
+        session = Session(config=PipelineConfig.legacy())
+        before = tactic_invocations()
+        warm = {
+            result.request_id: (
+                result.verdict.value,
+                result.reason_code.value,
+            )
+            for result in session.verify_many(as_verify_requests())
+        }
+        assert tactic_invocations() == before, (
+            "warm restart ran tactics instead of replaying verdicts"
+        )
+        assert session.stats.verdict_cache_hits == len(RULES)
+        assert session.stats.verdict_cache_misses == 0
+    finally:
+        install_shared_store(previous)
+        fresh.close()
+    assert warm == cold, "warm replay drifted from the cold pass"
 
 
 # ---------------------------------------------------------------------------

@@ -13,7 +13,9 @@ from __future__ import annotations
 
 import os
 
-from repro.hashcons_store import SharedMemoStore
+import pytest
+
+from repro.hashcons_store import _RECORD, SharedMemoStore
 
 
 def _fill(store: SharedMemoStore, count: int, prefix: str = "k", size: int = 64):
@@ -138,5 +140,93 @@ def test_last_write_wins_across_compaction(tmp_path):
     try:
         value = reader.get("dup")
         assert value in (None, "new"), "compaction resurrected a stale record"
+    finally:
+        reader.close()
+
+
+# -- platforms without fcntl --------------------------------------------------
+
+
+def test_missing_fcntl_degrades_to_private_store(tmp_path, monkeypatch):
+    """No fcntl means no cross-process locking: the store must degrade
+    to a warned-about private in-process map (never unlocked file I/O),
+    or refuse outright under ``require_locking=True`` — PR 4 silently
+    no-opped the locks and kept writing the shared file."""
+    import repro.hashcons_store as hs
+
+    monkeypatch.setattr(hs, "fcntl", None)
+    path = str(tmp_path / "memo.store")
+    with pytest.warns(RuntimeWarning, match="fcntl"):
+        store = SharedMemoStore(path)
+    try:
+        store.put("k", "v")
+        assert store.get("k") == "v"
+        assert store.stats()["locking"] == "private"
+        assert not os.path.exists(path), "private mode must not touch disk"
+    finally:
+        store.close()
+
+
+def test_missing_fcntl_with_require_locking_fails_loudly(monkeypatch):
+    import repro.hashcons_store as hs
+
+    monkeypatch.setattr(hs, "fcntl", None)
+    with pytest.raises(RuntimeError, match="fcntl"):
+        SharedMemoStore(require_locking=True)
+
+
+# -- torn tails ---------------------------------------------------------------
+
+
+def _append_torn_record(path: str) -> None:
+    """Simulate a writer SIGKILLed mid-append: a record header that
+    promises more payload bytes than the file holds."""
+    key = b"torn-key"
+    with open(path, "ab") as handle:
+        handle.write(_RECORD.pack(len(key), 4096) + key + b"only-a-few-bytes")
+
+
+def test_torn_tail_is_ignored_by_readers(tmp_path):
+    path = str(tmp_path / "memo.store")
+    store = SharedMemoStore(path)
+    try:
+        store.put("before", "payload")
+    finally:
+        store.close()
+    _append_torn_record(path)
+    reader = SharedMemoStore(path)
+    try:
+        assert reader.get("before") == "payload"
+        assert reader.get("torn-key") is None
+    finally:
+        reader.close()
+
+
+def test_put_truncates_torn_tail_so_new_records_stay_reachable(tmp_path):
+    """Appending after a torn tail would strand the new record — every
+    reader stops parsing at the tear.  The next put (under the exclusive
+    lock, where a partial record can only be a crash artifact) must
+    truncate the tear away first."""
+    path = str(tmp_path / "memo.store")
+    store = SharedMemoStore(path)
+    try:
+        store.put("before", "payload")
+    finally:
+        store.close()
+    _append_torn_record(path)
+    torn_size = os.path.getsize(path)
+    writer = SharedMemoStore(path)
+    try:
+        writer.put("after", "healed")
+        assert writer.stats()["torn_truncations"] == 1
+        assert writer.get("before") == "payload"
+    finally:
+        writer.close()
+    assert os.path.getsize(path) != torn_size
+    reader = SharedMemoStore(path)
+    try:
+        assert reader.get("before") == "payload"
+        assert reader.get("after") == "healed", "record stranded past a tear"
+        assert reader.get("torn-key") is None
     finally:
         reader.close()

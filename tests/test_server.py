@@ -387,3 +387,28 @@ def test_concurrent_clients_all_get_consistent_answers(server):
     assert all(status == 200 and verdict == "proved"
                for status, verdict, _ in outcomes)
     assert {rid for _, _, rid in outcomes} == {f"c{i}" for i in range(12)}
+
+
+def test_uptime_survives_wall_clock_steps(monkeypatch):
+    """Uptime must come from the monotonic clock: an NTP step (or a
+    manual clock change) moving ``time.time`` a day backwards may not
+    drag ``/healthz`` uptime negative.  ``started_unix`` is wall-clock
+    by design — it names the start instant, not a duration."""
+    from repro.server import stats as stats_module
+
+    server_stats = stats_module.ServerStats()
+    real = stats_module.time
+
+    class SteppedClock:
+        @staticmethod
+        def monotonic():
+            return real.monotonic()
+
+        @staticmethod
+        def time():
+            return real.time() - 86400.0  # NTP stepped back a day
+
+    monkeypatch.setattr(stats_module, "time", SteppedClock)
+    assert 0 <= server_stats.uptime_seconds < 1000
+    snapshot = server_stats.snapshot()
+    assert 0 <= snapshot["uptime_seconds"] < 1000
