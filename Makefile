@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-server test-store test-differential server-stress bench bench-smoke bench-gate bench-kernel bench-store batch-corpus serve
+.PHONY: test test-server test-frontdoor test-store test-differential server-stress bench bench-smoke bench-gate bench-kernel bench-store bench-frontdoor batch-corpus serve
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -9,6 +9,11 @@ test:
 ## Server end-to-end suite: boots the HTTP service on an ephemeral port.
 test-server:
 	$(PYTHON) -m pytest -x -q tests/test_server.py
+
+## Async front-door suite: selectors event loop, 500-connection hold,
+## slow-loris sweep, FIFO parking, shard affinity, autoscaler grow/reap.
+test-frontdoor:
+	$(PYTHON) -m pytest -x -q tests/test_frontdoor.py
 
 ## Durable-store suites: SQLite backend mechanics, verdict-cache
 ## replay semantics (both backends), flock-store hardening.
@@ -64,6 +69,12 @@ bench-kernel:
 ## invocations (both backends; report in benchmarks/out/).
 bench-store:
 	$(PYTHON) benchmarks/bench_store.py --gate
+
+## Front-door gate: digest-sharded dispatch must beat random dispatch
+## on compile hit rate over a skewed corpus replay, hold 500 concurrent
+## connections, and sweep a slow-loris swarm (report in benchmarks/out/).
+bench-frontdoor:
+	$(PYTHON) benchmarks/bench_frontdoor.py --gate
 
 ## One batch-service pass over the built-in corpus, results to stdout.
 batch-corpus:

@@ -190,11 +190,26 @@ def build_serve_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--pool-max", type=int, default=0,
+        help=(
+            "autoscale ceiling: the pool grows beyond --pool-size under "
+            "sustained saturation and reaps idle members back down; "
+            "0 = fixed size, no autoscaling (default)"
+        ),
+    )
+    parser.add_argument(
         "--member-timeout", type=float, default=0.0,
         help=(
             "hard per-pair deadline (seconds) after which a wedged "
             "process member is killed and respawned; 0 = derive from "
             "the pipeline budgets plus a grace margin (default)"
+        ),
+    )
+    parser.add_argument(
+        "--no-shard-dispatch", action="store_true",
+        help=(
+            "disable digest-sharded dispatch (requests then go to any "
+            "idle member instead of the consistent-hash shard owner)"
         ),
     )
     parser.add_argument(
@@ -218,6 +233,53 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--retry-after", type=int, default=1,
         help="Retry-After seconds sent with saturation 503s (default 1)",
+    )
+    parser.add_argument(
+        "--per-client-inflight", type=int, default=0,
+        help=(
+            "fairness cap: concurrent proving requests per client "
+            "(X-Client-Id header, else peer IP) before 429s; "
+            "0 = no per-client cap (default)"
+        ),
+    )
+    parser.add_argument(
+        "--rate-limit", type=float, default=0.0,
+        help=(
+            "token-bucket rate limit per client in requests/second; "
+            "over-budget requests get 429 with Retry-After; "
+            "0 = unlimited (default)"
+        ),
+    )
+    parser.add_argument(
+        "--rate-burst", type=float, default=0.0,
+        help=(
+            "token-bucket burst capacity per client; "
+            "0 = 2x --rate-limit (default)"
+        ),
+    )
+    parser.add_argument(
+        "--frontdoor", action="store_true",
+        help=(
+            "serve through the async front door: a single selectors "
+            "event loop holding thousands of connections (no thread "
+            "per client), parking over-capacity requests FIFO instead "
+            "of blocking threads, and dispatching by request digest"
+        ),
+    )
+    parser.add_argument(
+        "--max-connections", type=int, default=1000,
+        help=(
+            "front door only: concurrently open client sockets before "
+            "accepts are answered with a terse 503 (default 1000)"
+        ),
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=30.0,
+        help=(
+            "front door only: seconds a connection may stall "
+            "mid-request before it is dropped — the slow-loris "
+            "defense (default 30)"
+        ),
     )
     parser.add_argument(
         "--no-shared-store", action="store_true",
@@ -285,7 +347,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
 
 
 def run_serve(argv: List[str]) -> int:
-    from repro.server import VerificationServer
+    from repro.server import FrontDoorServer, VerificationServer
 
     args = build_serve_parser().parse_args(argv)
     try:
@@ -320,34 +382,51 @@ def run_serve(argv: List[str]) -> int:
             return 2
     else:
         session = Session(config=pipeline)
+    common = dict(
+        host=args.host,
+        port=args.port,
+        window=args.window,
+        quiet=args.quiet,
+        pool_size=args.pool_size or None,
+        pool_mode=args.pool_mode,
+        pool_max=args.pool_max or None,
+        member_timeout=args.member_timeout or None,
+        shared_store=False if args.no_shared_store else None,
+        store_path=args.store,
+        store_backend=args.store_backend,
+        shard_dispatch=not args.no_shard_dispatch,
+        max_inflight=args.max_inflight or None,
+        max_queued=None if args.max_queued < 0 else args.max_queued,
+        admission_timeout=args.admission_timeout,
+        retry_after=args.retry_after,
+        per_client_inflight=args.per_client_inflight or None,
+        rate_limit=args.rate_limit or None,
+        rate_burst=args.rate_burst or None,
+    )
     try:
-        server = VerificationServer(
-            session,
-            host=args.host,
-            port=args.port,
-            window=args.window,
-            quiet=args.quiet,
-            pool_size=args.pool_size or None,
-            pool_mode=args.pool_mode,
-            member_timeout=args.member_timeout or None,
-            shared_store=False if args.no_shared_store else None,
-            store_path=args.store,
-            store_backend=args.store_backend,
-            max_inflight=args.max_inflight or None,
-            max_queued=None if args.max_queued < 0 else args.max_queued,
-            admission_timeout=args.admission_timeout,
-            retry_after=args.retry_after,
-        )
+        if args.frontdoor:
+            server = FrontDoorServer(
+                session,
+                max_connections=args.max_connections,
+                idle_timeout=args.idle_timeout,
+                **common,
+            )
+        else:
+            server = VerificationServer(session, **common)
     except OSError as error:
         print(
             f"error: cannot bind {args.host}:{args.port}: {error}",
             file=sys.stderr,
         )
         return 2
+    pool_shape = f"{server.pool.size} x {server.pool.mode}"
+    if server.pool.pool_max > server.pool.size:
+        pool_shape += f" (autoscale to {server.pool.pool_max})"
+    front_end = "front door" if args.frontdoor else "threaded"
     print(
         f"udp-prove serve: listening on {server.url} "
-        f"(pipeline: {', '.join(pipeline.tactics)}; "
-        f"pool: {server.pool.size} x {server.pool.mode}; "
+        f"({front_end}; pipeline: {', '.join(pipeline.tactics)}; "
+        f"pool: {pool_shape}; "
         f"max in-flight: {server.gate.max_inflight})",
         file=sys.stderr,
         flush=True,

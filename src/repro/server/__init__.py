@@ -17,7 +17,14 @@ format over five routes:
 ``GET /stats``            per-member + rolled-up tallies, caches, admission
 ========================  ===================================================
 
-Start it from the CLI (``udp-prove serve --port 8642 --pool-size 4``),
+Two front ends share those routes, the pool, and the admission gate:
+:class:`VerificationServer` (one thread per connection — simple, fine
+for tens of clients) and :class:`FrontDoorServer` (a selectors event
+loop holding thousands of connections, parsing off-thread-free and
+dispatching by consistent-hashed request digest so each member's caches
+stay hot for its shard — ``udp-prove serve --frontdoor``).
+
+Start one from the CLI (``udp-prove serve --port 8642 --pool-size 4``),
 or embed it::
 
     from repro.server import VerificationServer
@@ -32,6 +39,7 @@ admission bound the server answers 503 with ``Retry-After``.  See
 contract.
 """
 
+from repro.server.frontdoor import FrontDoorServer
 from repro.server.http import (
     DEFAULT_HOST,
     DEFAULT_PORT,
@@ -41,17 +49,21 @@ from repro.server.http import (
     error_record,
 )
 from repro.server.pool import (
+    AdmissionDecision,
     AdmissionGate,
     SessionPool,
     default_pool_size,
+    request_shard_digest,
     resolve_pool_mode,
 )
 from repro.server.stats import ServerStats
 
 __all__ = [
+    "AdmissionDecision",
     "AdmissionGate",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
+    "FrontDoorServer",
     "MAX_LINE_BYTES",
     "MAX_REQUEST_BYTES",
     "ServerStats",
@@ -59,5 +71,6 @@ __all__ = [
     "VerificationServer",
     "default_pool_size",
     "error_record",
+    "request_shard_digest",
     "resolve_pool_mode",
 ]

@@ -75,6 +75,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple
 
 from repro import __version__
+from repro.server.framing import (
+    BadChunkedBody,
+    LineSplitter,
+    TruncatedBody,
+)
 from repro.server.pool import AdmissionGate, SessionPool, error_record
 from repro.server.stats import ServerStats
 from repro.session import DEFAULT_WINDOW, PipelineConfig, Session
@@ -93,8 +98,9 @@ MAX_LINE_BYTES = 4 * 1024 * 1024
 _CHUNK_SIZE_LINE_LIMIT = 1024
 
 
-class _BadChunkedBody(ValueError):
-    """Malformed chunked Transfer-Encoding framing."""
+# Framing exceptions live in repro.server.framing (shared with the
+# front door); the old private name stays as an alias for callers.
+_BadChunkedBody = BadChunkedBody
 
 
 class VerificationServer:
@@ -128,14 +134,19 @@ class VerificationServer:
         pool: Optional[SessionPool] = None,
         pool_size: Optional[int] = 1,
         pool_mode: str = "auto",
+        pool_max: Optional[int] = None,
         member_timeout: Optional[float] = None,
         shared_store=None,
         store_path: Optional[str] = None,
         store_backend: str = "auto",
+        shard_dispatch: bool = True,
         max_inflight: Optional[int] = None,
         max_queued: Optional[int] = None,
         admission_timeout: float = 0.5,
         retry_after: int = 1,
+        per_client_inflight: Optional[int] = None,
+        rate_limit: Optional[float] = None,
+        rate_burst: Optional[float] = None,
     ) -> None:
         if pool is not None and (session is not None or pipeline is not None):
             raise ValueError(
@@ -154,15 +165,22 @@ class VerificationServer:
                 store_path=store_path,
                 store_backend=store_backend,
                 member_timeout=member_timeout,
+                pool_max=pool_max,
+                shard_dispatch=shard_dispatch,
             )
             self._owns_pool = True
         self.window = max(1, int(window))
         self.quiet = quiet
         self.stats = ServerStats()
         if max_inflight is None:
-            max_inflight = max(4, 2 * self.pool.size)
+            max_inflight = max(4, 2 * self.pool.pool_max)
         self.gate = AdmissionGate(
-            max_inflight, max_queued, wait_timeout=admission_timeout
+            max_inflight,
+            max_queued,
+            wait_timeout=admission_timeout,
+            per_client_inflight=per_client_inflight,
+            rate_limit=rate_limit,
+            rate_burst=rate_burst,
         )
         self.retry_after = max(1, int(retry_after))
         self._httpd = _ThreadingServer((host, port), _Handler)
@@ -295,8 +313,13 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             # Backpressure: bounded admission for every proving route.
             # GETs (health, stats) stay answerable under full load.
-            if not owner.gate.try_enter():
-                self._saturated()
+            client = self._client_id()
+            decision = owner.gate.try_enter(client)
+            if not decision:
+                if decision.code == "rate-limited":
+                    self._rate_limited(decision)
+                else:
+                    self._saturated()
                 return
             try:
                 if parsed.path == "/verify":
@@ -306,11 +329,23 @@ class _Handler(BaseHTTPRequestHandler):
                 else:
                     self._post_corpus(parse_qs(parsed.query))
             finally:
-                owner.gate.leave()
+                owner.gate.leave(client)
         except (BrokenPipeError, ConnectionResetError):
             self.close_connection = True
         except Exception as err:  # noqa: BLE001 - no traceback bodies
             self._internal_error(err)
+
+    def _client_id(self) -> str:
+        """The admission identity: ``X-Client-Id`` header, else peer IP.
+
+        The header lets load balancers and test harnesses carry the real
+        principal through; unlabeled traffic falls back to the socket
+        peer so per-client fairness still holds per remote host.
+        """
+        header = (self.headers.get("X-Client-Id") or "").strip()
+        if header:
+            return header[:128]
+        return str(self.client_address[0])
 
     def _method_not_allowed(self) -> None:
         self._send_error(
@@ -390,6 +425,22 @@ class _Handler(BaseHTTPRequestHandler):
                 write_record(record)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-stream; nothing to answer
+        except TruncatedBody as err:
+            # The client died mid-upload.  Every fully received line was
+            # already answered; the truncation becomes the explicit last
+            # record so the consumer knows the tail was never decided.
+            owner.stats.record_bad_request()
+            try:
+                write_record(
+                    error_record(
+                        "truncated-body",
+                        str(err),
+                        received_bytes=err.received,
+                        expected_bytes=err.expected,
+                    )
+                )
+            except OSError:
+                pass
         except _BadChunkedBody as err:
             # Headers are long gone; the framing error becomes the last
             # in-stream record and the connection closes.
@@ -479,17 +530,21 @@ class _Handler(BaseHTTPRequestHandler):
             return None
         return length
 
-    def _iter_length_frames(self, remaining: int) -> Iterator[bytes]:
+    def _iter_length_frames(self, length: int) -> Iterator[bytes]:
         # readline, not read: a plain read(64KB) blocks until the full
         # 64KB arrive, which deadlocks lockstep clients that wait for
         # line N's result record before sending line N+1.  readline
         # returns at each newline, so every completed line reaches the
         # pool immediately (oversized lines still stream in bounded
         # pieces via the limit).
+        remaining = length
         while remaining > 0:
             chunk = self.rfile.readline(min(remaining, 65536))
             if not chunk:
-                break
+                # EOF with bytes still owed: the client died (or lied
+                # about Content-Length) mid-upload.  Treating the prefix
+                # as a complete body silently verified half a batch.
+                raise TruncatedBody(length - remaining, length)
             remaining -= len(chunk)
             yield chunk
 
@@ -552,7 +607,15 @@ class _Handler(BaseHTTPRequestHandler):
                     f"body of {length} bytes exceeds the {limit}-byte limit",
                 )
                 return None
-            return self.rfile.read(length)
+            body = self.rfile.read(length)
+            if len(body) < length:
+                # Short read: the client disconnected mid-upload.  The
+                # prefix must not be parsed as a complete request.
+                self._bad_request(
+                    str(TruncatedBody(len(body), length))
+                )
+                return None
+            return body
         frames = self._body_frames()
         if frames is None:
             return None
@@ -569,6 +632,9 @@ class _Handler(BaseHTTPRequestHandler):
                     )
                     return None
                 pieces.append(piece)
+        except TruncatedBody as err:
+            self._bad_request(str(err))
+            return None
         except _BadChunkedBody as err:
             self._bad_request(f"malformed chunked body: {err}")
             return None
@@ -597,6 +663,26 @@ class _Handler(BaseHTTPRequestHandler):
     def _bad_request(self, reason: str) -> None:
         self.server.owner.stats.record_bad_request()
         self._send_error(HTTPStatus.BAD_REQUEST, "bad-request", reason)
+
+    def _rate_limited(self, decision) -> None:
+        owner = self.server.owner
+        owner.stats.record_rate_limited()
+        retry = (
+            decision.retry_after
+            if decision.retry_after is not None
+            else owner.retry_after
+        )
+        self._send_json(
+            HTTPStatus.TOO_MANY_REQUESTS,
+            error_record(
+                "rate-limited",
+                "this client is over its admission limit; retry after "
+                f"{retry}s",
+                retry_after_seconds=retry,
+            ),
+            headers=(("Retry-After", str(max(1, round(retry)))),),
+        )
+        self.close_connection = True
 
     def _saturated(self) -> None:
         owner = self.server.owner
@@ -638,36 +724,12 @@ def _iter_lines(frames: Iterator[bytes]) -> Iterator[str]:
     string — which fails JSON parsing into one bad-line record — and line
     numbering stays aligned with the client's input.
     """
-    buffer = b""
-    clipped: Optional[bytes] = None  # retained prefix of an oversized line
+    splitter = LineSplitter()
     for chunk in frames:
-        buffer += chunk
-        while True:
-            if clipped is not None:
-                newline = buffer.find(b"\n")
-                if newline < 0:
-                    buffer = b""  # keep discarding the oversized tail
-                    break
-                yield clipped.decode("utf-8", "replace")
-                clipped = None
-                buffer = buffer[newline + 1 :]
-                continue
-            newline = buffer.find(b"\n")
-            if newline >= 0:
-                line = buffer[: newline + 1]
-                buffer = buffer[newline + 1 :]
-                if len(line) > MAX_LINE_BYTES:
-                    line = line[:MAX_LINE_BYTES]
-                yield line.decode("utf-8", "replace")
-                continue
-            if len(buffer) > MAX_LINE_BYTES:
-                clipped = buffer[:MAX_LINE_BYTES]
-                buffer = b""
-            break
-    if clipped is not None:
-        yield clipped.decode("utf-8", "replace")
-    elif buffer:
-        yield buffer.decode("utf-8", "replace")
+        # The limit is read per chunk so tests that monkeypatch the
+        # module global see it take effect mid-stream.
+        yield from splitter.feed(chunk, MAX_LINE_BYTES)
+    yield from splitter.finish()
 
 
 __all__ = [

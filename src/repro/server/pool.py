@@ -53,15 +53,26 @@ that, callers are told to go away (the HTTP layer answers a structured
 
 from __future__ import annotations
 
+import bisect
+import hashlib
 import json
+import logging
 import os
-import queue
 import threading
 import time
 from collections import deque
 from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from dataclasses import replace
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from repro.hashcons_store import active_store, install_shared_store
 from repro.session import (
@@ -75,6 +86,8 @@ from repro.session import (
 from repro.udp.trace import ReasonCode, ReasonTally, Verdict
 
 POOL_MODES = ("auto", "thread", "process")
+
+_LOG = logging.getLogger("repro.server.pool")
 
 #: Slack added on top of the cooperative pipeline budget before a
 #: process member is declared wedged and killed.  The cooperative
@@ -284,6 +297,12 @@ class _MemberBase:
         self.failures = 0
         self.restarts = 0
         self.hard_timeouts = 0
+        # Scheduling state, guarded by the pool's condition variable: a
+        # member serves exactly one work item at a time, and the shard
+        # router prefers the member that owns the item's digest range.
+        self.busy = False
+        self.last_used = time.monotonic()
+        self.sharded_requests = 0
 
     def _record(self, record: Mapping[str, object]) -> None:
         self.requests += 1
@@ -298,6 +317,7 @@ class _MemberBase:
             "failures": self.failures,
             "restarts": self.restarts,
             "hard_timeouts": self.hard_timeouts,
+            "sharded_requests": self.sharded_requests,
             "verdicts": tallies["verdicts"],
             "reason_codes": tallies["reason_codes"],
             **self.info(),
@@ -470,6 +490,65 @@ class _ProcessMember(_MemberBase):
 
 
 # ---------------------------------------------------------------------------
+# Shard routing
+# ---------------------------------------------------------------------------
+
+
+def request_shard_digest(obj: Mapping[str, object]) -> str:
+    """The routing digest of one request: the exact-text tier key.
+
+    Hashes the raw ``program``/``left``/``right`` texts (the same
+    granularity as the session's text-tier verdict cache) so repeated
+    verifications of the same pair always land on the same pool member
+    regardless of whitespace in *other* fields, keeping that member's
+    compile LRU and verdict caches hot for its digest range.  Computed
+    before any parsing — safe to call on untrusted payloads.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    for key in ("program", "left", "right"):
+        value = obj.get(key)
+        hasher.update(b"\x1f")
+        if value is not None:
+            hasher.update(str(value).encode("utf-8", "replace"))
+    return hasher.hexdigest()
+
+
+class _HashRing:
+    """Consistent hashing: member ids own arcs of a blake2b point ring.
+
+    Each member contributes ``replicas`` virtual points, so adding or
+    reaping one member only remaps ~1/N of the digest space — the grown
+    pool keeps most members' cache locality intact, unlike modular
+    hashing which reshuffles everything.
+    """
+
+    def __init__(self, replicas: int = 64) -> None:
+        self.replicas = replicas
+        self._points: List[int] = []
+        self._ids: List[int] = []
+
+    @staticmethod
+    def _point(key: str) -> int:
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    def rebuild(self, member_ids: Iterable[int]) -> None:
+        pairs = sorted(
+            (self._point(f"{member_id}#{replica}"), member_id)
+            for member_id in member_ids
+            for replica in range(self.replicas)
+        )
+        self._points = [point for point, _ in pairs]
+        self._ids = [member_id for _, member_id in pairs]
+
+    def lookup(self, key: str) -> Optional[int]:
+        if not self._points:
+            return None
+        index = bisect.bisect(self._points, self._point(key))
+        return self._ids[index % len(self._ids)]
+
+
+# ---------------------------------------------------------------------------
 # The pool
 # ---------------------------------------------------------------------------
 
@@ -498,6 +577,12 @@ class SessionPool:
         store_path: Optional[str] = None,
         store_backend: str = "auto",
         member_timeout: Optional[float] = None,
+        pool_max: Optional[int] = None,
+        shard_dispatch: bool = True,
+        shard_patience: float = 0.05,
+        grow_after: float = 1.0,
+        idle_reap: float = 30.0,
+        autoscale_interval: float = 0.25,
     ) -> None:
         if session is not None and pipeline is not None:
             raise ValueError(
@@ -506,6 +591,16 @@ class SessionPool:
             )
         self.size = max(1, int(size if size is not None else default_pool_size()))
         self.mode = resolve_pool_mode(mode, self.size)
+        # Dynamic sizing: ``size`` is the floor the pool always keeps
+        # warm, ``pool_max`` the ceiling the autoscaler may grow to under
+        # sustained saturation.  Equal bounds (the default) disable the
+        # autoscaler entirely.
+        self.pool_max = max(self.size, int(pool_max)) if pool_max else self.size
+        self.shard_dispatch = bool(shard_dispatch)
+        self.shard_patience = max(0.0, float(shard_patience))
+        self.grow_after = max(0.0, float(grow_after))
+        self.idle_reap = max(0.1, float(idle_reap))
+        self._autoscale_interval = max(0.02, float(autoscale_interval))
         if session is not None:
             prototype = session
         elif program:
@@ -549,7 +644,18 @@ class SessionPool:
             self._installed_store = True
 
         self.members: List[_MemberBase] = []
-        self._idle: "queue.Queue[_MemberBase]" = queue.Queue()
+        self._cond = threading.Condition()
+        self._ring = _HashRing()
+        self._mp_context = None
+        self._next_member_id = 0
+        self._waiting = 0
+        self.dispatch_sharded = 0
+        self.dispatch_fallback = 0
+        self.dispatch_any = 0
+        self.grown = 0
+        self.reaped = 0
+        self._stop = threading.Event()
+        self._autoscaler: Optional[threading.Thread] = None
         try:
             try:
                 self._build_members()
@@ -559,13 +665,18 @@ class SessionPool:
                 for member in self.members:
                     member.close()
                 self.members = []
-                self._idle = queue.Queue()
                 self.mode = "thread"
                 self._build_members()
-            for member in self.members:
-                self._idle.put(member)
+                _LOG.warning(
+                    "process pool unavailable on this platform; degraded "
+                    "to %d thread members (cooperative budgets only — a "
+                    "wedged prove cannot be hard-killed)",
+                    self.size,
+                )
+            self._ring.rebuild([m.member_id for m in self.members])
             self._executor = ThreadPoolExecutor(
-                max_workers=self.size, thread_name_prefix="udp-pool-dispatch"
+                max_workers=self.pool_max,
+                thread_name_prefix="udp-pool-dispatch",
             )
         except BaseException:
             # Never leave a half-built pool's globals behind: uninstall
@@ -576,24 +687,42 @@ class SessionPool:
             self._release_store()
             raise
         self._closed = False
+        if self.mode == "thread" and self.size > 1:
+            # The isolation gap ROADMAP calls out: thread members only
+            # honor cooperative budgets, so a wedged prove wedges the
+            # member forever.  Busy deployments should run process mode.
+            _LOG.warning(
+                "pool mode 'thread' with %d members: members share the "
+                "GIL and cannot be hard-killed on a wedged prove; use "
+                "--pool-mode process (the default where fork exists) "
+                "for busy deployments",
+                self.size,
+            )
+        if self.pool_max > self.size:
+            self._autoscaler = threading.Thread(
+                target=self._autoscale_loop,
+                name="udp-pool-autoscale",
+                daemon=True,
+            )
+            self._autoscaler.start()
 
     def _build_members(self) -> None:
         if self.mode == "process":
             import multiprocessing
 
-            context = multiprocessing.get_context("fork")
-            for member_id in range(self.size):
-                self.members.append(
-                    _ProcessMember(member_id, self._prototype, context)
-                )
-        else:
-            for member_id in range(self.size):
-                session = (
-                    self._prototype
-                    if member_id == 0
-                    else self._prototype.clone()
-                )
-                self.members.append(_ThreadMember(member_id, session))
+            self._mp_context = multiprocessing.get_context("fork")
+        for member_id in range(self.size):
+            self.members.append(self._new_member(member_id))
+        self._next_member_id = self.size
+
+    def _new_member(self, member_id: int) -> _MemberBase:
+        """Spawn one member (initial build and autoscaler growth)."""
+        if self.mode == "process":
+            return _ProcessMember(member_id, self._prototype, self._mp_context)
+        session = (
+            self._prototype if member_id == 0 else self._prototype.clone()
+        )
+        return _ThreadMember(member_id, session)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -609,8 +738,14 @@ class SessionPool:
         if self._closed:
             return
         self._closed = True
+        self._stop.set()
+        if self._autoscaler is not None:
+            self._autoscaler.join(timeout=2.0)
         self._executor.shutdown(wait=False, cancel_futures=True)
-        for member in self.members:
+        with self._cond:
+            members = list(self.members)
+            self._cond.notify_all()
+        for member in members:
             member.close()
         self._release_store()
 
@@ -659,23 +794,101 @@ class SessionPool:
             budget = 0.0
         return max(1.0, budget) + HARD_TIMEOUT_GRACE
 
+    def _member_by_id(self, member_id: int) -> Optional[_MemberBase]:
+        for member in self.members:
+            if member.member_id == member_id:
+                return member
+        return None
+
+    def _acquire(
+        self, preferred: Optional[int]
+    ) -> Tuple[_MemberBase, bool]:
+        """Claim an idle member, preferring the shard owner briefly.
+
+        Waits up to ``shard_patience`` for the preferred member (the
+        locality bet: a short wait for a warm cache usually beats cold
+        work on a random member), then falls back to any idle member.
+        Returns ``(member, on_home_shard)``.
+        """
+        with self._cond:
+            self._waiting += 1
+            try:
+                deadline = (
+                    time.monotonic() + self.shard_patience
+                    if preferred is not None
+                    else None
+                )
+                while True:
+                    if self._closed:
+                        raise RuntimeError("pool is closed")
+                    if preferred is not None:
+                        member = self._member_by_id(preferred)
+                        if member is None:  # reaped since ring lookup
+                            preferred = None
+                            continue
+                        if not member.busy:
+                            member.busy = True
+                            return member, True
+                        remaining = deadline - time.monotonic()
+                        if remaining > 0:
+                            self._cond.wait(min(remaining, 0.05))
+                            continue
+                        self.dispatch_fallback += 1
+                        preferred = None
+                        continue
+                    # Least-recently-used idle member: unsharded traffic
+                    # rotates across the pool instead of pinning member 0.
+                    member = min(
+                        (m for m in self.members if not m.busy),
+                        key=lambda m: m.last_used,
+                        default=None,
+                    )
+                    if member is not None:
+                        member.busy = True
+                        return member, False
+                    self._cond.wait(0.1)
+            finally:
+                self._waiting -= 1
+
+    def _release(self, member: _MemberBase) -> None:
+        with self._cond:
+            member.busy = False
+            member.last_used = time.monotonic()
+            self._cond.notify_all()
+
     def _dispatch(
-        self, obj: Mapping[str, object], spec: Optional[str]
+        self,
+        obj: Mapping[str, object],
+        spec: Optional[str],
+        shard: Optional[str] = None,
     ) -> Dict[str, object]:
         deadline = self._hard_deadline(obj, spec)
-        member = self._idle.get()
+        preferred = None
+        if shard is not None:
+            with self._cond:
+                preferred = self._ring.lookup(shard)
+        member, on_home = self._acquire(preferred)
+        with self._cond:
+            if shard is None:
+                self.dispatch_any += 1
+            elif on_home:
+                self.dispatch_sharded += 1
+                member.sharded_requests += 1
         try:
             return member.run_json(obj, spec, deadline)
         finally:
-            self._idle.put(member)
+            self._release(member)
 
-    def verify_json(self, obj: Mapping[str, object]) -> Dict[str, object]:
-        """Decide one ``POST /verify`` payload (already JSON-decoded).
+    def _shard_for(self, obj: Mapping[str, object]) -> Optional[str]:
+        return request_shard_digest(obj) if self.shard_dispatch else None
 
-        Envelope errors raise ``ValueError`` (→ 400); everything past
-        the envelope is the session's never-raises contract, so the
-        returned record — including ``unsupported`` and ``error``
-        verdicts — is a normal 200 answer.
+    def validate_json(self, obj: Mapping[str, object]) -> Optional[str]:
+        """Validate one request envelope; the pipeline spec on success.
+
+        Raises ``ValueError`` on envelope errors (→ 400) without
+        consuming a member.  Factored out of :meth:`verify_json` so the
+        non-blocking front door can validate on the event loop and
+        dispatch asynchronously via :meth:`submit_json`.
         """
         for key in ("left", "right"):
             if key not in obj:
@@ -687,7 +900,32 @@ class SessionPool:
             )
         self.config_for(spec)  # validate before consuming a member
         VerifyRequest.from_json(obj)  # envelope type errors → 400, not 500
-        return self._dispatch(obj, spec)
+        return spec
+
+    def verify_json(self, obj: Mapping[str, object]) -> Dict[str, object]:
+        """Decide one ``POST /verify`` payload (already JSON-decoded).
+
+        Envelope errors raise ``ValueError`` (→ 400); everything past
+        the envelope is the session's never-raises contract, so the
+        returned record — including ``unsupported`` and ``error``
+        verdicts — is a normal 200 answer.
+        """
+        spec = self.validate_json(obj)
+        return self._dispatch(obj, spec, self._shard_for(obj))
+
+    def submit_json(
+        self, obj: Mapping[str, object], spec: Optional[str] = None
+    ) -> "Future[Dict[str, object]]":
+        """Dispatch one *already validated* payload asynchronously.
+
+        The front door's path: validation ran on the event loop via
+        :meth:`validate_json`, proving happens on a dispatcher thread,
+        and the returned future's done-callback wakes the loop — the
+        accept path never blocks on a member.
+        """
+        return self._executor.submit(
+            self._dispatch, obj, spec, self._shard_for(obj)
+        )
 
     def verify_stream(
         self,
@@ -751,7 +989,9 @@ class SessionPool:
                     if key not in obj:
                         raise ValueError(f"missing required field {key!r}")
                 VerifyRequest.from_json(obj)  # validate before dispatch
-                future = self._executor.submit(self._dispatch, obj, spec)
+                future = self._executor.submit(
+                    self._dispatch, obj, spec, self._shard_for(obj)
+                )
             except (KeyError, TypeError, ValueError) as err:
                 future = Future()
                 future.set_result(
@@ -787,10 +1027,14 @@ class SessionPool:
                 )
         requests = as_verify_requests(dataset)
         started = time.monotonic()
-        futures = [
-            self._executor.submit(self._dispatch, request.to_json(), pipeline)
-            for request in requests
-        ]
+        futures = []
+        for request in requests:
+            obj = request.to_json()
+            futures.append(
+                self._executor.submit(
+                    self._dispatch, obj, pipeline, self._shard_for(obj)
+                )
+            )
         records = []
         for future in futures:
             try:
@@ -821,11 +1065,111 @@ class SessionPool:
         }
         return summary, records
 
+    # -- dynamic sizing ----------------------------------------------------
+
+    def _autoscale_loop(self) -> None:
+        """Grow on sustained saturation, reap idle members, stay bounded.
+
+        Samples every ``autoscale_interval`` seconds.  Growth requires
+        *sustained* saturation (every member busy with callers waiting
+        for at least ``grow_after`` seconds) so a momentary burst does
+        not fork members it will not use; reaping requires a member to
+        have sat idle for ``idle_reap`` seconds and never shrinks below
+        the base size.  Each membership change rebuilds the hash ring —
+        consistent hashing keeps ~(N-1)/N of shard assignments stable.
+        """
+        saturated_since: Optional[float] = None
+        while not self._stop.wait(self._autoscale_interval):
+            now = time.monotonic()
+            grow = False
+            reap_member: Optional[_MemberBase] = None
+            with self._cond:
+                if self._closed:
+                    break
+                total = len(self.members)
+                busy = sum(1 for m in self.members if m.busy)
+                if busy >= total and self._waiting > 0 and total < self.pool_max:
+                    if saturated_since is None:
+                        saturated_since = now
+                    elif now - saturated_since >= self.grow_after:
+                        grow = True
+                        saturated_since = None
+                else:
+                    saturated_since = None
+                if not grow and total > self.size:
+                    for member in self.members:
+                        if (
+                            not member.busy
+                            and now - member.last_used >= self.idle_reap
+                        ):
+                            member.busy = True  # claim: no new dispatches
+                            reap_member = member
+                            break
+            if grow:
+                self._grow_one()
+            if reap_member is not None:
+                self._reap(reap_member)
+
+    def _grow_one(self) -> None:
+        with self._cond:
+            member_id = self._next_member_id
+            self._next_member_id += 1
+        try:
+            member = self._new_member(member_id)  # fork outside the lock
+        except Exception as err:  # noqa: BLE001 - growth is best-effort
+            _LOG.warning("pool growth failed: %s: %s", type(err).__name__, err)
+            return
+        with self._cond:
+            if self._closed:
+                close_it = True
+            else:
+                close_it = False
+                self.members.append(member)
+                self.grown += 1
+                self._ring.rebuild([m.member_id for m in self.members])
+                self._cond.notify_all()
+                _LOG.info(
+                    "pool grew to %d members (sustained saturation; max %d)",
+                    len(self.members),
+                    self.pool_max,
+                )
+        if close_it:
+            member.close()
+
+    def _reap(self, member: _MemberBase) -> None:
+        with self._cond:
+            if member not in self.members:
+                return
+            self.members.remove(member)
+            self.reaped += 1
+            self._ring.rebuild([m.member_id for m in self.members])
+            self._cond.notify_all()
+            _LOG.info(
+                "reaped idle pool member %d (down to %d members)",
+                member.member_id,
+                len(self.members),
+            )
+        member.close()
+
     # -- observability -----------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
         """Per-member and rolled-up tallies, plus the shared-store view."""
-        members = [member.snapshot() for member in self.members]
+        with self._cond:
+            members = [member.snapshot() for member in self.members]
+            dispatch = {
+                "sharding": self.shard_dispatch,
+                "sharded": self.dispatch_sharded,
+                "fallbacks": self.dispatch_fallback,
+                "unsharded": self.dispatch_any,
+            }
+            autoscale = {
+                "base_size": self.size,
+                "pool_max": self.pool_max,
+                "current_size": len(self.members),
+                "grown": self.grown,
+                "reaped": self.reaped,
+            }
         verdicts: Dict[str, int] = {}
         reasons: Dict[str, int] = {}
         session_rollup = {
@@ -877,9 +1221,14 @@ class SessionPool:
                 # The durable cross-restart view: historical verdict
                 # tallies and hit rates straight from the database.
                 store["verdict_cache"] = verdict_stats()
+        dispatch["sharded_requests"] = sum(
+            m["sharded_requests"] for m in members
+        )
         return {
             "size": self.size,
             "mode": self.mode,
+            "dispatch": dispatch,
+            "autoscale": autoscale,
             "requests": sum(m["requests"] for m in members),
             "hard_timeouts": sum(m["hard_timeouts"] for m in members),
             "verdicts": dict(sorted(verdicts.items())),
@@ -902,15 +1251,85 @@ class SessionPool:
 # ---------------------------------------------------------------------------
 
 
-class AdmissionGate:
-    """Bounded admission: ``max_inflight`` executing + ``max_queued`` waiting.
+class AdmissionDecision:
+    """The outcome of one admission attempt; truthy iff admitted.
 
-    :meth:`try_enter` admits immediately while capacity remains; past
-    that, up to ``max_queued`` callers wait up to ``wait_timeout``
-    seconds for a slot, and everyone else is refused on the spot.  The
-    HTTP layer turns a refusal into a structured 503 with
-    ``Retry-After`` — load sheds at the front door instead of piling
-    onto the member queue.
+    ``code`` on refusal is ``"saturated"`` (global backpressure → 503)
+    or ``"rate-limited"`` (this client's fairness cap or token bucket →
+    429).  ``retry_after`` carries the bucket's own refill estimate when
+    the gate can compute one; the HTTP layer falls back to its
+    configured hint otherwise.
+    """
+
+    __slots__ = ("admitted", "code", "retry_after")
+
+    def __init__(
+        self,
+        admitted: bool,
+        code: Optional[str] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        self.admitted = admitted
+        self.code = code
+        self.retry_after = retry_after
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.admitted:
+            return "AdmissionDecision(admitted)"
+        return f"AdmissionDecision(refused, code={self.code!r})"
+
+
+_ADMITTED = AdmissionDecision(True)
+
+
+class _ClientState:
+    """Per-client admission bookkeeping (fairness cap + token bucket)."""
+
+    __slots__ = (
+        "inflight",
+        "admitted",
+        "rejected",
+        "rate_limited",
+        "tokens",
+        "refilled",
+        "last_seen",
+    )
+
+    def __init__(self, now: float, burst: float) -> None:
+        self.inflight = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.rate_limited = 0
+        self.tokens = burst
+        self.refilled = now
+        self.last_seen = now
+
+
+class AdmissionGate:
+    """Arrival-ordered admission with per-client fairness and rate limits.
+
+    Global backpressure: ``max_inflight`` executing plus ``max_queued``
+    waiting; past that, callers are refused on the spot.  Waiters are
+    served strictly in arrival order through a FIFO ticket queue — a
+    newcomer arriving while anyone is queued can no longer steal a
+    freed slot (the barging bug this replaces: ``try_enter`` used to
+    admit whenever ``_inflight`` dipped, regardless of the queue).
+
+    Per-client controls (enabled per knob, all optional):
+
+    * ``per_client_inflight`` — one client may hold at most this many
+      slots at once; beyond it the client is refused (429) immediately
+      so one greedy client cannot drain the global gate.
+    * ``rate_limit`` / ``rate_burst`` — a token bucket per client:
+      ``rate_limit`` admissions/second sustained, ``rate_burst`` deep.
+      Refusals carry the bucket's refill estimate as ``retry_after``.
+
+    The HTTP layer maps refusals to structured 503 (saturated) or 429
+    (rate-limited), both with ``Retry-After`` — load sheds at the front
+    door instead of piling onto the member queue.
     """
 
     def __init__(
@@ -918,65 +1337,239 @@ class AdmissionGate:
         max_inflight: int,
         max_queued: Optional[int] = None,
         wait_timeout: float = 0.5,
+        *,
+        per_client_inflight: Optional[int] = None,
+        rate_limit: Optional[float] = None,
+        rate_burst: Optional[float] = None,
+        max_clients: int = 1024,
     ) -> None:
         self.max_inflight = max(1, int(max_inflight))
         self.max_queued = (
             self.max_inflight if max_queued is None else max(0, int(max_queued))
         )
         self.wait_timeout = max(0.0, float(wait_timeout))
+        self.per_client_inflight = (
+            None
+            if per_client_inflight is None
+            else max(1, int(per_client_inflight))
+        )
+        self.rate_limit = (
+            None if rate_limit is None or rate_limit <= 0 else float(rate_limit)
+        )
+        if rate_burst is not None and rate_burst > 0:
+            self.rate_burst = float(rate_burst)
+        elif self.rate_limit is not None:
+            self.rate_burst = max(1.0, 2.0 * self.rate_limit)
+        else:
+            self.rate_burst = 1.0
+        self.max_clients = max(16, int(max_clients))
         self._cond = threading.Condition()
+        self._waiters: "deque[object]" = deque()
+        self._clients: Dict[str, _ClientState] = {}
+        self._listeners: List[Callable[[], None]] = []
         self._inflight = 0
-        self._queued = 0
         self.admitted = 0
         self.rejected = 0
+        self.rate_limited = 0
         self.peak_inflight = 0
 
-    def try_enter(self) -> bool:
-        with self._cond:
-            if self._inflight >= self.max_inflight:
-                if self._queued >= self.max_queued or self.wait_timeout <= 0:
-                    self.rejected += 1
-                    return False
-                self._queued += 1
-                try:
-                    deadline = time.monotonic() + self.wait_timeout
-                    while self._inflight >= self.max_inflight:
-                        remaining = deadline - time.monotonic()
-                        if remaining <= 0:
-                            self.rejected += 1
-                            return False
-                        self._cond.wait(remaining)
-                finally:
-                    self._queued -= 1
-            self._inflight += 1
-            self.admitted += 1
-            self.peak_inflight = max(self.peak_inflight, self._inflight)
-            return True
+    # -- per-client bookkeeping (all under self._cond) ---------------------
 
-    def leave(self) -> None:
+    def _client_state(self, client: Optional[str]) -> Optional[_ClientState]:
+        if client is None:
+            return None
+        now = time.monotonic()
+        state = self._clients.get(client)
+        if state is None:
+            if len(self._clients) >= self.max_clients:
+                idle = [
+                    (s.last_seen, name)
+                    for name, s in self._clients.items()
+                    if s.inflight == 0
+                ]
+                if idle:
+                    _, oldest = min(idle)
+                    del self._clients[oldest]
+            state = _ClientState(now, self.rate_burst)
+            self._clients[client] = state
+        state.last_seen = now
+        return state
+
+    def _client_refusal(
+        self, state: Optional[_ClientState]
+    ) -> Optional[AdmissionDecision]:
+        """A 429 decision if this client is over its own limits."""
+        if state is None:
+            return None
+        if (
+            self.per_client_inflight is not None
+            and state.inflight >= self.per_client_inflight
+        ):
+            self.rate_limited += 1
+            state.rate_limited += 1
+            return AdmissionDecision(False, "rate-limited", None)
+        if self.rate_limit is not None:
+            now = time.monotonic()
+            state.tokens = min(
+                self.rate_burst,
+                state.tokens + (now - state.refilled) * self.rate_limit,
+            )
+            state.refilled = now
+            if state.tokens < 1.0:
+                self.rate_limited += 1
+                state.rate_limited += 1
+                retry = (1.0 - state.tokens) / self.rate_limit
+                return AdmissionDecision(
+                    False, "rate-limited", round(max(retry, 0.001), 3)
+                )
+        return None
+
+    def _admit(self, state: Optional[_ClientState]) -> AdmissionDecision:
+        self._inflight += 1
+        self.admitted += 1
+        self.peak_inflight = max(self.peak_inflight, self._inflight)
+        if state is not None:
+            state.inflight += 1
+            state.admitted += 1
+            if self.rate_limit is not None:
+                # Unclamped: queued same-client admissions may briefly
+                # overdraw the bucket; the debt delays later refills, so
+                # the sustained rate still holds.
+                state.tokens -= 1.0
+        return _ADMITTED
+
+    def _refuse_saturated(
+        self, state: Optional[_ClientState]
+    ) -> AdmissionDecision:
+        self.rejected += 1
+        if state is not None:
+            state.rejected += 1
+        return AdmissionDecision(False, "saturated", None)
+
+    # -- admission ---------------------------------------------------------
+
+    def try_enter(
+        self,
+        client: Optional[str] = None,
+        *,
+        wait_timeout: Optional[float] = None,
+    ) -> AdmissionDecision:
+        """Admit, queue (FIFO), or refuse; truthy result iff admitted."""
+        timeout = (
+            self.wait_timeout if wait_timeout is None else max(0.0, wait_timeout)
+        )
+        with self._cond:
+            state = self._client_state(client)
+            refusal = self._client_refusal(state)
+            if refusal is not None:
+                return refusal
+            if self._inflight < self.max_inflight and not self._waiters:
+                return self._admit(state)
+            if len(self._waiters) >= self.max_queued or timeout <= 0:
+                return self._refuse_saturated(state)
+            ticket = object()
+            self._waiters.append(ticket)
+            deadline = time.monotonic() + timeout
+            try:
+                while not (
+                    self._waiters[0] is ticket
+                    and self._inflight < self.max_inflight
+                ):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return self._refuse_saturated(state)
+                    self._cond.wait(remaining)
+                return self._admit(state)
+            finally:
+                self._waiters.remove(ticket)
+                self._cond.notify_all()
+
+    def poll_enter(self, client: Optional[str] = None) -> AdmissionDecision:
+        """Non-blocking probe for event-loop callers (the front door).
+
+        Admits only when a slot is free *and* no FIFO waiter is queued
+        ahead.  A saturated answer is not tallied as a rejection — the
+        caller parks the connection in its own arrival-ordered queue and
+        calls :meth:`record_rejection` only when it actually refuses.
+        Rate-limit refusals are final and tallied here.
+        """
+        with self._cond:
+            state = self._client_state(client)
+            refusal = self._client_refusal(state)
+            if refusal is not None:
+                return refusal
+            if self._inflight < self.max_inflight and not self._waiters:
+                return self._admit(state)
+            return AdmissionDecision(False, "saturated", None)
+
+    def record_rejection(self, client: Optional[str] = None) -> None:
+        """Tally a saturation refusal decided by the caller (parked-queue
+        overflow at the front door)."""
+        with self._cond:
+            self._refuse_saturated(self._clients.get(client))
+
+    def leave(self, client: Optional[str] = None) -> None:
         with self._cond:
             self._inflight = max(0, self._inflight - 1)
-            self._cond.notify()
+            if client is not None:
+                state = self._clients.get(client)
+                if state is not None:
+                    state.inflight = max(0, state.inflight - 1)
+            self._cond.notify_all()
+            listeners = tuple(self._listeners)
+        for listener in listeners:
+            try:
+                listener()
+            except Exception:  # noqa: BLE001 - listeners must not kill leave
+                pass
+
+    def add_release_listener(self, listener: Callable[[], None]) -> None:
+        """Call ``listener`` after every release (outside the gate lock);
+        the front door uses this to wake its event loop and admit the
+        head of its parked queue."""
+        with self._cond:
+            self._listeners.append(listener)
 
     def snapshot(self) -> Dict[str, object]:
         with self._cond:
+            clients: Dict[str, Dict[str, object]] = {}
+            top = sorted(
+                self._clients.items(),
+                key=lambda item: item[1].admitted + item[1].rejected,
+                reverse=True,
+            )[:32]
+            for name, state in top:
+                clients[name] = {
+                    "inflight": state.inflight,
+                    "admitted": state.admitted,
+                    "rejected": state.rejected,
+                    "rate_limited": state.rate_limited,
+                }
             return {
                 "max_inflight": self.max_inflight,
                 "max_queued": self.max_queued,
                 "wait_timeout": self.wait_timeout,
+                "per_client_inflight": self.per_client_inflight,
+                "rate_limit": self.rate_limit,
+                "rate_burst": self.rate_burst if self.rate_limit else None,
                 "inflight": self._inflight,
-                "queued": self._queued,
+                "queued": len(self._waiters),
                 "admitted": self.admitted,
                 "rejected": self.rejected,
+                "rate_limited": self.rate_limited,
                 "peak_inflight": self.peak_inflight,
+                "clients_tracked": len(self._clients),
+                "clients": clients,
             }
 
 
 __all__ = [
+    "AdmissionDecision",
     "AdmissionGate",
     "POOL_MODES",
     "SessionPool",
     "default_pool_size",
     "error_record",
+    "request_shard_digest",
     "resolve_pool_mode",
 ]

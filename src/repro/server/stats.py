@@ -40,6 +40,7 @@ class ServerStats:
         self._bad_requests = 0
         self._internal_errors = 0
         self._saturated = 0
+        self._rate_limited = 0
 
     # -- recording ---------------------------------------------------------
 
@@ -66,6 +67,10 @@ class ServerStats:
         with self._lock:
             self._saturated += 1
 
+    def record_rate_limited(self) -> None:
+        with self._lock:
+            self._rate_limited += 1
+
     # -- views -------------------------------------------------------------
 
     @property
@@ -85,6 +90,7 @@ class ServerStats:
             bad_requests = self._bad_requests
             internal_errors = self._internal_errors
             saturated = self._saturated
+            rate_limited = self._rate_limited
         verdicts = self.tally.snapshot()
         out: Dict[str, object] = {
             "uptime_seconds": round(self.uptime_seconds, 3),
@@ -93,6 +99,7 @@ class ServerStats:
             "bad_requests": bad_requests,
             "internal_errors": internal_errors,
             "saturated": saturated,
+            "rate_limited": rate_limited,
             # Derived from the one snapshot so 'results' always equals the
             # sum of 'verdicts' even while other threads keep recording.
             "results": sum(verdicts["verdicts"].values()),

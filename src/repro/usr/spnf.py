@@ -180,6 +180,19 @@ def simplify_predicate(pred: Predicate) -> Optional[bool]:
     return None
 
 
+def _bare_squash_body(term: NormalTerm) -> Optional[NormalForm]:
+    """The squash body of a term that is *only* a squash, else ``None``."""
+    if (
+        not term.vars
+        and not term.preds
+        and not term.rels
+        and term.neg_part is None
+        and term.squash_part is not None
+    ):
+        return term.squash_part
+    return None
+
+
 def make_term(
     vars: Tuple[Tuple[str, Schema], ...],
     preds: Tuple[Predicate, ...],
@@ -204,8 +217,24 @@ def make_term(
             return None  # ‖0‖ = 0 annihilates the product (Eq. (1))
         if any(term.is_one() for term in squash_part):
             squash_part = None  # ‖1 + x‖ = 1 (Eq. (1))
-    if neg_part is not None and len(neg_part) == 0:
-        neg_part = None  # not(0) = 1
+    if neg_part is not None:
+        # not(x + ‖y‖) = not(x) × not(‖y‖) = not(x) × not(y) = not(x + y)
+        # (Sec. 3.1: not-add then not-squash), so a bare-squash term inside
+        # a negation contributes nothing but its body.  Without this,
+        # ``normalize`` is not idempotent across re-denotation: the uexpr
+        # smart constructor ``not_`` strips the squash, the term-level path
+        # would keep it.
+        if any(_bare_squash_body(term) is not None for term in neg_part):
+            flattened: List[NormalTerm] = []
+            for term in neg_part:
+                body = _bare_squash_body(term)
+                if body is not None:
+                    flattened.extend(body)
+                else:
+                    flattened.append(term)
+            neg_part = tuple(flattened)
+        if len(neg_part) == 0:
+            neg_part = None  # not(0) = 1
     return NormalTerm(
         vars=vars,
         preds=tuple(sorted(kept, key=_pred_sort_key)),

@@ -1,10 +1,11 @@
-"""Differential harness: five entry points, one truth.
+"""Differential harness: six entry points, one truth.
 
-The repo now has five parallel ways to decide a query pair — the legacy
+The repo now has six parallel ways to decide a query pair — the legacy
 ``Solver.check`` shim, ``Session.verify``, ``BatchVerifier.run``, the
-single-member HTTP server, and the pooled HTTP server (N members, shared
-memo store, forked workers where the platform allows) — and nothing but
-discipline keeps them agreeing.  This suite makes the discipline
+single-member HTTP server, the pooled HTTP server (N members, shared
+memo store, forked workers where the platform allows), and the async
+front door (the selectors event loop with digest-sharded dispatch) —
+and nothing but discipline keeps them agreeing.  This suite makes the discipline
 executable: every entry point is driven over the full evaluation corpus
 (all 91 rules: literature, Calcite, extensions, and the
 ``corpus/bugs.py`` negative cases) under the same legacy pipeline, and
@@ -31,7 +32,7 @@ from repro import BatchVerifier, PipelineConfig, Session, Solver
 from repro.corpus import all_rules, as_batch_pairs, as_verify_requests, rules_by_dataset
 from repro.corpus.rules import Expectation
 from repro.hashcons_store import install_shared_store
-from repro.server import VerificationServer
+from repro.server import FrontDoorServer, VerificationServer
 from repro.session import tactic_invocations
 from repro.store import open_store
 
@@ -108,6 +109,21 @@ def outcome_map_pool_http():
         return outcomes
 
 
+def outcome_map_frontdoor():
+    """rule_id -> (verdict, reason_code) via the async front door (the
+    selectors event loop with digest-sharded dispatch over 2 members)."""
+    with FrontDoorServer(
+        pipeline=PipelineConfig.legacy(), pool_size=2, pool_mode="auto"
+    ) as server:
+        outcomes = _http_batch_outcomes(server)
+        dispatch = server.pool.stats()["dispatch"]
+        assert dispatch["sharding"], dispatch
+        assert dispatch["sharded"] + dispatch["fallbacks"] >= len(RULES), (
+            f"front door did not shard-dispatch the corpus: {dispatch}"
+        )
+        return outcomes
+
+
 @pytest.fixture(scope="module")
 def outcomes():
     return {
@@ -116,6 +132,7 @@ def outcomes():
         "batch": outcome_map_batch(),
         "http": outcome_map_http(),
         "pool_http": outcome_map_pool_http(),
+        "frontdoor": outcome_map_frontdoor(),
     }
 
 
@@ -125,7 +142,9 @@ def test_corpus_is_the_full_91_rules(outcomes):
         assert sorted(mapping) == sorted(RULE_IDS), f"{name} missed rules"
 
 
-@pytest.mark.parametrize("path", ["session", "batch", "http", "pool_http"])
+@pytest.mark.parametrize(
+    "path", ["session", "batch", "http", "pool_http", "frontdoor"]
+)
 def test_entry_point_matches_solver_verdict_and_reason_code(outcomes, path):
     baseline, candidate = outcomes["solver"], outcomes[path]
     drift = {

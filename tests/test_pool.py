@@ -442,11 +442,16 @@ def test_hard_deadline_derived_from_pipeline_budgets():
 
 @needs_fork
 def test_shared_store_warms_the_sibling_member():
-    """Member 0 proves a never-seen pair; the FIFO idle queue hands the
-    identical repeat to member 1, whose private caches are cold — it must
-    find member 0's normalize/canonize results in the shared store."""
+    """Member 0 proves a never-seen pair; with shard routing disabled the
+    LRU rotation hands the identical repeat to member 1, whose private
+    caches are cold — it must find member 0's normalize/canonize results
+    in the shared store.  (Sharded dispatch would deliberately send the
+    repeat back to member 0; cross-member warming is what's under test.)"""
     pool = SessionPool(
-        2, mode="process", session=Session.from_program_text(RS_PROGRAM)
+        2,
+        mode="process",
+        session=Session.from_program_text(RS_PROGRAM),
+        shard_dispatch=False,
     )
     try:
         assert pool.store is not None
@@ -586,7 +591,143 @@ def test_admission_gate_unit():
     time.sleep(0.1)
     waiter.leave()  # wakes the queued caller within its timeout
     thread.join(timeout=10)
-    assert admitted == [True]
+    assert len(admitted) == 1 and admitted[0]
+
+
+def test_queued_waiter_beats_barging_newcomer():
+    """FIFO regression: a freed slot must go to the queued waiter, not to
+    a newcomer that arrives at the exact release instant.
+
+    The old gate handed the slot to whichever thread won the lock race —
+    a ``wait_timeout=0`` newcomer could barge past a patient waiter and
+    starve it through its whole timeout.  The ticketed gate admits in
+    arrival order: while anyone queues, an impatient newcomer is refused
+    immediately.
+    """
+    gate = AdmissionGate(1, max_queued=4, wait_timeout=10.0)
+    assert gate.try_enter()  # occupy the only slot
+
+    order = []
+    started = threading.Event()
+
+    def patient_waiter():
+        started.set()
+        decision = gate.try_enter()
+        order.append(("waiter", bool(decision)))
+
+    thread = threading.Thread(target=patient_waiter)
+    thread.start()
+    started.wait(timeout=10)
+    deadline = time.monotonic() + 5
+    while gate.snapshot()["queued"] == 0:  # the waiter holds a ticket
+        assert time.monotonic() < deadline, "waiter never queued"
+        time.sleep(0.005)
+
+    gate.leave()  # frees the slot with the waiter still queued
+    # A barging newcomer (refuses to wait at all) must NOT steal it.
+    newcomer = gate.try_enter(wait_timeout=0.0)
+    assert not newcomer, "newcomer barged past a queued waiter"
+
+    thread.join(timeout=10)
+    assert order == [("waiter", True)]
+    gate.leave()
+
+
+def test_per_client_fairness_band_under_contention():
+    """N clients hammering a per-client-capped gate each get admitted;
+    no client's concurrency exceeds its cap, and every client makes
+    progress (the fairness band: nobody is starved to zero)."""
+    clients = [f"client-{i}" for i in range(4)]
+    gate = AdmissionGate(
+        8, max_queued=64, wait_timeout=5.0, per_client_inflight=2
+    )
+    progress = {name: 0 for name in clients}
+    over_cap = []
+    inflight = {name: 0 for name in clients}
+    lock = threading.Lock()
+
+    def hammer(name):
+        for _ in range(10):
+            decision = gate.try_enter(name)
+            if not decision:
+                continue
+            with lock:
+                inflight[name] += 1
+                if inflight[name] > 2:
+                    over_cap.append((name, inflight[name]))
+            time.sleep(0.002)
+            with lock:
+                inflight[name] -= 1
+                progress[name] += 1
+            gate.leave(name)
+
+    threads = [
+        threading.Thread(target=hammer, args=(name,)) for name in clients
+        for _ in range(3)  # 3 threads per client fight the per-client cap
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+
+    assert not over_cap, f"per-client cap violated: {over_cap}"
+    assert all(count > 0 for count in progress.values()), (
+        f"a client was starved: {progress}"
+    )
+    snapshot = gate.snapshot()
+    assert snapshot["per_client_inflight"] == 2
+    assert set(snapshot["clients"]) == set(clients)
+
+
+def test_rate_limit_answers_rate_limited_with_retry_after():
+    """A client over its token bucket gets a 'rate-limited' decision
+    carrying retry_after; a different client is unaffected; the bucket
+    refills with time."""
+    gate = AdmissionGate(
+        8, max_queued=8, wait_timeout=0.0, rate_limit=2.0, rate_burst=2.0
+    )
+    # Burst capacity (2 tokens) admits the first two...
+    assert gate.try_enter("greedy")
+    assert gate.try_enter("greedy")
+    # ...then the bucket is dry: rate-limited, with a retry hint.
+    decision = gate.try_enter("greedy")
+    assert not decision
+    assert decision.code == "rate-limited"
+    assert decision.retry_after is not None and decision.retry_after > 0
+    # An unrelated client has its own bucket.
+    assert gate.try_enter("patient")
+    gate.leave("patient")
+    # Refill: at 2 tokens/sec, ~0.6s buys at least one more admission.
+    time.sleep(0.6)
+    assert gate.try_enter("greedy")
+    for _ in range(3):
+        gate.leave("greedy")
+    snapshot = gate.snapshot()
+    assert snapshot["rate_limited"] >= 1
+    assert snapshot["rate_limit"] == 2.0
+
+
+def test_thread_mode_multi_member_pool_warns_about_isolation(caplog):
+    """Thread members share the GIL and cannot be hard-killed on a
+    wedged prove — a multi-member thread pool must say so loudly at
+    construction instead of silently offering less isolation than the
+    flags imply."""
+    import logging
+
+    with caplog.at_level(logging.WARNING, logger="repro.server.pool"):
+        pool = SessionPool(2, mode="thread", program=RS_PROGRAM)
+        pool.close()
+    assert any(
+        "cannot be hard-killed" in record.message for record in caplog.records
+    ), caplog.records
+
+    caplog.clear()
+    with caplog.at_level(logging.WARNING, logger="repro.server.pool"):
+        pool = SessionPool(1, mode="thread", program=RS_PROGRAM)
+        pool.close()
+    assert not any(
+        "cannot be hard-killed" in record.message for record in caplog.records
+    ), "a single-member thread pool has no isolation gap to warn about"
 
 
 # -- mode resolution ----------------------------------------------------------

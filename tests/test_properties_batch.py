@@ -83,6 +83,21 @@ def test_normalize_idempotent_after_redenote(expr):
     assert canonical_text(again) == canonical_text(once)
 
 
+def test_normalize_idempotent_negated_double_squash():
+    """Regression: ``not(‖‖Σ_t r(t)‖‖)`` must normalize idempotently.
+
+    The uexpr smart constructor ``not_`` applies not(‖x‖) = not(x), so
+    re-denoting a normal form whose negation body is a bare squash used
+    to produce a strictly flatter form (different binder depths, hence a
+    different canonical digest).  ``make_term`` now applies the same
+    absorption at the term level.
+    """
+    expr = not_(Squash(Squash(Sum("t", S, Rel("r", TupleVar("t"))))))
+    once = normalize(expr)
+    again = normalize(form_to_uexpr(once))
+    assert canonical_text(again) == canonical_text(once)
+
+
 @settings(max_examples=30, deadline=None)
 @given(expr=uexprs())
 def test_normalize_memo_hit_returns_same_form(expr):

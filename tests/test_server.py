@@ -389,6 +389,82 @@ def test_concurrent_clients_all_get_consistent_answers(server):
     assert {rid for _, _, rid in outcomes} == {f"c{i}" for i in range(12)}
 
 
+def _raw_request_dying_mid_upload(server, path, body: bytes, announce: int):
+    """Open a raw socket, announce ``announce`` body bytes, send only
+    ``body``, then half-close (the client 'dies' mid-upload).  Returns
+    the server's full response bytes."""
+    import socket
+
+    with socket.create_connection((server.host, server.port), timeout=30) as sock:
+        head = (
+            f"POST {path} HTTP/1.1\r\n"
+            f"Host: {server.host}:{server.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {announce}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("ascii")
+        sock.sendall(head + body)
+        sock.shutdown(socket.SHUT_WR)  # EOF before the announced length
+        chunks = []
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+    return b"".join(chunks)
+
+
+def test_verify_truncated_upload_is_structured_400(server):
+    """A client that dies mid-upload on /verify must get a 400 naming
+    the truncation — not a silent parse of the prefix (the old server
+    fed the short body to json.loads and answered as if it were the
+    whole request)."""
+    body = json.dumps(
+        {"left": EQ[0], "right": EQ[1], "id": "truncated"}
+    ).encode("utf-8")
+    raw = _raw_request_dying_mid_upload(
+        server, "/verify", body[: len(body) // 2], announce=len(body)
+    )
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    assert b" 400 " in head.split(b"\r\n", 1)[0]
+    record = json.loads(payload)
+    assert record["error"]["code"] == "bad-request"
+    assert "truncated" in record["error"]["reason"]
+
+
+def test_batch_truncated_upload_emits_in_stream_error_record(server):
+    """On /verify/batch the response streams before the body is fully
+    read, so a mid-upload death cannot become a 400 — it must surface
+    as a final in-stream ``truncated-body`` error record with the
+    byte counts, never as a silently-complete-looking stream."""
+    lines = [
+        json.dumps({"left": EQ[0], "right": EQ[1], "id": "b0"}),
+        json.dumps({"left": NEQ[0], "right": NEQ[1], "id": "b1"}),
+    ]
+    body = ("\n".join(lines) + "\n").encode("utf-8")
+    announce = len(body) + 512  # die 512 bytes short of the promise
+    raw = _raw_request_dying_mid_upload(
+        server, "/verify/batch", body, announce=announce
+    )
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    assert b" 200 " in head.split(b"\r\n", 1)[0]
+    records = [
+        json.loads(line) for line in payload.decode("utf-8").splitlines()
+        if line
+    ]
+    # The complete lines were decided...
+    decided = [r for r in records if "verdict" in r]
+    assert {r["id"] for r in decided} == {"b0", "b1"}
+    # ...and the truncation is announced in-stream, with byte counts.
+    errors = [r for r in records if "error" in r]
+    assert len(errors) == 1
+    error = errors[0]["error"]
+    assert error["code"] == "truncated-body"
+    assert error["expected_bytes"] == announce
+    assert error["received_bytes"] == len(body)
+
+
 def test_uptime_survives_wall_clock_steps(monkeypatch):
     """Uptime must come from the monotonic clock: an NTP step (or a
     manual clock change) moving ``time.time`` a day backwards may not
