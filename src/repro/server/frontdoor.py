@@ -27,8 +27,12 @@ loop that
   caps and token-bucket rate limits answer 429 with ``Retry-After``;
   queue overflow answers 503;
 * **defends the loop** — connections idle mid-request beyond
-  ``idle_timeout`` are dropped (the slow-loris defense), and accepts
-  beyond ``max_connections`` are answered with a terse 503.
+  ``idle_timeout`` are dropped (the slow-loris defense), as are
+  write-stalled readers that stop draining their responses (their
+  admission slots come back); pipelined bytes buffered during an
+  in-flight request are capped at :data:`MAX_HEAD_BYTES` (reads pause,
+  TCP backpressure takes over); and accepts beyond ``max_connections``
+  are answered with a terse 503.
 
 Routes, wire schema, and error records are identical to the threaded
 server — the differential suite holds the two front ends to the same
@@ -106,6 +110,9 @@ class _Connection:
         "batch",
         "admitted_client",
         "close_after_write",
+        "parsing",
+        "reg_events",
+        "last_drain",
     )
 
     def __init__(self, sock: socket.socket, addr) -> None:
@@ -116,8 +123,15 @@ class _Connection:
         self.outbuf = bytearray()
         self.state = _READ_HEAD
         self.last_activity = time.monotonic()
+        #: Last successful drain of ``outbuf`` into the socket — the
+        #: write-stall clock.  Unlike ``last_activity`` it never advances
+        #: on *input*, so a client trickling bytes while refusing to read
+        #: its responses still gets swept.
+        self.last_drain = self.last_activity
         self.serial = 0
         self.close_after_write = False
+        self.parsing = False
+        self.reg_events = 0
         self._reset_request()
 
     def _reset_request(self) -> None:
@@ -428,6 +442,7 @@ class FrontDoorServer:
             self.accepted += 1
             self.peak_connections = max(self.peak_connections, len(self._conns))
             self._sel.register(sock, selectors.EVENT_READ, conn)
+            conn.reg_events = selectors.EVENT_READ
 
     def _set_events(self, conn: _Connection) -> None:
         if self._conns.get(conn.fd) is not conn:
@@ -435,14 +450,25 @@ class FrontDoorServer:
         events = 0
         if conn.state in (_READ_HEAD, _READ_BODY):
             events |= selectors.EVENT_READ
+        elif len(conn.inbuf) <= MAX_HEAD_BYTES:
+            # Parked or dispatched: stay registered for reads so a client
+            # disconnect is noticed promptly — until the client has a full
+            # head's worth of pipelined bytes buffered, at which point
+            # reads pause (TCP backpressure takes over) until the
+            # in-flight request completes and parsing drains the buffer.
+            events |= selectors.EVENT_READ
         if conn.outbuf:
             events |= selectors.EVENT_WRITE
-        if events == 0:
-            # Parked or dispatched with a drained buffer: stay registered
-            # for reads so a client disconnect is noticed promptly.
-            events = selectors.EVENT_READ
+        if events == conn.reg_events:
+            return
         try:
-            self._sel.modify(conn.sock, events, conn)
+            if events == 0:
+                self._sel.unregister(conn.sock)
+            elif conn.reg_events == 0:
+                self._sel.register(conn.sock, events, conn)
+            else:
+                self._sel.modify(conn.sock, events, conn)
+            conn.reg_events = events
         except (KeyError, ValueError, OSError):
             pass
 
@@ -473,15 +499,25 @@ class FrontDoorServer:
     def _sweep_idle(self, now: float) -> None:
         """Drop connections stalled mid-request (the slow-loris defense).
 
-        Parked and dispatched connections are waiting on *us*, so only
-        sockets we expect bytes from are candidates.  A keep-alive
-        connection idle between requests with nothing buffered is also
-        reclaimed — that is exactly a slot a slow-loris hoards.
+        Reading states are swept on plain inactivity: a keep-alive
+        connection idle between requests with nothing buffered is exactly
+        a slot a slow-loris hoards.  Parked and dispatched connections
+        are usually waiting on *us* — except when they have output the
+        client has stopped draining.  ``last_activity`` advances on every
+        successful send, so a dispatched/closing connection with a
+        non-empty ``outbuf`` and no progress for a full ``idle_timeout``
+        is a write-stalled reader; dropping it releases its admission
+        slot (a ``/verify/batch`` client that never reads would otherwise
+        hold a gate slot forever).
         """
         for conn in list(self._conns.values()):
-            if conn.state not in (_READ_HEAD, _READ_BODY):
-                continue
-            if now - conn.last_activity >= self.idle_timeout:
+            if conn.state in (_READ_HEAD, _READ_BODY):
+                stalled = now - conn.last_activity >= self.idle_timeout
+            elif conn.outbuf:
+                stalled = now - conn.last_drain >= self.idle_timeout
+            else:
+                continue  # waiting on the pool, nothing owed to the client
+            if stalled:
                 self.idle_closed += 1
                 self._drop(conn)
 
@@ -525,13 +561,32 @@ class FrontDoorServer:
             return
         conn.last_activity = time.monotonic()
         if conn.state not in (_READ_HEAD, _READ_BODY):
-            # Bytes while parked/dispatched (pipelining): buffer them.
+            # Bytes while parked/dispatched (pipelining): buffer them —
+            # but never without bound.  Past MAX_HEAD_BYTES _set_events
+            # drops EVENT_READ, so a client streaming during a slow
+            # request costs one head's worth of memory, not the heap.
             conn.inbuf += data
+            self._set_events(conn)
             return
         conn.inbuf += data
         self._advance_parse(conn)
 
     def _advance_parse(self, conn: _Connection) -> None:
+        # Reentrancy guard: answering a request inline resets the
+        # connection for the next one (_answer_json -> _next_request ->
+        # _advance_parse).  The while-loop below picks the next buffered
+        # request up iteratively, so the nested call must be a no-op —
+        # otherwise a single segment of ~200 pipelined requests recurses
+        # five frames per request straight into RecursionError.
+        if conn.parsing:
+            return
+        conn.parsing = True
+        try:
+            self._advance_parse_loop(conn)
+        finally:
+            conn.parsing = False
+
+    def _advance_parse_loop(self, conn: _Connection) -> None:
         while self._conns.get(conn.fd) is conn:
             if conn.state == _READ_HEAD:
                 end, skip = _find_head_end(conn.inbuf)
@@ -549,14 +604,15 @@ class FrontDoorServer:
                 conn.inbuf = conn.inbuf[end + skip :]
                 if not self._parse_head(conn, head):
                     return
+                if conn.state == _READ_HEAD:
+                    continue  # answered inline, keep-alive: next request
                 if conn.state != _READ_BODY:
-                    return  # answered (GET, 4xx) or parked/dispatched
+                    return  # answered-and-closing or parked/dispatched
             if conn.state == _READ_BODY:
                 if not self._parse_body(conn):
-                    return
-                if conn.state == _READ_BODY:
                     return  # need more bytes
-                continue
+                if conn.state == _READ_HEAD:
+                    continue  # answered inline, keep-alive: next request
             return
 
     def _parse_head(self, conn: _Connection, head: bytes) -> bool:
@@ -581,8 +637,16 @@ class FrontDoorServer:
             conn.keep_alive = "close" not in connection_header
         path = urlsplit(target).path
 
+        # Any answer sent while announced body bytes sit unread must
+        # close the connection: those bytes would otherwise be parsed as
+        # the next request head, desyncing the framing into a spurious
+        # 400 the client never asked for.
+        encoding = (headers.get("transfer-encoding") or "").strip().lower()
+        raw_length = (headers.get("content-length") or "").strip()
+        body_announced = bool(encoding) or raw_length not in ("", "0")
+
         if method == "GET":
-            self._handle_get(conn, path)
+            self._handle_get(conn, path, close=body_announced)
             return True
         if method != "POST":
             self._answer_error(
@@ -590,15 +654,19 @@ class FrontDoorServer:
                 HTTPStatus.METHOD_NOT_ALLOWED,
                 "method-not-allowed",
                 f"{method} is not supported",
+                close=body_announced,
             )
             return True
         if path not in _PROVING_ROUTES:
             self._answer_error(
-                conn, HTTPStatus.NOT_FOUND, "not-found", f"no route for {path}"
+                conn,
+                HTTPStatus.NOT_FOUND,
+                "not-found",
+                f"no route for {path}",
+                close=body_announced,
             )
             return True
 
-        encoding = (headers.get("transfer-encoding") or "").strip().lower()
         if encoding:
             codings = [c.strip() for c in encoding.split(",") if c.strip()]
             if codings != ["chunked"]:
@@ -608,6 +676,7 @@ class FrontDoorServer:
                     "bad-request",
                     f"unsupported Transfer-Encoding {encoding!r} "
                     "(only 'chunked' is implemented)",
+                    close=True,
                 )
                 return True
             conn.decoder = ChunkedDecoder()
@@ -634,6 +703,7 @@ class FrontDoorServer:
                     HTTPStatus.BAD_REQUEST,
                     "bad-request",
                     f"invalid Content-Length {raw!r}",
+                    close=True,
                 )
                 return True
             if length > _http.MAX_REQUEST_BYTES:
@@ -918,11 +988,18 @@ class FrontDoorServer:
                     json.dumps(record, sort_keys=True).encode("utf-8") + b"\n"
                 )
                 progressed = True
+        if batch.next_line >= len(batch.lines) and all(
+            future.done() for _, future in batch.pending
+        ):
+            # Every line is decided: proving is over, so free the
+            # admission slot now.  Holding it until the output fully
+            # drains would let a slow (or stalled) reader pin a gate
+            # slot for as long as it cares to not read.
+            self._release(conn)
         if not batch.pending and batch.next_line >= len(batch.lines):
             conn.batch = None
             self._active.pop(conn.fd, None)
             conn.close_after_write = True
-            self._release(conn)
         if conn.outbuf:
             self._set_events(conn)
             self._on_writable(conn)
@@ -934,25 +1011,30 @@ class FrontDoorServer:
 
     # -- GET routes --------------------------------------------------------
 
-    def _handle_get(self, conn: _Connection, path: str) -> None:
+    def _handle_get(self, conn: _Connection, path: str, close: bool = False) -> None:
         if path == "/healthz":
             self.stats.record_endpoint("healthz")
-            self._answer_json(conn, HTTPStatus.OK, self.health())
+            self._answer_json(conn, HTTPStatus.OK, self.health(), close=close)
         elif path == "/stats":
             self.stats.record_endpoint("stats")
             snapshot = self.stats.snapshot(pool=self.pool, gate=self.gate)
             snapshot["frontdoor"] = self._frontdoor_stats()
-            self._answer_json(conn, HTTPStatus.OK, snapshot)
+            self._answer_json(conn, HTTPStatus.OK, snapshot, close=close)
         elif path in _PROVING_ROUTES:
             self._answer_error(
                 conn,
                 HTTPStatus.METHOD_NOT_ALLOWED,
                 "method-not-allowed",
                 f"{path} requires POST",
+                close=close,
             )
         else:
             self._answer_error(
-                conn, HTTPStatus.NOT_FOUND, "not-found", f"no route for {path}"
+                conn,
+                HTTPStatus.NOT_FOUND,
+                "not-found",
+                f"no route for {path}",
+                close=close,
             )
 
     # -- answering ---------------------------------------------------------
@@ -1064,7 +1146,7 @@ class FrontDoorServer:
             if sent <= 0:
                 break
             del conn.outbuf[:sent]
-            conn.last_activity = time.monotonic()
+            conn.last_activity = conn.last_drain = time.monotonic()
         if not conn.outbuf and conn.close_after_write and conn.batch is None:
             self._drop(conn)
             return

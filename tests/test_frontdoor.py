@@ -517,3 +517,173 @@ def test_autoscaler_grows_under_saturation_and_reaps_idle():
         assert autoscale["current_size"] == 1
         assert autoscale["base_size"] == 1
     pool.close()
+
+
+# -- loop defenses ------------------------------------------------------------
+
+
+if "test-sleep-long" not in _TACTICS:
+
+    @register_tactic("test-sleep-long")
+    def _tactic_sleep_long(session, task, config):
+        time.sleep(1.5)
+        return TacticOutcome(
+            verdict=Verdict.NOT_PROVED,
+            reason_code=ReasonCode.NO_ISOMORPHISM,
+            reason="slept",
+            conclusive=True,
+        )
+
+
+def test_write_stalled_batch_reader_frees_its_admission_slot():
+    """A /verify/batch client that sends its upload then never reads a
+    byte of the response must not hold a gate slot forever: the sweep
+    reclaims the write-stalled socket, so a later /verify still proves.
+    Regression for the admission-slot leak (emission stalls at the
+    outbuf soft limit, release used to wait on full emission, and the
+    sweep skipped dispatched connections)."""
+    with FrontDoorServer(
+        Session.from_program_text(RS_PROGRAM),
+        pool_size=1,
+        pool_mode="thread",
+        max_inflight=1,
+        idle_timeout=1.0,
+    ) as srv:
+        # Every line malformed: each decides instantly into an error
+        # record, but together they emit ~12 MB the client never drains
+        # past kernel buffers, so emission stalls at the soft limit.
+        lines = b"".join(b"not json %d\n" % n for n in range(100_000))
+        stalled = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            stalled.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+            stalled.settimeout(30)
+            stalled.connect((srv.host, srv.port))
+            stalled.sendall(
+                b"POST /verify/batch HTTP/1.1\r\n"
+                b"Content-Length: %d\r\n\r\n" % len(lines)
+                + lines
+            )
+            time.sleep(0.3)  # the batch owns the single gate slot now
+            # Parks behind the stalled batch, then must be admitted once
+            # the sweep reclaims the wedged connection (~idle_timeout).
+            status, record, _ = post_verify(
+                srv, {"left": EQ[0], "right": EQ[1], "id": "after-stall"}
+            )
+            assert status == 200, record
+            deadline = time.monotonic() + 10
+            while srv.idle_closed == 0 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert srv.idle_closed >= 1, "write-stalled batch never reclaimed"
+        finally:
+            stalled.close()
+
+
+def test_bytes_streamed_during_inflight_request_are_capped():
+    """While a request is dispatched, further client bytes are buffered
+    for pipelining — but only up to MAX_HEAD_BYTES, after which reads
+    pause and TCP backpressure takes over.  Regression for the
+    unbounded-inbuf memory DoS."""
+    from repro.server.frontdoor import MAX_HEAD_BYTES
+
+    with FrontDoorServer(
+        Session.from_program_text(RS_PROGRAM),
+        pool_size=1,
+        pool_mode="thread",
+    ) as srv:
+        body = json.dumps(
+            {
+                "id": "cap-probe",
+                "left": "SELECT * FROM r x WHERE x.a = 980001",
+                "right": "SELECT * FROM r x WHERE x.a = 980002",
+                "pipeline": "test-sleep-long",
+            }
+        ).encode("utf-8")
+        head = (
+            b"POST /verify HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: %d\r\n\r\n" % len(body)
+        )
+        with socket.create_connection((srv.host, srv.port), timeout=30) as sock:
+            sock.sendall(head + body)
+            time.sleep(0.2)  # dispatched; the member sleeps ~1.5s
+            sock.setblocking(False)
+            junk = b"X" * 65536
+            sent = 0
+            deadline = time.monotonic() + 0.8
+            while sent < 8 * 1024 * 1024 and time.monotonic() < deadline:
+                try:
+                    sent += sock.send(junk)
+                except (BlockingIOError, InterruptedError):
+                    time.sleep(0.01)
+            # Measure while the prove is still in flight: whatever the
+            # client managed to push, the loop buffered at most one
+            # head's worth plus a single recv.
+            buffered = [len(conn.inbuf) for conn in srv._conns.values()]
+            assert buffered, "connection vanished during the in-flight prove"
+            assert max(buffered) <= MAX_HEAD_BYTES + 65536, (
+                f"inbuf grew to {max(buffered)} bytes while dispatched "
+                f"(client pushed {sent})"
+            )
+
+
+def test_aggressive_pipelining_in_one_segment_is_answered_iteratively(server):
+    """Hundreds of pipelined requests arriving in one read must all be
+    answered on one live connection.  Regression for the mutually
+    recursive parse advance (~5 stack frames per buffered request used
+    to hit RecursionError around 200 requests and drop the client)."""
+    n = 400
+    with socket.create_connection((server.host, server.port), timeout=30) as sock:
+        sock.sendall(b"GET /healthz HTTP/1.1\r\n\r\n" * n)
+        sock.settimeout(30)
+        raw = b""
+        while raw.count(b"HTTP/1.1 200") < n:
+            data = sock.recv(65536)
+            assert data, (
+                f"connection dropped after "
+                f"{raw.count(b'HTTP/1.1 200')} of {n} responses"
+            )
+            raw += data
+    assert raw.count(b"HTTP/1.1 200") == n
+
+
+def test_error_with_unread_body_closes_instead_of_desyncing(server):
+    """An error answered while announced body bytes sit unread must
+    close the connection; keeping it alive used to parse the body as
+    the next request head and emit a spurious 400."""
+    cases = [
+        # POST with a body to an unknown route: 404, then close.
+        (
+            b"POST /nope HTTP/1.1\r\nContent-Length: 30\r\n\r\n"
+            + b"0123456789" * 3,
+            b"HTTP/1.1 404",
+        ),
+        # Unsupported Transfer-Encoding: framing unknowable, 400 + close.
+        (
+            b"POST /verify HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n"
+            + b"0123456789" * 3,
+            b"HTTP/1.1 400",
+        ),
+        # GET with an announced body: answered, then close.
+        (
+            b"GET /healthz HTTP/1.1\r\nContent-Length: 30\r\n\r\n"
+            + b"0123456789" * 3,
+            b"HTTP/1.1 200",
+        ),
+    ]
+    for payload, expected_status in cases:
+        with socket.create_connection(
+            (server.host, server.port), timeout=30
+        ) as sock:
+            sock.sendall(payload)
+            sock.settimeout(10)
+            raw = b""
+            while True:
+                data = sock.recv(65536)
+                if not data:
+                    break
+                raw += data
+        assert raw.startswith(expected_status), raw[:64]
+        assert b"Connection: close" in raw, raw[:256]
+        assert raw.count(b"HTTP/1.1") == 1, (
+            f"spurious extra response after {expected_status!r}: {raw!r}"
+        )
