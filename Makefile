@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-server test-frontdoor test-store test-differential server-stress bench bench-smoke bench-gate bench-kernel bench-store bench-frontdoor batch-corpus serve
+.PHONY: test test-server test-frontdoor test-store test-cluster test-differential server-stress bench bench-smoke bench-gate bench-kernel bench-store bench-frontdoor bench-cluster batch-corpus serve
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,6 +19,12 @@ test-frontdoor:
 ## replay semantics (both backends), flock-store hardening.
 test-store:
 	$(PYTHON) -m pytest -x -q tests/test_store_sqlite.py tests/test_verdict_cache.py tests/test_memo_store.py
+
+## Clustering suites: the offline shim contract plus the streaming
+## /cluster service end to end — engine direct, both HTTP front ends,
+## durable restart-resume across a real process boundary.
+test-cluster:
+	$(PYTHON) -m pytest -x -q tests/test_cluster.py tests/test_cluster_service.py
 
 ## Differential corpus check: Solver / Session / BatchVerifier / HTTP /
 ## pooled HTTP must be verdict- and reason-code-identical on all 91 rules.
@@ -75,6 +81,12 @@ bench-store:
 ## connections, and sweep a slow-loris swarm (report in benchmarks/out/).
 bench-frontdoor:
 	$(PYTHON) benchmarks/bench_frontdoor.py --gate
+
+## Clustering gate: digest-bucketed placement must beat decision-only
+## placement >= 5x on an alpha-variant-heavy corpus, partition-identical
+## (report in benchmarks/out/cluster_gate.txt).
+bench-cluster:
+	$(PYTHON) benchmarks/bench_cluster.py --gate
 
 ## One batch-service pass over the built-in corpus, results to stdout.
 batch-corpus:

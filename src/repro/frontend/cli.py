@@ -31,7 +31,19 @@ The ``serve`` subcommand boots the long-lived HTTP verification service
     udp-prove serve --program schema.cos     # preload a catalog
 
 It answers ``POST /verify``, ``POST /verify/batch`` (streamed JSONL),
+``POST /corpus``, ``POST /cluster`` (streamed placement records),
 ``GET /healthz``, and ``GET /stats`` until interrupted.
+
+The ``cluster`` subcommand partitions a stream of queries into
+provably-equivalent groups (:mod:`repro.service.clustering`)::
+
+    udp-prove cluster queries.txt --program schema.cos
+    cat queries.txt | udp-prove cluster - --program schema.cos --store g.db
+
+One placement record per input line goes to stdout as JSON lines, a
+partition summary to stderr.  With ``--store``, groups persist: a
+re-run over the same store places previously seen queries by durable
+lookup with zero decision-procedure calls.
 """
 
 from __future__ import annotations
@@ -159,6 +171,151 @@ def build_batch_parser() -> argparse.ArgumentParser:
         ),
     )
     return parser
+
+
+def build_cluster_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="udp-prove cluster",
+        description=(
+            "Partition a stream of SQL queries into provably-equivalent "
+            "groups (alpha-variants place in O(1) on canonical digests; "
+            "PROVED is sound, separation is not a disproof)."
+        ),
+    )
+    parser.add_argument(
+        "input",
+        help="queries file, one SQL query per line; '-' reads stdin",
+    )
+    parser.add_argument(
+        "--program", required=True,
+        help="declaration file defining the catalog the queries run under",
+    )
+    parser.add_argument(
+        "--jsonl", action="store_true",
+        help=(
+            "input lines are JSON — a string, or an object "
+            "{\"query\": ..., \"id\"?: ...} — instead of raw SQL"
+        ),
+    )
+    parser.add_argument(
+        "--pipeline",
+        help=(
+            "comma-separated tactic order for residual decisions "
+            f"(available: {', '.join(available_tactics())})"
+        ),
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-decision budget in seconds (default 30)",
+    )
+    parser.add_argument(
+        "--no-constraints", action="store_true",
+        help="ignore key/foreign-key constraints (ablation)",
+    )
+    parser.add_argument(
+        "--no-digests", action="store_true",
+        help=(
+            "disable canonical-digest bucketing: only exact structural "
+            "duplicates then skip decisions (the historical offline mode)"
+        ),
+    )
+    parser.add_argument(
+        "--store", metavar="PATH",
+        help=(
+            "durable store at this path; groups persist, so a re-run "
+            "places previously seen queries by durable lookup with zero "
+            "decision-procedure calls"
+        ),
+    )
+    parser.add_argument(
+        "--store-backend", choices=("auto", "sqlite"), default="auto",
+        help=(
+            "store implementation (sqlite is the only group-capable "
+            "backend; what auto picks)"
+        ),
+    )
+    return parser
+
+
+def run_cluster(argv: List[str]) -> int:
+    from repro.service.clustering import ClusterEngine
+
+    args = build_cluster_parser().parse_args(argv)
+    try:
+        pipeline = _pipeline_config(
+            args.pipeline,
+            args.timeout,
+            not args.no_constraints,
+            collect_trace=False,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        with open(args.program, "r", encoding="utf-8") as handle:
+            program_text = handle.read()
+    except OSError as error:
+        print(f"error: cannot read {args.program}: {error}", file=sys.stderr)
+        return 2
+    try:
+        session = Session.from_program_text(program_text, pipeline)
+    except ReproError as error:
+        print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+        return 2
+    if args.input == "-":
+        lines = sys.stdin
+        close_input = None
+    else:
+        try:
+            close_input = open(args.input, "r", encoding="utf-8")
+        except OSError as error:
+            print(
+                f"error: cannot read {args.input}: {error}", file=sys.stderr
+            )
+            return 2
+        lines = close_input
+    store = previous_store = None
+    if args.store:
+        from repro.hashcons_store import install_shared_store
+        from repro.store import open_store
+
+        # Installed as the shared memo store too, so residual decisions
+        # benefit from the durable memo/verdict layers alongside the
+        # durable group index.
+        store = open_store(args.store, backend=args.store_backend)
+        previous_store = install_shared_store(store)
+    engine = ClusterEngine(
+        session, store=store, digest_buckets=not args.no_digests
+    )
+    try:
+        if args.jsonl:
+            stream = engine.place_stream(lines)
+        else:
+            stream = (
+                engine.place(text, lineno=lineno)
+                for lineno, raw in enumerate(lines, start=1)
+                for text in (raw.strip(),)
+                if text
+            )
+        for record in stream:
+            print(json.dumps(record, sort_keys=True))
+    finally:
+        if close_input is not None:
+            close_input.close()
+        if store is not None:
+            from repro.hashcons_store import install_shared_store
+
+            install_shared_store(previous_store)
+            store.close()
+    stats = engine.stats
+    print(
+        f"cluster: {stats.inputs} queries -> {len(engine.groups())} groups "
+        f"(digest_hits={stats.digest_hits}, bucket_hits={stats.bucket_hits}, "
+        f"durable_hits={stats.durable_hits}, decisions={stats.comparisons}, "
+        f"unsupported={stats.unsupported})",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
@@ -580,6 +737,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_batch(argv[1:])
     if argv and argv[0] == "serve":
         return run_serve(argv[1:])
+    if argv and argv[0] == "cluster":
+        return run_cluster(argv[1:])
     args = build_arg_parser().parse_args(argv)
     with open(args.program, "r", encoding="utf-8") as handle:
         text = handle.read()

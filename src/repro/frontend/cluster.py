@@ -1,141 +1,39 @@
 """Partition a set of queries into semantic equivalence classes.
 
-A practical layer over the decision procedure, in the spirit of the paper's
-motivation: given many candidate plans or rewrites of the "same" query, group
-the ones UDP can prove pairwise equivalent.  Since ``PROVED`` is sound but
-``NOT_PROVED`` is not a disproof, the result is a partition into
-*provably-equivalent* groups: queries in one group are certainly equivalent;
-queries in different groups are merely not proven equal.
+A practical layer over the decision procedure, in the spirit of the
+paper's motivation: given many candidate plans or rewrites of the
+"same" query, group the ones UDP can prove pairwise equivalent.  Since
+``PROVED`` is sound but ``NOT_PROVED`` is not a disproof, the result is
+a partition into *provably-equivalent* groups: queries in one group are
+certainly equivalent; queries in different groups are merely not proven
+equal.
 
-Proved equivalence is transitive (it is semantic equality), so each new query
-is decided against **at most one representative per existing group** — never
-against the other members.  Two layers make the common cases cheap:
+This module is now a thin shim over the streaming engine in
+:mod:`repro.service.clustering` (the same engine behind the servers'
+``POST /cluster`` route); the offline entry point keeps its historical
+contract:
 
+* Proved equivalence is transitive, so each new query is decided
+  against **at most one representative per existing group**.
 * **Fingerprint pre-bucketing** — every placed denotation's run-stable
-  :func:`~repro.hashcons.fingerprint` maps to its group, so a query whose
-  compiled denotation is structurally identical to one already placed
-  (the dominant case in dedup workloads: the *same* rewrite arriving
-  again) joins its group in O(1) with **zero** decision-procedure calls.
+  :func:`~repro.hashcons.fingerprint` maps to its group, so a query
+  whose compiled denotation is structurally identical to one already
+  placed joins its group in O(1) with zero decision-procedure calls.
+  (Canonical-digest bucketing — alpha-variants in O(1) — is the
+  streaming service's default; pass ``digest_buckets=True`` here to
+  opt in.)
 * **Session caches** — the whole pass reuses one
   :class:`~repro.session.Session`: every distinct query is compiled
-  exactly once (the session's LRU compile cache persists representatives
-  across comparisons), and each comparison runs on cached denotations,
-  where the normalize/canonize memo layers (:mod:`repro.service`) make
-  the representative's side of every decision a cache hit after its
-  first comparison.
+  exactly once, and each comparison runs on cached denotations.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from repro.service.clustering import (
+    ClusterEngine,
+    ClusterStats,
+    QueryGroup,
+    cluster_queries,
+)
 
-from repro.errors import ReproError
-from repro.frontend.solver import Solver
-from repro.hashcons import fingerprint
-from repro.session import Session
-from repro.sql.ast import Query
-from repro.udp.trace import Verdict
-from repro.usr.terms import QueryDenotation
-
-
-@dataclass
-class QueryGroup:
-    """One provably-equivalent group of queries."""
-
-    representative: Union[str, Query]
-    members: List[Union[str, Query]] = field(default_factory=list)
-    #: Compiled denotation of the representative; ``None`` when the
-    #: representative is unsupported (singleton group by construction).
-    denotation: Optional[QueryDenotation] = None
-
-    def __len__(self) -> int:
-        return len(self.members)
-
-
-@dataclass
-class ClusterStats:
-    """Instrumentation of one clustering pass.
-
-    ``decisions`` records every (query index, group index) pair that was
-    actually decided — the cluster tests assert each query is compared
-    against at most one representative per group, i.e. the transitivity
-    shortcut really is exercised.  ``bucket_hits`` counts queries placed
-    by the O(1) fingerprint bucket without any decision at all.
-    """
-
-    compiled: int = 0
-    unsupported: int = 0
-    bucket_hits: int = 0
-    decisions: List[Tuple[int, int]] = field(default_factory=list)
-
-    @property
-    def comparisons(self) -> int:
-        return len(self.decisions)
-
-    def max_decisions_per_query_group(self) -> int:
-        """1 when no (query, group) pair was ever decided twice."""
-        counts: dict = {}
-        for pair in self.decisions:
-            counts[pair] = counts.get(pair, 0) + 1
-        return max(counts.values(), default=0)
-
-
-def cluster_queries(
-    frontend: Union[Solver, Session],
-    queries: Sequence[Union[str, Query]],
-    stats: Optional[ClusterStats] = None,
-) -> List[QueryGroup]:
-    """Group ``queries`` by proved equivalence under the frontend's catalog.
-
-    Accepts either a legacy :class:`Solver` (decisions run its exact
-    historical configuration) or a :class:`~repro.session.Session`.
-    Unsupported queries land in singleton groups (nothing can be proved
-    about them).  Pass a :class:`ClusterStats` to observe how many
-    decisions the pass actually ran and how many queries the fingerprint
-    buckets short-circuited.
-    """
-    if isinstance(frontend, Solver):
-        session = frontend.session
-        decide = frontend.check_denotations
-    else:
-        session = frontend
-        decide = frontend.decide_compiled
-    groups: List[QueryGroup] = []
-    buckets: Dict[str, int] = {}
-    for query_index, query in enumerate(queries):
-        try:
-            denotation = session.compile(query)
-        except ReproError:
-            denotation = None
-        if stats is not None:
-            stats.compiled += 1
-            if denotation is None:
-                stats.unsupported += 1
-        placed = False
-        if denotation is not None:
-            # O(1) exact-match short-circuit: a structurally identical
-            # denotation was already placed — same group, no decision.
-            digest = fingerprint(denotation)
-            bucket = buckets.get(digest)
-            if bucket is not None:
-                groups[bucket].members.append(query)
-                if stats is not None:
-                    stats.bucket_hits += 1
-                continue
-            for group_index, group in enumerate(groups):
-                if group.denotation is None:
-                    continue  # unsupported representative: nothing provable
-                if stats is not None:
-                    stats.decisions.append((query_index, group_index))
-                outcome = decide(group.denotation, denotation)
-                if outcome.verdict is Verdict.PROVED:
-                    group.members.append(query)
-                    buckets[digest] = group_index
-                    placed = True
-                    break
-        if not placed:
-            groups.append(QueryGroup(query, [query], denotation))
-            if denotation is not None:
-                buckets[digest] = len(groups) - 1
-    return groups
+__all__ = ["ClusterEngine", "ClusterStats", "QueryGroup", "cluster_queries"]

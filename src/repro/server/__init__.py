@@ -7,12 +7,15 @@ per-catalog :class:`~repro.session.Session` members — hot compile
 caches, program-text sub-sessions, the normalize/canonize memo layers,
 and (in process mode) a cross-process shared memo store that lets
 members warm each other — exposing the structured request/result wire
-format over five routes:
+format over six routes:
 
 ========================  ===================================================
 ``POST /verify``          one JSON :class:`~repro.session.VerifyRequest`
 ``POST /verify/batch``    JSONL in → JSONL out, streamed in input order
 ``POST /corpus``          replay the built-in corpus; summary JSON
+``POST /cluster``         JSONL queries in → JSONL placement records out,
+                          grouped by proved equivalence
+                          (:mod:`repro.service.clustering`)
 ``GET /healthz``          liveness + uptime
 ``GET /stats``            per-member + rolled-up tallies, caches, admission
 ========================  ===================================================

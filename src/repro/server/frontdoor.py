@@ -76,7 +76,7 @@ MAX_HEAD_BYTES = 64 * 1024
 #: past this size until the client drains it (slow-reader backpressure).
 _OUTBUF_SOFT_LIMIT = 1024 * 1024
 
-_PROVING_ROUTES = ("/verify", "/verify/batch", "/corpus")
+_PROVING_ROUTES = ("/verify", "/verify/batch", "/corpus", "/cluster")
 
 # Connection states.
 _READ_HEAD = "read-head"
@@ -108,6 +108,7 @@ class _Connection:
         "serial",
         "future",
         "batch",
+        "cluster",
         "admitted_client",
         "close_after_write",
         "parsing",
@@ -145,6 +146,7 @@ class _Connection:
         self.keep_alive = True
         self.future: Optional[Future] = None
         self.batch: Optional[_BatchState] = None
+        self.cluster: Optional[_ClusterState] = None
         self.admitted_client: Optional[str] = None
 
 
@@ -160,6 +162,26 @@ class _BatchState:
         self.pending: Deque[Tuple[int, Future]] = deque()
         self.window = max(1, window)
         self.spec = spec
+        self.headers_sent = False
+
+
+class _ClusterState:
+    """An in-flight ``/cluster`` stream: records produced off-loop.
+
+    The clustering engine serializes placements behind its own lock, so
+    the stream runs on a dedicated thread (like ``/corpus``) and pushes
+    each placement record through this deque; the loop drains them into
+    the connection's output buffer under the soft limit.  ``lock``
+    guards the deque and the ``done`` flag — the only state shared
+    between the producer thread and the loop.
+    """
+
+    __slots__ = ("lock", "records", "done", "headers_sent")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.records: Deque[Mapping[str, object]] = deque()
+        self.done = False
         self.headers_sent = False
 
 
@@ -238,6 +260,8 @@ class FrontDoorServer:
         self.retry_after = max(1, int(retry_after))
         self.max_connections = max(1, int(max_connections))
         self.idle_timeout = max(0.1, float(idle_timeout))
+        self._cluster_engine = None
+        self._cluster_lock = threading.Lock()
 
         self._sel = selectors.DefaultSelector()
         self._lsock = socket.create_server(
@@ -346,6 +370,31 @@ class FrontDoorServer:
             "pool_mode": self.pool.mode,
             "frontdoor": True,
         }
+
+    def cluster_engine(self):
+        """The server's clustering engine, created on first use.
+
+        One engine per server lifetime (group numbering is monotonic
+        across requests); decisions fan out across the pool sharded by
+        representative digest, and group state persists in the pool's
+        store when it is group-capable.  Thread-safe: the engine is
+        built under a lock because ``/cluster`` streams run on
+        dedicated threads off the loop.
+        """
+        with self._cluster_lock:
+            if self._cluster_engine is None:
+                from repro.service.clustering import ClusterEngine
+
+                self._cluster_engine = ClusterEngine(
+                    pool=self.pool, store=self.pool.store
+                )
+            return self._cluster_engine
+
+    def cluster_snapshot(self) -> Optional[Dict[str, object]]:
+        """The ``cluster`` block of ``/stats``; ``None`` before first use."""
+        with self._cluster_lock:
+            engine = self._cluster_engine
+        return engine.snapshot() if engine is not None else None
 
     def _frontdoor_stats(self) -> Dict[str, object]:
         return {
@@ -810,6 +859,8 @@ class FrontDoorServer:
             self._dispatch_verify(conn, body)
         elif path == "/verify/batch":
             self._dispatch_batch(conn, query, body)
+        elif path == "/cluster":
+            self._dispatch_cluster(conn, body)
         else:
             self._dispatch_corpus(conn, query)
 
@@ -852,6 +903,47 @@ class FrontDoorServer:
         self._active[conn.fd] = conn
         self._pump_batch(conn)
 
+    def _dispatch_cluster(self, conn: _Connection, body: bytes) -> None:
+        self.stats.record_endpoint("cluster")
+        splitter = LineSplitter()
+        lines = splitter.feed(body, _http.MAX_LINE_BYTES)
+        lines += splitter.finish()
+        engine = self.cluster_engine()
+        state = _ClusterState()
+        conn.state = _DISPATCHED
+        conn.cluster = state
+        conn.keep_alive = False  # cluster responses stream then close
+        self._active[conn.fd] = conn
+        serial = conn.serial
+
+        def run() -> None:
+            # A dedicated thread, like /corpus: the engine serializes
+            # placements behind its own lock and may block on pool
+            # members, neither of which may happen on the loop.
+            try:
+                for record in engine.place_stream(lines):
+                    with state.lock:
+                        state.records.append(record)
+                    self._wake()
+                    if conn.serial != serial:
+                        return  # client is gone: stop placing its tail
+            except Exception as err:  # noqa: BLE001 - in-stream record
+                with state.lock:
+                    state.records.append(
+                        error_record(
+                            "internal-error", f"{type(err).__name__}: {err}"
+                        )
+                    )
+            finally:
+                with state.lock:
+                    state.done = True
+                self._wake()
+
+        threading.Thread(
+            target=run, name="udp-frontdoor-cluster", daemon=True
+        ).start()
+        self._pump_cluster(conn)
+
     def _dispatch_corpus(self, conn: _Connection, query: Dict[str, list]) -> None:
         self.stats.record_endpoint("corpus")
         dataset = (query.get("dataset") or [None])[0]
@@ -892,6 +984,8 @@ class FrontDoorServer:
                 continue
             if conn.batch is not None:
                 self._pump_batch(conn)
+            elif conn.cluster is not None:
+                self._pump_cluster(conn)
             elif conn.future is not None and conn.future.done():
                 self._active.pop(conn.fd, None)
                 self._finish_single(conn)
@@ -1004,6 +1098,60 @@ class FrontDoorServer:
             self._set_events(conn)
             self._on_writable(conn)
 
+    def _pump_cluster(self, conn: _Connection) -> None:
+        """Drain produced placement records into the output buffer.
+
+        Mirrors :meth:`_pump_batch`: headers go out first, records are
+        appended under the soft limit (a slow reader pauses draining,
+        TCP backpressure does the rest), and the admission slot is
+        released the moment the stream is fully placed and drained to
+        the buffer — the producer thread is done by then.
+        """
+        state = conn.cluster
+        if state is None:
+            return
+        if not state.headers_sent:
+            state.headers_sent = True
+            conn.outbuf += (
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/x-ndjson\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+        while len(conn.outbuf) < _OUTBUF_SOFT_LIMIT:
+            with state.lock:
+                record = state.records.popleft() if state.records else None
+            if record is None:
+                break
+            # A placement whose query failed to compile carries a
+            # plain-string ``error`` reason — still a successful
+            # placement; only dict-shaped error records blame a party.
+            error = record.get("error")
+            if isinstance(error, Mapping):
+                if error.get("code") == "internal-error":
+                    self.stats.record_internal_error()
+                else:
+                    self.stats.record_bad_request()
+            else:
+                self.stats.record_result_record(record)
+            conn.outbuf += (
+                json.dumps(record, sort_keys=True).encode("utf-8") + b"\n"
+            )
+        with state.lock:
+            finished = state.done and not state.records
+        if finished:
+            self._release(conn)
+            conn.cluster = None
+            self._active.pop(conn.fd, None)
+            conn.close_after_write = True
+        if conn.outbuf:
+            self._set_events(conn)
+            self._on_writable(conn)
+        elif finished:
+            # The buffer already drained before the stream ended, so no
+            # write event is coming: close (EOF is the end-of-stream
+            # marker under ``Connection: close``) here or never.
+            self._drop(conn)
+
     def _release(self, conn: _Connection) -> None:
         if conn.admitted_client is not None:
             self.gate.leave(conn.admitted_client)
@@ -1017,7 +1165,11 @@ class FrontDoorServer:
             self._answer_json(conn, HTTPStatus.OK, self.health(), close=close)
         elif path == "/stats":
             self.stats.record_endpoint("stats")
-            snapshot = self.stats.snapshot(pool=self.pool, gate=self.gate)
+            snapshot = self.stats.snapshot(
+                pool=self.pool,
+                gate=self.gate,
+                cluster=self.cluster_snapshot(),
+            )
             snapshot["frontdoor"] = self._frontdoor_stats()
             self._answer_json(conn, HTTPStatus.OK, snapshot, close=close)
         elif path in _PROVING_ROUTES:
@@ -1147,7 +1299,12 @@ class FrontDoorServer:
                 break
             del conn.outbuf[:sent]
             conn.last_activity = conn.last_drain = time.monotonic()
-        if not conn.outbuf and conn.close_after_write and conn.batch is None:
+        if (
+            not conn.outbuf
+            and conn.close_after_write
+            and conn.batch is None
+            and conn.cluster is None
+        ):
             self._drop(conn)
             return
         self._set_events(conn)

@@ -30,6 +30,19 @@ Routes
     through the pool and answer a summary record — after one call,
     ``GET /stats`` is a self-contained health benchmark.
 
+``POST /cluster``
+    Stream JSONL queries (one JSON string or ``{"query", "id"?}``
+    object per line) into the clustering engine
+    (:mod:`repro.service.clustering`); one placement record per input
+    line comes back in input order (``{"group", "placed_by":
+    "digest|decision|new", ...}``), flushed as it is placed.  Queries
+    are grouped by *proved* equivalence under the server's catalog:
+    alpha-variant twins place in O(1) on canonical digests, residual
+    comparisons fan out across the pool sharded by representative
+    digest, and — with a group-capable store — groups persist across
+    restarts.  Group numbering is per-server-lifetime and monotonic:
+    successive requests keep extending the same partition.
+
 ``GET /healthz`` / ``GET /stats``
     Liveness, and the full counter snapshot: per-member and rolled-up
     verdict/reason-code tallies, shared-store hit/miss, memo-cache and
@@ -70,6 +83,7 @@ contract.
 from __future__ import annotations
 
 import json
+import threading
 from http import HTTPStatus
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple
@@ -183,6 +197,8 @@ class VerificationServer:
             rate_burst=rate_burst,
         )
         self.retry_after = max(1, int(retry_after))
+        self._cluster_engine = None
+        self._cluster_lock = threading.Lock()
         self._httpd = _ThreadingServer((host, port), _Handler)
         self._httpd.owner = self
         self._thread = None
@@ -241,6 +257,30 @@ class VerificationServer:
 
     # -- transport-independent views ---------------------------------------
 
+    def cluster_engine(self):
+        """The server's clustering engine, created on first use.
+
+        One engine per server lifetime: group numbering is monotonic
+        across requests, so successive ``POST /cluster`` streams keep
+        extending the same partition.  Residual decisions dispatch
+        across the pool (sharded by representative digest) and group
+        state persists in the pool's store when it is group-capable.
+        """
+        with self._cluster_lock:
+            if self._cluster_engine is None:
+                from repro.service.clustering import ClusterEngine
+
+                self._cluster_engine = ClusterEngine(
+                    pool=self.pool, store=self.pool.store
+                )
+            return self._cluster_engine
+
+    def cluster_snapshot(self) -> Optional[Dict[str, object]]:
+        """The ``cluster`` block of ``/stats``; ``None`` before first use."""
+        with self._cluster_lock:
+            engine = self._cluster_engine
+        return engine.snapshot() if engine is not None else None
+
     def health(self) -> Dict[str, object]:
         return {
             "status": "ok",
@@ -285,9 +325,13 @@ class _Handler(BaseHTTPRequestHandler):
                 owner.stats.record_endpoint("stats")
                 self._send_json(
                     HTTPStatus.OK,
-                    owner.stats.snapshot(pool=owner.pool, gate=owner.gate),
+                    owner.stats.snapshot(
+                        pool=owner.pool,
+                        gate=owner.gate,
+                        cluster=owner.cluster_snapshot(),
+                    ),
                 )
-            elif path in ("/verify", "/verify/batch", "/corpus"):
+            elif path in ("/verify", "/verify/batch", "/corpus", "/cluster"):
                 self._send_error(
                     HTTPStatus.METHOD_NOT_ALLOWED,
                     "method-not-allowed",
@@ -304,7 +348,12 @@ class _Handler(BaseHTTPRequestHandler):
         owner = self.server.owner
         parsed = urlsplit(self.path)
         try:
-            if parsed.path not in ("/verify", "/verify/batch", "/corpus"):
+            if parsed.path not in (
+                "/verify",
+                "/verify/batch",
+                "/corpus",
+                "/cluster",
+            ):
                 self._send_error(
                     HTTPStatus.NOT_FOUND,
                     "not-found",
@@ -326,6 +375,8 @@ class _Handler(BaseHTTPRequestHandler):
                     self._post_verify()
                 elif parsed.path == "/verify/batch":
                     self._post_batch(parse_qs(parsed.query))
+                elif parsed.path == "/cluster":
+                    self._post_cluster()
                 else:
                     self._post_corpus(parse_qs(parsed.query))
             finally:
@@ -398,6 +449,27 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError as err:
             self._bad_request(str(err))
             return
+        self._stream_ndjson(stream)
+
+    def _post_cluster(self) -> None:
+        owner = self.server.owner
+        owner.stats.record_endpoint("cluster")
+        frames = self._body_frames()
+        if frames is None:
+            return
+        engine = owner.cluster_engine()
+        self._stream_ndjson(engine.place_stream(_iter_lines(frames)))
+
+    def _stream_ndjson(self, stream: Iterator[Mapping[str, object]]) -> None:
+        """Answer 200 + NDJSON, one record per input line, flushed as made.
+
+        Shared by the batch and cluster routes.  Once the 200 is out,
+        every failure — a truncated or malformed body discovered
+        mid-upload, or an unexpected server-side error — becomes the
+        explicit last in-stream record, so the consumer always knows
+        whether the tail was processed.
+        """
+        owner = self.server.owner
         self.send_response(HTTPStatus.OK)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Connection", "close")
@@ -412,11 +484,14 @@ class _Handler(BaseHTTPRequestHandler):
 
         try:
             for record in stream:
-                if "error" in record:
-                    # Client-caused bad lines and server-side failures
-                    # are both in-stream records, but /stats must blame
-                    # the right party.
-                    if record["error"].get("code") == "internal-error":
+                # Client-caused bad lines and server-side failures are
+                # both in-stream records, but /stats must blame the
+                # right party.  A cluster placement whose query failed
+                # to compile carries a plain-string ``error`` reason —
+                # that one is still a successful placement.
+                error = record.get("error")
+                if isinstance(error, Mapping):
+                    if error.get("code") == "internal-error":
                         owner.stats.record_internal_error()
                     else:
                         owner.stats.record_bad_request()

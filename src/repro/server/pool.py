@@ -914,7 +914,11 @@ class SessionPool:
         return self._dispatch(obj, spec, self._shard_for(obj))
 
     def submit_json(
-        self, obj: Mapping[str, object], spec: Optional[str] = None
+        self,
+        obj: Mapping[str, object],
+        spec: Optional[str] = None,
+        *,
+        shard: Optional[str] = None,
     ) -> "Future[Dict[str, object]]":
         """Dispatch one *already validated* payload asynchronously.
 
@@ -922,10 +926,15 @@ class SessionPool:
         :meth:`validate_json`, proving happens on a dispatcher thread,
         and the returned future's done-callback wakes the loop — the
         accept path never blocks on a member.
+
+        ``shard`` overrides the default per-request shard key; the
+        clustering engine passes the *representative's* digest so every
+        comparison against one group lands on the member whose compile
+        and match caches already hold that representative.
         """
-        return self._executor.submit(
-            self._dispatch, obj, spec, self._shard_for(obj)
-        )
+        if shard is None:
+            shard = self._shard_for(obj)
+        return self._executor.submit(self._dispatch, obj, spec, shard)
 
     def verify_stream(
         self,

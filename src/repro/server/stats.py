@@ -77,13 +77,16 @@ class ServerStats:
     def uptime_seconds(self) -> float:
         return time.monotonic() - self._started_monotonic
 
-    def snapshot(self, pool=None, gate=None) -> Dict[str, object]:
+    def snapshot(self, pool=None, gate=None, cluster=None) -> Dict[str, object]:
         """The ``GET /stats`` payload (plain JSON-serializable dicts).
 
         ``pool`` contributes the per-member breakdown, the rolled-up
         session view (the ``session`` key kept from the single-session
         server's schema), and the shared-store counters; ``gate``
-        contributes admission/backpressure state.
+        contributes admission/backpressure state; ``cluster`` is the
+        clustering engine's tally block (``/cluster`` placements by
+        layer, group count, durability), included whenever the server
+        has served a clustering stream.
         """
         with self._lock:
             endpoints = dict(sorted(self._endpoints.items()))
@@ -114,6 +117,8 @@ class ServerStats:
             out["store"] = pool_stats["store"]
         if gate is not None:
             out["admission"] = gate.snapshot()
+        if cluster is not None:
+            out["cluster"] = cluster
         return out
 
 

@@ -18,6 +18,15 @@ in-process path is :meth:`~repro.session.Session.verify_many`):
   :func:`~repro.service.batch.pairs_from_program` — input adapters;
 * :func:`~repro.service.batch.write_jsonl` — the sink.
 
+The package also hosts the streaming clustering subsystem
+(:mod:`repro.service.clustering`): :class:`ClusterEngine` partitions an
+incremental query stream into provably-equivalent groups by bucketing
+on the labeling kernel's canonical digests, optionally dispatching
+residual decisions across a :class:`~repro.server.pool.SessionPool`
+and persisting group state in a group-capable store — the engine
+behind the servers' ``POST /cluster`` route and the
+``udp-prove cluster`` CLI.
+
 Memo-key design
 ---------------
 
@@ -54,11 +63,21 @@ from repro.service.batch import (
     pairs_from_program,
     write_jsonl,
 )
+from repro.service.clustering import (
+    ClusterEngine,
+    ClusterStats,
+    QueryGroup,
+    cluster_queries,
+)
 
 __all__ = [
     "BatchPair",
     "BatchRecord",
     "BatchVerifier",
+    "ClusterEngine",
+    "ClusterStats",
+    "QueryGroup",
+    "cluster_queries",
     "iter_pairs_from_jsonl",
     "pairs_from_jsonl",
     "pairs_from_program",

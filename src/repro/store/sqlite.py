@@ -10,7 +10,7 @@ WAL mode with a ``busy_timeout``, so any number of processes — pool
 members, batch runs, CLI one-shots — share one store with concurrent
 readers and a single queued writer, and the store *outlives* them all.
 
-Two maps live in the database:
+Three maps live in the database:
 
 * ``memo`` — the same fingerprint → pickled-value map the flock store
   keeps, consumed by the normalize/canonize/tdp memo layers through
@@ -21,6 +21,16 @@ Two maps live in the database:
   plus the verdict / reason-code columns that power the historical
   tallies on ``/stats`` and an optional expiry for negative and timeout
   verdicts (transient failures must not pin forever).
+* ``groups`` — the durable cluster-group index behind the streaming
+  ``/cluster`` service (:mod:`repro.service.clustering`): per
+  namespace (catalog x decision configuration), each *group row*
+  (``digest == group_key``) carries the representative's text and a
+  member count, and each *edge row* maps a further placement digest to
+  its group.  A restarted process re-ingesting a seen stream answers
+  every placement from this table with zero decision-procedure calls.
+  Proved equivalence never expires, so group rows have no TTL; the
+  ``epoch`` column records the store epoch the group was formed under
+  (``clear()`` drops groups along with everything else).
 
 Epoch invalidation mirrors the flock store: ``clear()`` bumps a counter
 in the ``meta`` table and deletes both maps; every operation compares
@@ -97,6 +107,17 @@ CREATE TABLE IF NOT EXISTS counters (
     name  TEXT PRIMARY KEY,
     value INTEGER NOT NULL
 );
+CREATE TABLE IF NOT EXISTS groups (
+    namespace      TEXT NOT NULL,
+    digest         TEXT NOT NULL,
+    group_key      TEXT NOT NULL,
+    representative TEXT,
+    members        INTEGER NOT NULL DEFAULT 0,
+    epoch          INTEGER NOT NULL,
+    created        REAL NOT NULL,
+    updated        REAL NOT NULL,
+    PRIMARY KEY (namespace, digest)
+);
 """
 
 
@@ -116,6 +137,7 @@ class SQLiteMemoStore:
 
     backend = "sqlite"
     supports_verdicts = True
+    supports_groups = True
 
     def __init__(
         self,
@@ -425,10 +447,205 @@ class SQLiteMemoStore:
                 "reason_codes": reasons,
             }
 
+    # -- the durable group index -------------------------------------------
+    #
+    # Same discipline as the verdict cache: every method takes the store
+    # lock, runs writes inside BEGIN IMMEDIATE with the epoch check, and
+    # never raises — a broken store must degrade clustering to
+    # memory-only, not break it.
+
+    def group_insert(
+        self, namespace: str, group_key: str, representative: str
+    ) -> None:
+        """Record a new group: ``group_key`` is its canonical digest.
+
+        Idempotent (first writer wins), so two processes forming the
+        same group concurrently converge on one durable row.
+        """
+        with self._lock:
+            try:
+                conn = self._ensure_conn()
+                conn.execute("BEGIN IMMEDIATE")
+                try:
+                    self._check_epoch(conn)
+                    now = time.time()
+                    conn.execute(
+                        "INSERT OR IGNORE INTO groups"
+                        " (namespace, digest, group_key, representative,"
+                        "  members, epoch, created, updated)"
+                        " VALUES(?, ?, ?, ?, 1, ?, ?, ?)",
+                        (
+                            namespace,
+                            group_key,
+                            group_key,
+                            representative,
+                            self._epoch,
+                            now,
+                            now,
+                        ),
+                    )
+                    self._bump(conn, "group_stores")
+                    conn.execute("COMMIT")
+                except BaseException:
+                    conn.execute("ROLLBACK")
+                    raise
+            except sqlite3.Error:
+                self.errors += 1
+                self.dropped += 1
+
+    def group_lookup(self, namespace: str, digest: str) -> Optional[str]:
+        """The group key a placement digest belongs to, or ``None``."""
+        with self._lock:
+            try:
+                conn = self._ensure_conn()
+                self._check_epoch(conn)
+                row = conn.execute(
+                    "SELECT group_key FROM groups"
+                    " WHERE namespace = ? AND digest = ?",
+                    (namespace, digest),
+                ).fetchone()
+                self._bump(conn, "group_hits" if row else "group_misses")
+            except sqlite3.Error:
+                self.errors += 1
+                return None
+            return str(row[0]) if row is not None else None
+
+    def group_get(
+        self, namespace: str, group_key: str
+    ) -> Optional[Dict[str, Any]]:
+        """The group row (representative, member count), or ``None``."""
+        with self._lock:
+            try:
+                conn = self._ensure_conn()
+                self._check_epoch(conn)
+                row = conn.execute(
+                    "SELECT representative, members, epoch, created"
+                    " FROM groups WHERE namespace = ? AND digest = ?"
+                    " AND digest = group_key",
+                    (namespace, group_key),
+                ).fetchone()
+            except sqlite3.Error:
+                self.errors += 1
+                return None
+            if row is None:
+                return None
+            return {
+                "group_key": group_key,
+                "representative": row[0],
+                "members": int(row[1]),
+                "epoch": int(row[2]),
+                "created": float(row[3]),
+            }
+
+    def group_attach(
+        self, namespace: str, digest: str, group_key: str
+    ) -> None:
+        """Map a further placement digest onto an existing group."""
+        with self._lock:
+            try:
+                conn = self._ensure_conn()
+                conn.execute("BEGIN IMMEDIATE")
+                try:
+                    self._check_epoch(conn)
+                    now = time.time()
+                    conn.execute(
+                        "INSERT OR IGNORE INTO groups"
+                        " (namespace, digest, group_key, representative,"
+                        "  members, epoch, created, updated)"
+                        " VALUES(?, ?, ?, NULL, 0, ?, ?, ?)",
+                        (namespace, digest, group_key, self._epoch, now, now),
+                    )
+                    conn.execute("COMMIT")
+                except BaseException:
+                    conn.execute("ROLLBACK")
+                    raise
+            except sqlite3.Error:
+                self.errors += 1
+                self.dropped += 1
+
+    def group_bump(self, namespace: str, group_key: str) -> None:
+        """Count one more member placed into ``group_key``."""
+        with self._lock:
+            try:
+                conn = self._ensure_conn()
+                conn.execute("BEGIN IMMEDIATE")
+                try:
+                    self._check_epoch(conn)
+                    conn.execute(
+                        "UPDATE groups SET members = members + 1,"
+                        " updated = ?"
+                        " WHERE namespace = ? AND digest = ?"
+                        " AND digest = group_key",
+                        (time.time(), namespace, group_key),
+                    )
+                    conn.execute("COMMIT")
+                except BaseException:
+                    conn.execute("ROLLBACK")
+                    raise
+            except sqlite3.Error:
+                self.errors += 1
+
+    def group_list(self, namespace: str) -> List[Dict[str, Any]]:
+        """Every group row in ``namespace``, oldest first."""
+        with self._lock:
+            try:
+                conn = self._ensure_conn()
+                self._check_epoch(conn)
+                rows = conn.execute(
+                    "SELECT digest, representative, members, epoch, created"
+                    " FROM groups WHERE namespace = ?"
+                    " AND digest = group_key ORDER BY created, digest",
+                    (namespace,),
+                ).fetchall()
+            except sqlite3.Error:
+                self.errors += 1
+                return []
+            return [
+                {
+                    "group_key": str(row[0]),
+                    "representative": row[1],
+                    "members": int(row[2]),
+                    "epoch": int(row[3]),
+                    "created": float(row[4]),
+                }
+                for row in rows
+            ]
+
+    def group_stats(self) -> Dict[str, Any]:
+        """Durable clustering tallies (all namespaces, all time)."""
+        with self._lock:
+            try:
+                conn = self._ensure_conn()
+                groups, edges, namespaces = conn.execute(
+                    "SELECT"
+                    " COUNT(CASE WHEN digest = group_key THEN 1 END),"
+                    " COUNT(CASE WHEN digest != group_key THEN 1 END),"
+                    " COUNT(DISTINCT namespace)"
+                    " FROM groups"
+                ).fetchone()
+                counters = {
+                    name: int(value)
+                    for name, value in conn.execute(
+                        "SELECT name, value FROM counters"
+                        " WHERE name LIKE 'group_%'"
+                    )
+                }
+            except sqlite3.Error:
+                self.errors += 1
+                return {"groups": 0, "edges": 0, "namespaces": 0}
+            return {
+                "groups": int(groups),
+                "edges": int(edges),
+                "namespaces": int(namespaces),
+                "hits": counters.get("group_hits", 0),
+                "misses": counters.get("group_misses", 0),
+                "stores": counters.get("group_stores", 0),
+            }
+
     # -- lifecycle ---------------------------------------------------------
 
     def clear(self) -> None:
-        """Drop both maps and bump the epoch (all processes notice)."""
+        """Drop all three maps and bump the epoch (all processes notice)."""
         with self._lock:
             try:
                 conn = self._ensure_conn()
@@ -436,6 +653,7 @@ class SQLiteMemoStore:
                 try:
                     conn.execute("DELETE FROM memo")
                     conn.execute("DELETE FROM verdicts")
+                    conn.execute("DELETE FROM groups")
                     conn.execute(
                         "UPDATE meta SET value = value + 1"
                         " WHERE key = 'epoch'"

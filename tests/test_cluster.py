@@ -164,3 +164,71 @@ def test_cluster_report_surfaces_cache_stats(solver):
         assert cache_stats()["normalize"]["hits"] > 0
     finally:
         clear_caches()
+
+
+# -- contract + isolation regressions (streaming-service era) ----------------
+
+
+def test_representative_is_members_zero(solver):
+    """Pinned contract: a group's representative IS ``members[0]``."""
+    groups = cluster_queries(solver, [
+        "SELECT * FROM r x WHERE x.a = 1",
+        "SELECT * FROM r x WHERE 1 = x.a",
+        "SELECT * FROM r x WHERE x.a = 2",
+    ])
+    for group in groups:
+        assert group.members, "a group can never be empty"
+        assert group.representative == group.members[0]
+
+
+def test_compiled_plus_unsupported_equals_inputs(solver):
+    """``compiled`` counts successes only; failures land in
+    ``unsupported`` — the two always partition the input count."""
+    stats = ClusterStats()
+    cluster_queries(solver, [
+        "SELECT * FROM r x WHERE x.a = 1",
+        "SELECT * FROM r x WHERE x.a IS NULL",   # unsupported syntax
+        "SELECT * FROM r x WHERE x.a = 1",
+        "THIS IS NOT SQL AT ALL",                # parse error
+    ], stats=stats)
+    assert stats.inputs == 4
+    assert stats.compiled == 2
+    assert stats.unsupported == 2
+    assert stats.compiled + stats.unsupported == stats.inputs
+
+
+def test_poisoned_query_mid_stream_is_isolated(solver, monkeypatch):
+    """A pathological query whose compilation escapes with a
+    non-ReproError (e.g. ``RecursionError`` from a deeply nested parse)
+    becomes a singleton group with an honest error reason; queries after
+    it still cluster normally."""
+    from repro.session import Session
+
+    poison = "SELECT * FROM r x WHERE x.a = 666"
+    real_compile = Session.compile
+
+    def compile_or_blow(self, query, *args, **kwargs):
+        if isinstance(query, str) and query == poison:
+            raise RecursionError("maximum recursion depth exceeded")
+        return real_compile(self, query, *args, **kwargs)
+
+    monkeypatch.setattr(Session, "compile", compile_or_blow)
+    stats = ClusterStats()
+    groups = cluster_queries(solver, [
+        "SELECT * FROM r x WHERE x.a = 1",
+        poison,
+        "SELECT * FROM r x WHERE 1 = x.a",
+    ], stats=stats)
+    by_size = sorted(groups, key=len)
+    assert [len(g) for g in by_size] == [1, 2]
+    assert by_size[0].representative == poison
+    assert by_size[0].error is not None
+    assert "RecursionError" in by_size[0].error
+    assert by_size[1].error is None
+    assert stats.errors == 1
+    assert stats.compiled == 2 and stats.unsupported == 1
+    assert stats.compiled + stats.unsupported == stats.inputs
+    # The poisoned singleton is never a comparison target.
+    poison_index = groups.index(by_size[0])
+    assert all(g != poison_index for _, g in stats.decisions)
+    assert stats.max_decisions_per_query_group() <= 1
