@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-server test-frontdoor test-store test-cluster test-differential server-stress bench bench-smoke bench-gate bench-kernel bench-store bench-frontdoor bench-cluster batch-corpus serve
+.PHONY: test test-server test-frontdoor test-store test-cluster test-chaos test-differential server-stress bench bench-smoke bench-gate bench-kernel bench-store bench-frontdoor bench-cluster batch-corpus serve
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,6 +25,15 @@ test-store:
 ## durable restart-resume across a real process boundary.
 test-cluster:
 	$(PYTHON) -m pytest -x -q tests/test_cluster.py tests/test_cluster_service.py
+
+## Chaos suite under two fixed fault-plan seeds: circuit-breaker
+## trip/probe/replay, thread watchdog, crash-during-ingest durability,
+## client retries, and the end-to-end gate (injected store failure +
+## member crash + member hang + SIGTERM mid-batch on both front ends —
+## only structured records, exit 0, verdict-identical recovery replay).
+test-chaos:
+	UDP_CHAOS_SEED=0 $(PYTHON) -m pytest -x -q tests/test_chaos.py
+	UDP_CHAOS_SEED=1 $(PYTHON) -m pytest -x -q tests/test_chaos.py
 
 ## Differential corpus check: Solver / Session / BatchVerifier / HTTP /
 ## pooled HTTP must be verdict- and reason-code-identical on all 91 rules.

@@ -2,9 +2,11 @@
 
 Boots a :class:`repro.server.VerificationServer` on an ephemeral port in
 a background thread (exactly what ``udp-prove serve`` runs), then talks
-to it with plain ``urllib`` — single verifies, a per-request pipeline
-override, a streamed JSONL batch with a deliberately malformed line, and
-the ``/stats`` counters.  Against an already-running server
+to it with :class:`repro.VerifyClient` — the stdlib retry client that
+backs off on 503/429 using the server's jittered ``Retry-After`` hint —
+covering single verifies, a per-request pipeline override, a streamed
+JSONL batch with a deliberately malformed line, and the ``/stats``
+counters.  Against an already-running server
 (``udp-prove serve --port 8642``), the same requests work as curl::
 
     curl -s localhost:8642/healthz
@@ -16,9 +18,8 @@ Run:  python examples/server_client.py
 """
 
 import json
-import urllib.request
 
-from repro import Session
+from repro import RetryPolicy, Session, VerifyClient
 from repro.server import VerificationServer
 
 DDL = """
@@ -32,14 +33,6 @@ foreign key emp(deptno) references dept(deptno);
 """
 
 
-def post(url: str, payload: bytes) -> str:
-    request = urllib.request.Request(
-        url, data=payload, headers={"Content-Type": "application/json"}
-    )
-    with urllib.request.urlopen(request, timeout=30) as response:
-        return response.read().decode("utf-8")
-
-
 def main() -> None:
     session = Session.from_program_text(DDL)  # the pool's warm prototype
     with VerificationServer(session, port=0, pool_size=2) as server:
@@ -47,24 +40,28 @@ def main() -> None:
             f"server listening on {server.url} "
             f"(pool: {server.pool.size} x {server.pool.mode})\n"
         )
+        client = VerifyClient(
+            server.url,
+            policy=RetryPolicy(max_attempts=4, base_delay=0.25, seed=0),
+        )
 
         # -- one request, one structured result ---------------------------
-        record = json.loads(post(server.url + "/verify", json.dumps({
+        record = client.verify({
             "id": "join-elim",
             "left": "SELECT e.empno AS empno FROM emp e, dept d "
                     "WHERE e.deptno = d.deptno",
             "right": "SELECT e.empno AS empno FROM emp e",
-        }).encode("utf-8")))
+        })
         print(f"POST /verify        -> {record['verdict']} "
               f"[{record['reason_code']}] via {record['tactic']}")
 
         # -- per-request pipeline override: add refutation ----------------
-        record = json.loads(post(server.url + "/verify", json.dumps({
+        record = client.verify({
             "id": "self-join",
             "left": "SELECT e.sal AS sal FROM emp e, emp f",
             "right": "SELECT e.sal AS sal FROM emp e",
             "pipeline": "udp-prove,model-check",
-        }).encode("utf-8")))
+        })
         print(f"POST /verify        -> {record['verdict']} "
               f"[{record['reason_code']}] via {record['tactic']}")
         if record["counterexample"]:
@@ -83,10 +80,7 @@ def main() -> None:
                                  "WHERE e.sal > 100 AND e.deptno = 10"}),
         ]) + "\n"
         print("\nPOST /verify/batch  (3 lines, one malformed):")
-        for line in post(
-            server.url + "/verify/batch", lines.encode("utf-8")
-        ).splitlines():
-            record = json.loads(line)
+        for record in client.verify_batch(lines):
             if "error" in record:
                 print(f"  line {record['error']['line']}: "
                       f"{record['error']['code']}")
@@ -95,21 +89,22 @@ def main() -> None:
                       f"[{record['reason_code']}]")
 
         # -- replay the built-in corpus as a health benchmark -------------
-        summary = json.loads(post(server.url + "/corpus?dataset=bugs", b""))
+        summary = client.corpus("bugs")
         print(f"\nPOST /corpus        -> {summary['rules']} rules in "
               f"{summary['elapsed_seconds'] * 1000:.0f} ms, "
               f"verdicts {summary['verdicts']}")
 
         # -- the service knows how warm and loaded it is ------------------
-        with urllib.request.urlopen(server.url + "/stats", timeout=10) as r:
-            stats = json.loads(r.read())
+        stats = client.stats()
         spread = [m["requests"] for m in stats["pool"]["members"]]
         print(f"\nGET /stats          -> {stats['results']} results, "
               f"verdicts {stats['verdicts']}, "
               f"{stats['bad_requests']} bad request(s), "
               f"member load {spread}, "
               f"{stats['admission']['rejected']} shed, "
-              f"uptime {stats['uptime_seconds']}s")
+              f"uptime {stats['uptime_seconds']}s, "
+              f"store "
+              f"{stats['pool']['store'].get('health', {}).get('state', 'n/a')}")
 
 
 if __name__ == "__main__":

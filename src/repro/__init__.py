@@ -84,6 +84,7 @@ from repro.errors import (
     SchemaError,
     UnsupportedFeatureError,
 )
+from repro.client import ClientError, RetryPolicy, VerifyClient
 from repro.frontend.solver import Solver, VerificationOutcome, prove
 from repro.hashcons import cache_stats, clear_caches, set_memoization
 from repro.hashcons_store import SharedMemoStore, install_shared_store
@@ -111,6 +112,7 @@ __all__ = [
     "BatchRecord",
     "BatchVerifier",
     "Catalog",
+    "ClientError",
     "CompileError",
     "DecisionOptions",
     "DecisionTimeout",
@@ -122,6 +124,7 @@ __all__ = [
     "ProofTrace",
     "ReasonCode",
     "ReproError",
+    "RetryPolicy",
     "ResolutionError",
     "SQLiteMemoStore",
     "Schema",
@@ -132,6 +135,7 @@ __all__ = [
     "Solver",
     "UnsupportedFeatureError",
     "Verdict",
+    "VerifyClient",
     "VerificationOutcome",
     "VerifyRequest",
     "VerifyResult",

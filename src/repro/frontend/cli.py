@@ -500,6 +500,27 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-request access logging",
     )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help=(
+            "graceful shutdown: seconds in-flight requests may take to "
+            "finish after SIGTERM/SIGINT before the server exits anyway "
+            "(default 10)"
+        ),
+    )
+    parser.add_argument(
+        "--faults", metavar="SPEC",
+        help=(
+            "chaos testing: a deterministic fault-injection plan, e.g. "
+            "'store.write:after=5;member.crash:count=1' (points: "
+            "store.read, store.write, member.crash, member.hang, "
+            "socket.slow, pool.fork; keys: p, after, count, delay)"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the --faults plan's random stream (default 0)",
+    )
     return parser
 
 
@@ -539,6 +560,23 @@ def run_serve(argv: List[str]) -> int:
             return 2
     else:
         session = Session(config=pipeline)
+    if args.faults:
+        # Install before the pool forks so process members inherit the
+        # plan (their counters restart at the fork point).
+        from repro.faults import FaultPlan, install_fault_plan
+
+        try:
+            install_fault_plan(
+                FaultPlan.from_spec(args.faults, seed=args.fault_seed)
+            )
+        except ValueError as error:
+            print(f"error: bad --faults spec: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"udp-prove serve: CHAOS fault plan active ({args.faults}; "
+            f"seed {args.fault_seed})",
+            file=sys.stderr,
+        )
     common = dict(
         host=args.host,
         port=args.port,
@@ -559,6 +597,7 @@ def run_serve(argv: List[str]) -> int:
         per_client_inflight=args.per_client_inflight or None,
         rate_limit=args.rate_limit or None,
         rate_burst=args.rate_burst or None,
+        drain_timeout=max(0.0, args.drain_timeout),
     )
     try:
         if args.frontdoor:
@@ -588,10 +627,39 @@ def run_serve(argv: List[str]) -> int:
         file=sys.stderr,
         flush=True,
     )
+    # Graceful drain on SIGTERM/SIGINT: stop accepting, give in-flight
+    # requests --drain-timeout seconds to finish, flush the store, reap
+    # the pool (no orphaned member processes), exit 0.
+    import signal
+
+    def _graceful(signum, frame):  # noqa: ARG001 - signal API
+        print(
+            f"udp-prove serve: {signal.Signals(signum).name} received, "
+            f"draining (timeout {args.drain_timeout:.0f}s)",
+            file=sys.stderr,
+            flush=True,
+        )
+        server.request_shutdown()
+
+    previous_handlers = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous_handlers[signum] = signal.signal(signum, _graceful)
+        except (ValueError, OSError):  # non-main thread / platform quirk
+            pass
     try:
         server.serve_forever()
     except KeyboardInterrupt:
+        # SIGINT raced past the handler installation (or arrived twice):
+        # still exit cleanly — serve_forever's finally already drained.
         print("udp-prove serve: interrupted, shutting down", file=sys.stderr)
+    finally:
+        for signum, handler in previous_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
+    print("udp-prove serve: drained, bye", file=sys.stderr, flush=True)
     return 0
 
 

@@ -151,6 +151,9 @@ class SharedMemoStore:
         self.compactions = 0
         self.expired = 0
         self.torn_truncations = 0
+        #: Operational (OS-level) failures, distinct from plain misses
+        #: and capacity drops — the failover circuit breaker watches this.
+        self.errors = 0
         if not self._private:
             with self._lock:
                 self._ensure_open()
@@ -291,6 +294,7 @@ class SharedMemoStore:
                 self.hits += 1
                 return value
             except OSError:
+                self.errors += 1
                 self.misses += 1
                 return None
 
@@ -365,6 +369,7 @@ class SharedMemoStore:
                 self._objects[key] = value
                 self.publishes += 1
             except OSError:
+                self.errors += 1
                 self.dropped += 1
 
     def _compact_locked(self, record: bytes) -> bool:
@@ -459,7 +464,17 @@ class SharedMemoStore:
                     self._funlock()
                 self._reset_local(epoch)
             except OSError:
-                pass
+                self.errors += 1
+
+    def flush(self) -> None:
+        """Force the backing file's bytes to stable storage (drain path)."""
+        with self._lock:
+            if self._private or self._fd is None or self._pid != os.getpid():
+                return
+            try:
+                os.fsync(self._fd)
+            except OSError:
+                self.errors += 1
 
     def forget_descriptor(self) -> None:
         """Abandon the current descriptor without closing it.
@@ -559,6 +574,7 @@ class SharedMemoStore:
                 "compactions": self.compactions,
                 "expired": self.expired,
                 "torn_truncations": self.torn_truncations,
+                "errors": self.errors,
             }
 
 

@@ -67,7 +67,7 @@ from repro.server.pool import (
     SessionPool,
     error_record,
 )
-from repro.server.stats import ServerStats
+from repro.server.stats import ServerStats, jittered_retry_after, service_health
 from repro.session import DEFAULT_WINDOW, PipelineConfig, Session, VerifyRequest
 
 #: Upper bound on a request head (request line + headers).
@@ -222,6 +222,7 @@ class FrontDoorServer:
         rate_burst: Optional[float] = None,
         max_connections: int = 1000,
         idle_timeout: float = 30.0,
+        drain_timeout: float = 10.0,
     ) -> None:
         if pool is not None and (session is not None or pipeline is not None):
             raise ValueError(
@@ -260,6 +261,9 @@ class FrontDoorServer:
         self.retry_after = max(1, int(retry_after))
         self.max_connections = max(1, int(max_connections))
         self.idle_timeout = max(0.1, float(idle_timeout))
+        self.drain_timeout = max(0.0, float(drain_timeout))
+        self._draining = False
+        self._drain_deadline: Optional[float] = None
         self._cluster_engine = None
         self._cluster_lock = threading.Lock()
 
@@ -267,6 +271,9 @@ class FrontDoorServer:
         self._lsock = socket.create_server(
             (host, port), backlog=min(self.max_connections, 512), reuse_port=False
         )
+        # Cached: the drain path closes the listener early, and ``url``
+        # must keep answering afterwards.
+        self._addr = self._lsock.getsockname()
         self._lsock.setblocking(False)
         self._sel.register(self._lsock, selectors.EVENT_READ, "accept")
         self._wake_r, self._wake_w = socket.socketpair()
@@ -294,11 +301,11 @@ class FrontDoorServer:
 
     @property
     def host(self) -> str:
-        return self._lsock.getsockname()[0]
+        return self._addr[0]
 
     @property
     def port(self) -> int:
-        return self._lsock.getsockname()[1]
+        return self._addr[1]
 
     @property
     def url(self) -> str:
@@ -333,6 +340,37 @@ class FrontDoorServer:
             self._thread = None
         self._teardown()
 
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain; idempotent and signal-handler-safe.
+
+        Flips the drain flag and wakes the loop; the loop itself closes
+        the listener, finishes (or time-boxes, ``drain_timeout``)
+        in-flight requests, then unwinds through :meth:`_teardown` —
+        flushing the store and reaping the pool.  No blocking happens
+        here, so a SIGTERM handler may call it directly.
+        """
+        self._draining = True
+        self._wake()
+
+    def _begin_drain(self) -> None:
+        """First drain pass (on the loop): stop accepting, shed idle conns."""
+        if self._drain_deadline is not None:
+            return
+        self._drain_deadline = time.monotonic() + self.drain_timeout
+        try:
+            self._sel.unregister(self._lsock)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            self._lsock.close()  # new connections get refused, not queued
+        except OSError:
+            pass
+        # Keep-alive connections idle between requests hold no work —
+        # shedding them now is what lets "no in-flight work" converge.
+        for conn in list(self._conns.values()):
+            if conn.state == _READ_HEAD and not conn.inbuf and not conn.outbuf:
+                self._drop(conn)
+
     def _teardown(self) -> None:
         if self._sel is None:
             return
@@ -352,6 +390,14 @@ class FrontDoorServer:
         except OSError:
             pass
         self._sel = None
+        store = self.pool.store
+        if store is not None:
+            flush = getattr(store, "flush", None)
+            if flush is not None:
+                try:
+                    flush()
+                except Exception:  # noqa: BLE001 - teardown must finish
+                    pass
         if self._owns_pool:
             self.pool.close()
 
@@ -362,14 +408,18 @@ class FrontDoorServer:
         self.close()
 
     def health(self) -> Dict[str, object]:
-        return {
-            "status": "ok",
+        status, problems = service_health(self.pool, draining=self._draining)
+        payload: Dict[str, object] = {
+            "status": status,
             "uptime_seconds": round(self.stats.uptime_seconds, 3),
             "version": __version__,
             "pool_size": self.pool.size,
             "pool_mode": self.pool.mode,
             "frontdoor": True,
         }
+        if problems:
+            payload["problems"] = problems
+        return payload
 
     def cluster_engine(self):
         """The server's clustering engine, created on first use.
@@ -407,6 +457,7 @@ class FrontDoorServer:
             "parked_peak": self.parked_peak,
             "max_connections": self.max_connections,
             "idle_timeout": self.idle_timeout,
+            "draining": self._draining,
         }
 
     # -- the loop ----------------------------------------------------------
@@ -419,8 +470,16 @@ class FrontDoorServer:
 
     def _run_loop(self) -> None:
         while self._running:
+            if self._draining:
+                self._begin_drain()
+                if not self._conns:
+                    break  # every in-flight request answered and closed
+                if time.monotonic() >= self._drain_deadline:
+                    break  # time-boxed: teardown drops the stragglers
             try:
-                events = self._sel.select(timeout=0.5)
+                events = self._sel.select(
+                    timeout=0.1 if self._draining else 0.5
+                )
             except OSError:
                 break
             for key, mask in events:
@@ -1200,7 +1259,9 @@ class FrontDoorServer:
         close: bool = False,
     ) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
-        closing = close or not conn.keep_alive
+        # During a drain every answer closes its connection — keep-alive
+        # would hold the loop open past the last in-flight request.
+        closing = close or not conn.keep_alive or self._draining
         head = [
             f"HTTP/1.1 {int(status)} {status.phrase}",
             f"Server: udp-prove-frontdoor/{__version__}",
@@ -1250,6 +1311,7 @@ class FrontDoorServer:
     def _answer_saturated(self, conn: _Connection) -> None:
         self.stats.record_saturated()
         gate = self.gate
+        retry = round(jittered_retry_after(self.retry_after), 3)
         self._answer_json(
             conn,
             HTTPStatus.SERVICE_UNAVAILABLE,
@@ -1257,20 +1319,21 @@ class FrontDoorServer:
                 "saturated",
                 f"server at capacity ({gate.max_inflight} in flight, "
                 f"{gate.max_queued} queued); retry after "
-                f"{self.retry_after}s",
-                retry_after_seconds=self.retry_after,
+                f"{retry}s",
+                retry_after_seconds=retry,
             ),
-            headers=(("Retry-After", str(self.retry_after)),),
+            headers=(("Retry-After", str(max(1, round(retry)))),),
             close=True,
         )
 
     def _answer_rate_limited(self, conn: _Connection, decision) -> None:
         self.stats.record_rate_limited()
-        retry = (
+        base = (
             decision.retry_after
             if decision.retry_after is not None
             else self.retry_after
         )
+        retry = round(jittered_retry_after(base), 3)
         self._answer_json(
             conn,
             HTTPStatus.TOO_MANY_REQUESTS,

@@ -83,6 +83,7 @@ contract.
 from __future__ import annotations
 
 import json
+import logging
 import threading
 from http import HTTPStatus
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -95,9 +96,11 @@ from repro.server.framing import (
     TruncatedBody,
 )
 from repro.server.pool import AdmissionGate, SessionPool, error_record
-from repro.server.stats import ServerStats
+from repro.server.stats import ServerStats, jittered_retry_after, service_health
 from repro.session import DEFAULT_WINDOW, PipelineConfig, Session
 from urllib.parse import parse_qs, urlsplit
+
+_LOG = logging.getLogger("repro.server.http")
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8642
@@ -161,6 +164,7 @@ class VerificationServer:
         per_client_inflight: Optional[int] = None,
         rate_limit: Optional[float] = None,
         rate_burst: Optional[float] = None,
+        drain_timeout: float = 10.0,
     ) -> None:
         if pool is not None and (session is not None or pipeline is not None):
             raise ValueError(
@@ -197,8 +201,12 @@ class VerificationServer:
             rate_burst=rate_burst,
         )
         self.retry_after = max(1, int(retry_after))
+        self.drain_timeout = max(0.0, float(drain_timeout))
         self._cluster_engine = None
         self._cluster_lock = threading.Lock()
+        self._draining = False
+        self._drained = False
+        self._drain_lock = threading.Lock()
         self._httpd = _ThreadingServer((host, port), _Handler)
         self._httpd.owner = self
         self._thread = None
@@ -218,13 +226,63 @@ class VerificationServer:
         return f"http://{self.host}:{self.port}"
 
     def serve_forever(self) -> None:
-        """Serve on the calling thread until interrupted (the CLI path)."""
+        """Serve on the calling thread until interrupted (the CLI path).
+
+        On the way out — a ``KeyboardInterrupt`` or a
+        :meth:`request_shutdown` (the SIGTERM path) — the server drains:
+        the listener closes first (no new work), in-flight requests get
+        up to ``drain_timeout`` seconds to finish, the store is flushed,
+        and the pool is reaped so no member process outlives the server.
+        """
         try:
             self._httpd.serve_forever()
         finally:
             self._httpd.server_close()
-            if self._owns_pool:
-                self.pool.close()
+            self._drain()
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain; idempotent and signal-handler-safe.
+
+        Stops the accept loop from a side thread (``shutdown()`` blocks
+        until the loop notices, so it must not run on the serving
+        thread) and flips :meth:`health` to ``"draining"``.  The actual
+        drain — waiting out in-flight requests, flushing, reaping —
+        happens on the serving thread as :meth:`serve_forever` unwinds.
+        """
+        with self._drain_lock:
+            if self._draining:
+                return
+            self._draining = True
+        threading.Thread(
+            target=self._httpd.shutdown,
+            name="udp-serve-shutdown",
+            daemon=True,
+        ).start()
+
+    def _drain(self) -> None:
+        """Finish in-flight work (time-boxed), flush, reap; idempotent."""
+        with self._drain_lock:
+            if self._drained:
+                return
+            self._drained = True
+            self._draining = True
+        if not self.gate.wait_idle(self.drain_timeout):
+            _LOG.warning(
+                "drain timeout (%.1fs) with %d request(s) still in "
+                "flight; shutting down anyway",
+                self.drain_timeout,
+                self.gate.inflight,
+            )
+        store = self.pool.store
+        if store is not None:
+            flush = getattr(store, "flush", None)
+            if flush is not None:
+                try:
+                    flush()
+                except Exception:  # noqa: BLE001 - drain must finish
+                    pass
+        if self._owns_pool:
+            self.pool.close()
 
     def start(self) -> "VerificationServer":
         """Serve on a daemon thread; pair with :meth:`close`."""
@@ -282,13 +340,17 @@ class VerificationServer:
         return engine.snapshot() if engine is not None else None
 
     def health(self) -> Dict[str, object]:
-        return {
-            "status": "ok",
+        status, problems = service_health(self.pool, draining=self._draining)
+        payload: Dict[str, object] = {
+            "status": status,
             "uptime_seconds": round(self.stats.uptime_seconds, 3),
             "version": __version__,
             "pool_size": self.pool.size,
             "pool_mode": self.pool.mode,
         }
+        if problems:
+            payload["problems"] = problems
+        return payload
 
 
 class _ThreadingServer(ThreadingHTTPServer):
@@ -742,11 +804,12 @@ class _Handler(BaseHTTPRequestHandler):
     def _rate_limited(self, decision) -> None:
         owner = self.server.owner
         owner.stats.record_rate_limited()
-        retry = (
+        base = (
             decision.retry_after
             if decision.retry_after is not None
             else owner.retry_after
         )
+        retry = round(jittered_retry_after(base), 3)
         self._send_json(
             HTTPStatus.TOO_MANY_REQUESTS,
             error_record(
@@ -763,16 +826,17 @@ class _Handler(BaseHTTPRequestHandler):
         owner = self.server.owner
         owner.stats.record_saturated()
         gate = owner.gate
+        retry = round(jittered_retry_after(owner.retry_after), 3)
         self._send_json(
             HTTPStatus.SERVICE_UNAVAILABLE,
             error_record(
                 "saturated",
                 f"server at capacity ({gate.max_inflight} in flight, "
                 f"{gate.max_queued} queued); retry after "
-                f"{owner.retry_after}s",
-                retry_after_seconds=owner.retry_after,
+                f"{retry}s",
+                retry_after_seconds=retry,
             ),
-            headers=(("Retry-After", str(owner.retry_after)),),
+            headers=(("Retry-After", str(max(1, round(retry)))),),
         )
         self.close_connection = True
 

@@ -58,6 +58,7 @@ import hashlib
 import json
 import logging
 import os
+import queue
 import threading
 import time
 from collections import deque
@@ -74,6 +75,7 @@ from typing import (
     Tuple,
 )
 
+from repro.faults import FaultError, fault_hit
 from repro.hashcons_store import active_store, install_shared_store
 from repro.session import (
     DEFAULT_WINDOW,
@@ -266,6 +268,14 @@ def _process_member_main(conn, session: Session) -> None:
             break
         kind, obj, spec = message
         try:
+            rule = fault_hit("member.crash")
+            if rule is not None:
+                os._exit(23)  # chaos: die exactly like a segfault would
+            rule = fault_hit("member.hang")
+            if rule is not None:
+                # Chaos: wedge past the cooperative budget checks so the
+                # parent's hard deadline is what recovers the member.
+                time.sleep(rule.delay if rule.delay > 0 else 3600.0)
             if kind != "verify":
                 reply = ("error", f"unknown message kind {kind!r}", None)
             else:
@@ -303,6 +313,11 @@ class _MemberBase:
         self.busy = False
         self.last_used = time.monotonic()
         self.sharded_requests = 0
+        # A degraded member is known-wedged (thread watchdog fired) and
+        # skipped by the dispatcher until its stuck call returns.
+        # Process members never set it — they are killed and respawned
+        # instead.
+        self.degraded = False
 
     def _record(self, record: Mapping[str, object]) -> None:
         self.requests += 1
@@ -317,6 +332,7 @@ class _MemberBase:
             "failures": self.failures,
             "restarts": self.restarts,
             "hard_timeouts": self.hard_timeouts,
+            "degraded": self.degraded,
             "sharded_requests": self.sharded_requests,
             "verdicts": tallies["verdicts"],
             "reason_codes": tallies["reason_codes"],
@@ -340,21 +356,108 @@ class _MemberBase:
         raise NotImplementedError
 
 
+class _ThreadJob:
+    """One work item handed to a thread member's worker; its own rendezvous."""
+
+    __slots__ = ("obj", "spec", "result", "failed", "done", "lock", "abandoned")
+
+    def __init__(self, obj: Mapping[str, object], spec: Optional[str]) -> None:
+        self.obj = obj
+        self.spec = spec
+        self.result: Optional[Dict[str, object]] = None
+        self.failed = False
+        self.done = threading.Event()
+        self.lock = threading.Lock()
+        # Set by the dispatcher when the watchdog deadline fires; tells
+        # the worker its (eventual) result is garbage and the member
+        # should recover instead of answering.
+        self.abandoned = False
+
+
 class _ThreadMember(_MemberBase):
-    """An in-process session; exclusivity is the idle queue's job.
+    """An in-process session behind a persistent worker thread + watchdog.
 
     Thread members cannot be hard-killed (Python offers no safe way to
-    terminate a thread), so the ``deadline`` is ignored here — their
-    isolation remains the cooperative pipeline budget.  Deployments that
-    need wedge-proof isolation run ``process`` members.
+    terminate a thread), so a wedged prove used to wedge the member —
+    and its dispatcher thread — forever (the isolation gap ROADMAP
+    called out).  Proving now runs on the member's own long-lived worker
+    thread; :meth:`run_json` waits for the result up to the hard
+    ``deadline`` and, when the watchdog fires, answers an honest
+    structured ``timeout`` record and marks the member **degraded**: the
+    dispatcher skips it until the stuck call finally returns, at which
+    point the worker discards the abandoned result and the member
+    rejoins the idle queue.  The session is never shared between two
+    in-flight proves — exclusivity stays the idle queue's job.
     """
 
     mode = "thread"
 
-    def __init__(self, member_id: int, session: Session) -> None:
+    def __init__(
+        self,
+        member_id: int,
+        session: Session,
+        on_recover: Optional[Callable[["_ThreadMember"], None]] = None,
+    ) -> None:
         super().__init__(member_id)
         self.session = session
         self._configs: Dict[str, PipelineConfig] = {}
+        self._on_recover = on_recover
+        self._jobs: "queue.Queue[Optional[_ThreadJob]]" = queue.Queue()
+        self.heartbeat = time.monotonic()
+        self.recoveries = 0
+        self._worker = threading.Thread(
+            target=self._work_loop,
+            name=f"udp-pool-member-{member_id}",
+            daemon=True,
+        )
+        self._worker.start()
+
+    def _work_loop(self) -> None:
+        while True:
+            job = self._jobs.get()
+            if job is None:
+                break
+            self.heartbeat = time.monotonic()
+            try:
+                rule = fault_hit("member.crash")
+                if rule is not None:
+                    raise FaultError(
+                        f"injected crash in member {self.member_id}"
+                    )
+                rule = fault_hit("member.hang")
+                if rule is not None:
+                    time.sleep(rule.delay if rule.delay > 0 else 3600.0)
+                record = _decide_json(
+                    self.session, self._configs, job.obj, job.spec
+                )
+                failed = False
+            except Exception as err:  # noqa: BLE001 - isolation contract
+                record = _error_result_record(
+                    job.obj, f"{type(err).__name__}: {err}"
+                )
+                failed = True
+            self.heartbeat = time.monotonic()
+            with job.lock:
+                job.result = record
+                job.failed = failed
+                late = job.abandoned
+                job.done.set()
+            if late:
+                # The wedged prove finally returned.  Its caller was
+                # answered with a timeout record long ago; drop the
+                # stale result and rejoin the idle queue.
+                self.degraded = False
+                self.recoveries += 1
+                _LOG.warning(
+                    "pool member %d recovered from a wedged prove; "
+                    "member back in rotation",
+                    self.member_id,
+                )
+                if self._on_recover is not None:
+                    try:
+                        self._on_recover(self)
+                    except Exception:  # noqa: BLE001 - defensive
+                        pass
 
     def run_json(
         self,
@@ -362,19 +465,48 @@ class _ThreadMember(_MemberBase):
         spec: Optional[str],
         deadline: Optional[float] = None,
     ) -> Dict[str, object]:
-        try:
-            record = _decide_json(self.session, self._configs, obj, spec)
-        except Exception as err:  # noqa: BLE001 - isolation contract
+        job = _ThreadJob(obj, spec)
+        self._jobs.put(job)
+        if not job.done.wait(deadline):
+            with job.lock:
+                finished = job.done.is_set()
+                if not finished:
+                    job.abandoned = True
+            if not finished:
+                # Watchdog: the worker missed the hard deadline.  Answer
+                # honestly and take the member out of rotation until the
+                # stuck call returns (a thread cannot be hard-killed).
+                self.failures += 1
+                self.hard_timeouts += 1
+                self.degraded = True
+                record = _timeout_result_record(
+                    obj,
+                    f"pool member {self.member_id} exceeded the hard "
+                    f"deadline of {float(deadline):.1f}s; thread member "
+                    "marked degraded until the wedged prove returns",
+                )
+                self._record(record)
+                return record
+        record = job.result
+        if job.failed:
             self.failures += 1
-            record = _error_result_record(obj, f"{type(err).__name__}: {err}")
         self._record(record)
         return record
+
+    def snapshot(self) -> Dict[str, object]:
+        data = super().snapshot()
+        data["recoveries"] = self.recoveries
+        data["heartbeat_age"] = round(
+            max(0.0, time.monotonic() - self.heartbeat), 3
+        )
+        return data
 
     def info(self) -> Dict[str, object]:
         return _member_info(self.session)
 
     def close(self) -> None:
-        pass
+        self._jobs.put(None)
+        self._worker.join(timeout=2.0)
 
 
 class _ProcessMember(_MemberBase):
@@ -718,11 +850,23 @@ class SessionPool:
     def _new_member(self, member_id: int) -> _MemberBase:
         """Spawn one member (initial build and autoscaler growth)."""
         if self.mode == "process":
+            rule = fault_hit("pool.fork")
+            if rule is not None:
+                # Chaos: surface exactly what a failed fork(2) raises so
+                # the boot-time degrade-to-threads path is exercised.
+                raise OSError(f"injected fork failure for member {member_id}")
             return _ProcessMember(member_id, self._prototype, self._mp_context)
         session = (
             self._prototype if member_id == 0 else self._prototype.clone()
         )
-        return _ThreadMember(member_id, session)
+        return _ThreadMember(
+            member_id, session, on_recover=self._member_recovered
+        )
+
+    def _member_recovered(self, member: _MemberBase) -> None:
+        """A degraded thread member's wedged prove returned: wake waiters."""
+        with self._cond:
+            self._cond.notify_all()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -823,7 +967,11 @@ class SessionPool:
                         raise RuntimeError("pool is closed")
                     if preferred is not None:
                         member = self._member_by_id(preferred)
-                        if member is None:  # reaped since ring lookup
+                        if member is None or member.degraded:
+                            # Reaped since the ring lookup, or known
+                            # wedged: no point waiting for it.
+                            if member is not None:
+                                self.dispatch_fallback += 1
                             preferred = None
                             continue
                         if not member.busy:
@@ -838,11 +986,20 @@ class SessionPool:
                         continue
                     # Least-recently-used idle member: unsharded traffic
                     # rotates across the pool instead of pinning member 0.
+                    # Degraded (watchdog-wedged) members are skipped while
+                    # any healthy member exists; with every member wedged
+                    # we still dispatch — the caller gets an honest
+                    # structured timeout instead of an unbounded wait.
+                    idle = [m for m in self.members if not m.busy]
                     member = min(
-                        (m for m in self.members if not m.busy),
+                        (m for m in idle if not m.degraded),
                         key=lambda m: m.last_used,
                         default=None,
                     )
+                    if member is None:
+                        member = min(
+                            idle, key=lambda m: m.last_used, default=None
+                        )
                     if member is not None:
                         member.busy = True
                         return member, False
@@ -1162,6 +1319,23 @@ class SessionPool:
 
     # -- observability -----------------------------------------------------
 
+    def degraded_members(self) -> int:
+        """How many members are currently known-wedged (watchdog-flagged)."""
+        with self._cond:
+            return sum(1 for member in self.members if member.degraded)
+
+    def store_health(self) -> Optional[Dict[str, object]]:
+        """The store circuit breaker's health view, if the store has one."""
+        if self.store is None:
+            return None
+        health = getattr(self.store, "health", None)
+        if health is None:
+            return None
+        try:
+            return health()
+        except Exception:  # noqa: BLE001 - health must never raise
+            return None
+
     def stats(self) -> Dict[str, object]:
         """Per-member and rolled-up tallies, plus the shared-store view."""
         with self._cond:
@@ -1240,6 +1414,10 @@ class SessionPool:
             "autoscale": autoscale,
             "requests": sum(m["requests"] for m in members),
             "hard_timeouts": sum(m["hard_timeouts"] for m in members),
+            "degraded_members": sum(1 for m in members if m["degraded"]),
+            "watchdog_recoveries": sum(
+                m.get("recoveries", 0) for m in members
+            ),
             "verdicts": dict(sorted(verdicts.items())),
             "reason_codes": dict(sorted(reasons.items())),
             "members": members,
@@ -1516,6 +1694,29 @@ class AdmissionGate:
         overflow at the front door)."""
         with self._cond:
             self._refuse_saturated(self._clients.get(client))
+
+    @property
+    def inflight(self) -> int:
+        """Admitted-and-not-yet-left count; the drain path polls this."""
+        with self._cond:
+            return self._inflight
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until every admitted request has left, or ``timeout``.
+
+        The graceful-drain primitive: after the listener stops
+        accepting, the server waits here for in-flight work to finish
+        before flushing the store and reaping the pool.  True iff the
+        gate went idle within the timeout.
+        """
+        deadline = time.monotonic() + max(0.0, float(timeout))
+        with self._cond:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
 
     def leave(self, client: Optional[str] = None) -> None:
         with self._cond:

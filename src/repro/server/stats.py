@@ -15,13 +15,56 @@ loaded is this service" end to end.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.hashcons import cache_stats
 from repro.session import VerifyResult
 from repro.udp.trace import ReasonTally
+
+
+def service_health(pool=None, *, draining: bool = False) -> Tuple[str, List[str]]:
+    """``(status, problems)`` for ``/healthz``, shared by both front ends.
+
+    ``"ok"`` means fully healthy; ``"degraded"`` (still HTTP 200 — the
+    service answers correctly, just without its full durability or
+    capacity) means the store circuit breaker is open/probing or a pool
+    member is watchdog-wedged; ``"draining"`` means shutdown is in
+    progress and no new work is being accepted.  ``problems`` names each
+    cause so operators do not have to diff ``/stats`` to find out why.
+    """
+    status = "ok"
+    problems: List[str] = []
+    if pool is not None:
+        health = pool.store_health()
+        if health is not None and health.get("state") != "ok":
+            status = "degraded"
+            problems.append(f"store circuit breaker {health.get('state')}")
+        wedged = pool.degraded_members()
+        if wedged:
+            status = "degraded"
+            problems.append(
+                f"{wedged} pool member{'s' if wedged != 1 else ''} wedged"
+            )
+    if draining:
+        status = "draining"
+        problems.append("shutting down: draining in-flight requests")
+    return status, problems
+
+
+def jittered_retry_after(base: float, *, spread: float = 0.5) -> float:
+    """``base`` stretched by up to ``spread`` (uniform), in seconds.
+
+    The static ``Retry-After`` hint synchronized every refused client
+    onto the same retry instant — a 503 burst came back as a thundering
+    herd exactly ``base`` seconds later and was refused again.  Jitter
+    de-correlates the herd; the hint only ever grows, so the contract
+    "wait at least this long" still holds.
+    """
+    base = max(0.0, float(base))
+    return base * (1.0 + random.random() * max(0.0, float(spread)))
 
 
 class ServerStats:
@@ -122,4 +165,4 @@ class ServerStats:
         return out
 
 
-__all__ = ["ServerStats"]
+__all__ = ["ServerStats", "jittered_retry_after", "service_health"]

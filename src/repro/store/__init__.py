@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.hashcons_store import SharedMemoStore
+from repro.store.failover import FailoverStore
 from repro.store.sqlite import SQLiteMemoStore
 
 #: Recognized ``--store-backend`` values; ``auto`` resolves to sqlite.
@@ -33,6 +34,7 @@ def open_store(
     path: Optional[str] = None,
     *,
     backend: str = "auto",
+    failover: bool = True,
     **kwargs,
 ):
     """Open a store of the requested backend over ``path``.
@@ -41,19 +43,29 @@ def open_store(
     the caller; an explicit path is shared and kept.  Extra keyword
     arguments go to the backend constructor (``max_bytes``,
     ``busy_timeout_ms``, ``negative_ttl``, ...); unknown ones raise.
+
+    By default the backend is wrapped in a :class:`FailoverStore`
+    circuit breaker: repeated operational errors degrade the store
+    loudly to a private in-memory view (serving never fails on store
+    failure) and recovery is probed with capped exponential backoff.
+    ``failover=False`` returns the bare backend (the store mechanics
+    suites test the backends directly).
     """
     name = (backend or "auto").lower()
     if name in ("auto", "sqlite"):
-        return SQLiteMemoStore(path, **kwargs)
-    if name == "flock":
+        store = SQLiteMemoStore(path, **kwargs)
+    elif name == "flock":
         kwargs.pop("busy_timeout_ms", None)
-        return SharedMemoStore(path, **kwargs)
-    raise ValueError(
-        f"unknown store backend {backend!r}; choose from {STORE_BACKENDS}"
-    )
+        store = SharedMemoStore(path, **kwargs)
+    else:
+        raise ValueError(
+            f"unknown store backend {backend!r}; choose from {STORE_BACKENDS}"
+        )
+    return FailoverStore(store) if failover else store
 
 
 __all__ = [
+    "FailoverStore",
     "STORE_BACKENDS",
     "SQLiteMemoStore",
     "SharedMemoStore",

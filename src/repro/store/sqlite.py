@@ -667,6 +667,21 @@ class SQLiteMemoStore:
                 self.errors += 1
             self._objects.clear()
 
+    def flush(self) -> None:
+        """Checkpoint the WAL into the main database file.
+
+        The graceful-drain path calls this so a post-drain copy (or an
+        operator's backup) of the ``.sqlite`` file alone carries every
+        committed write; per-transaction durability never depended on
+        it (WAL commits are already durable).
+        """
+        with self._lock:
+            try:
+                conn = self._ensure_conn()
+                conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            except sqlite3.Error:
+                self.errors += 1
+
     def forget_descriptor(self) -> None:
         """Abandon the inherited connection without closing it.
 

@@ -513,8 +513,11 @@ def test_saturation_returns_structured_503_with_retry_after():
         )
         assert status == 503
         assert payload["error"]["code"] == "saturated"
-        assert payload["error"]["retry_after_seconds"] == 7
-        assert headers.get("Retry-After") == "7"
+        # The hint is jittered to de-correlate retry stampedes: at least
+        # the configured base, at most 1.5x it (bounded spread).
+        retry_hint = payload["error"]["retry_after_seconds"]
+        assert 7 <= retry_hint <= 10.5
+        assert 7 <= int(headers.get("Retry-After")) <= 11
         # Liveness endpoints stay answerable while proving is saturated.
         assert get_json(server.url + "/healthz")["status"] == "ok"
         release.wait(timeout=30)

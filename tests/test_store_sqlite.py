@@ -22,7 +22,12 @@ from repro.hashcons_store import install_shared_store
 from repro.server import VerificationServer
 from repro.server.pool import SessionPool, resolve_pool_mode
 from repro.session import PipelineConfig, Session
-from repro.store import SQLiteMemoStore, SharedMemoStore, open_store
+from repro.store import (
+    FailoverStore,
+    SQLiteMemoStore,
+    SharedMemoStore,
+    open_store,
+)
 
 needs_fork = pytest.mark.skipif(
     resolve_pool_mode("auto", 2) != "process",
@@ -53,11 +58,22 @@ def test_open_store_backend_selection(tmp_path):
     sqlite_store = open_store(str(tmp_path / "a.sqlite"))
     flock_store = open_store(str(tmp_path / "b.store"), backend="flock")
     try:
-        assert isinstance(sqlite_store, SQLiteMemoStore)
-        assert isinstance(flock_store, SharedMemoStore)
+        # Backends come wrapped in the failover circuit breaker by
+        # default; the bare backend sits behind ``.inner``.
+        assert isinstance(sqlite_store, FailoverStore)
+        assert isinstance(sqlite_store.inner, SQLiteMemoStore)
+        assert sqlite_store.backend == "sqlite"
+        assert isinstance(flock_store, FailoverStore)
+        assert isinstance(flock_store.inner, SharedMemoStore)
+        assert flock_store.backend == "flock"
     finally:
         sqlite_store.close()
         flock_store.close()
+    bare = open_store(str(tmp_path / "c.sqlite"), failover=False)
+    try:
+        assert isinstance(bare, SQLiteMemoStore)
+    finally:
+        bare.close()
     with pytest.raises(ValueError):
         open_store(backend="redis")
 
@@ -283,7 +299,8 @@ def test_process_pool_members_share_one_database(tmp_path):
         store_backend="sqlite",
     )
     try:
-        assert isinstance(pool.store, SQLiteMemoStore)
+        assert isinstance(pool.store, FailoverStore)
+        assert isinstance(pool.store.inner, SQLiteMemoStore)
         for n in range(6):
             record = pool.verify_json(
                 {
